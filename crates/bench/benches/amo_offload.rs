@@ -1,0 +1,66 @@
+//! Ablation: atomic-offload benefit on real kernels — RandomAccess
+//! updates via `XOR16` versus host read-modify-write, and BFS
+//! check-and-update via `CASEQ8` versus the cache-line pattern
+//! (related work \[10\]). Prints simulated cycles and link FLITs per
+//! variant alongside the wall-clock measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_workloads::kernels::bfs::{BfsConfig, BfsKernel, BfsMode, Graph};
+use hmc_workloads::kernels::gups::{GupsConfig, GupsKernel, GupsMode};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gups(mode: GupsMode) -> (u64, u64) {
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    let result = GupsKernel::new(GupsConfig {
+        table_entries: 1 << 10,
+        updates: 1024,
+        mode,
+        ..Default::default()
+    })
+    .run(&mut sim)
+    .unwrap();
+    (result.cycles, result.link_flits)
+}
+
+fn bfs(mode: BfsMode, graph: &Graph) -> (u64, u64) {
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    let result = BfsKernel::new(BfsConfig { mode, ..Default::default() })
+        .run(&mut sim, graph)
+        .unwrap();
+    assert_eq!(result.errors, 0);
+    (result.cycles, result.link_flits)
+}
+
+fn bench_gups_offload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gups_offload");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, mode) in [
+        ("xor16_amo", GupsMode::Xor16Amo),
+        ("read_modify_write", GupsMode::ReadModifyWrite),
+    ] {
+        let (cycles, flits) = gups(mode);
+        println!("gups {name:>18}: {cycles} simulated cycles, {flits} FLITs");
+        group.bench_function(name, |b| b.iter(|| black_box(gups(mode))));
+    }
+    group.finish();
+}
+
+fn bench_bfs_offload(c: &mut Criterion) {
+    let graph = Graph::random(512, 2048, 0xBF5);
+    let mut group = c.benchmark_group("bfs_offload");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, mode) in [
+        ("caseq8_offload", BfsMode::CasOffload),
+        ("read_check_write", BfsMode::ReadCheckWrite),
+    ] {
+        let (cycles, flits) = bfs(mode, &graph);
+        println!("bfs {name:>17}: {cycles} simulated cycles, {flits} FLITs");
+        group.bench_function(name, |b| b.iter(|| black_box(bfs(mode, &graph))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gups_offload, bench_bfs_offload);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: the paper's CMC mutex operations versus a mutex built
+//! from the stock Gen2 `CASEQ8` atomic, and the bounded spin policy
+//! versus the literal Algorithm 1 spin. Prints simulated cycles per
+//! variant alongside the wall-clock measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_bench::mutex_sim;
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_workloads::{MutexKernel, MutexKernelConfig, MutexMechanism, SpinPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREADS: usize = 32;
+
+fn run(mechanism: MutexMechanism, spin: SpinPolicy) -> (u64, u64, f64) {
+    let mut sim = match mechanism {
+        MutexMechanism::Cmc => mutex_sim(&DeviceConfig::gen2_4link_4gb()),
+        MutexMechanism::CasEq8 => HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap(),
+        MutexMechanism::Ticket => {
+            hmc_cmc::ops::register_builtin_libraries();
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            sim.load_cmc_library(0, hmc_cmc::ops::TICKET_LIBRARY).unwrap();
+            sim
+        }
+    };
+    let result = MutexKernel::new(MutexKernelConfig {
+        threads: THREADS,
+        spin,
+        mechanism,
+        ..Default::default()
+    })
+    .run(&mut sim)
+    .unwrap();
+    (
+        result.metrics.min_cycle(),
+        result.metrics.max_cycle(),
+        result.metrics.avg_cycle(),
+    )
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let variants: [(&str, MutexMechanism, SpinPolicy); 5] = [
+        ("cmc_bounded", MutexMechanism::Cmc, SpinPolicy::PaperBounded),
+        ("cas_bounded", MutexMechanism::CasEq8, SpinPolicy::PaperBounded),
+        ("cmc_honest", MutexMechanism::Cmc, SpinPolicy::until_owned()),
+        ("cas_honest", MutexMechanism::CasEq8, SpinPolicy::until_owned()),
+        ("ticket_fair", MutexMechanism::Ticket, SpinPolicy::until_owned()),
+    ];
+    let mut group = c.benchmark_group("mutex_mechanism");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, mechanism, spin) in variants {
+        let (min, max, avg) = run(mechanism, spin);
+        println!("{name:>12}: min {min} / max {max} / avg {avg:.2} simulated cycles");
+        group.bench_function(name, |b| b.iter(|| black_box(run(mechanism, spin))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench over the paper's headline experiment: the CMC
+//! mutex kernel (Algorithm 1) at representative thread counts on both
+//! evaluated device configurations. Complements the `table6` /
+//! `figures` binaries, which report simulated cycles; this measures
+//! the simulator's wall-clock throughput on the same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmc_bench::mutex_point;
+use hmc_sim::DeviceConfig;
+use hmc_workloads::SpinPolicy;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mutex_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutex_kernel");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for config in [DeviceConfig::gen2_4link_4gb(), DeviceConfig::gen2_8link_8gb()] {
+        for threads in [2usize, 25, 50, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(config.label(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        black_box(mutex_point(
+                            &config,
+                            SpinPolicy::PaperBounded,
+                            black_box(threads),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // One honest-spin point, the heavier mode.
+    let mut group = c.benchmark_group("mutex_kernel_honest");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let config = DeviceConfig::gen2_4link_4gb();
+    group.bench_function("4Link-4GB/32", |b| {
+        b.iter(|| black_box(mutex_point(&config, SpinPolicy::until_owned(), 32)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutex_sweep);
+criterion_main!(benches);

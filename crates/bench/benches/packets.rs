@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the simulator substrates: packet
+//! encode/decode, CRC-32K, AMO execution and raw clock throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hmc_mem::SparseMemory;
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_types::{crc32k, Cub, HmcRqst, Request, Tag};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_codec");
+    group.measurement_time(Duration::from_secs(2));
+    let small = Request::new(HmcRqst::Wr16, Tag::new(9).unwrap(), 0x40, Cub::new(0).unwrap(), vec![1, 2]).unwrap();
+    let large = Request::new(
+        HmcRqst::Wr256,
+        Tag::new(9).unwrap(),
+        0x400,
+        Cub::new(0).unwrap(),
+        (0..32).collect(),
+    )
+    .unwrap();
+    group.bench_function("pack_wr16", |b| b.iter(|| black_box(small.pack())));
+    group.bench_function("pack_wr256", |b| b.iter(|| black_box(large.pack())));
+    let small_flits = small.pack();
+    let large_flits = large.pack();
+    group.bench_function("unpack_wr16", |b| {
+        b.iter(|| black_box(Request::unpack(black_box(&small_flits)).unwrap()))
+    });
+    group.bench_function("unpack_wr256", |b| {
+        b.iter(|| black_box(Request::unpack(black_box(&large_flits)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc32k");
+    group.measurement_time(Duration::from_secs(2));
+    let data = vec![0xA5u8; 272]; // a 17-FLIT packet
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("17_flit_packet", |b| b.iter(|| black_box(crc32k(black_box(&data)))));
+    group.finish();
+}
+
+fn bench_amo_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amo_execute");
+    group.measurement_time(Duration::from_secs(2));
+    let mut mem = SparseMemory::new(1 << 20);
+    mem.write_u64(0x40, 1).unwrap();
+    group.bench_function("inc8", |b| {
+        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Inc8, &mut mem, 0x40, &[]).unwrap()))
+    });
+    group.bench_function("caseq8", |b| {
+        b.iter(|| {
+            black_box(hmc_mem::execute(HmcRqst::CasEq8, &mut mem, 0x40, &[1, 1]).unwrap())
+        })
+    });
+    group.bench_function("add16", |b| {
+        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Add16, &mut mem, 0x40, &[1, 0]).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock");
+    group.measurement_time(Duration::from_secs(2));
+    let mut idle = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    group.bench_function("idle_cycle", |b| b.iter(|| black_box(idle.clock())));
+
+    group.bench_function("loaded_round_trip", |b| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        b.iter(|| {
+            let tag = sim
+                .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+                .unwrap()
+                .unwrap();
+            black_box(sim.run_until_response(0, 0, tag, 100).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_codec,
+    bench_crc,
+    bench_amo_execute,
+    bench_clock
+);
+criterion_main!(benches);

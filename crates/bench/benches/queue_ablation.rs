@@ -1,0 +1,52 @@
+//! Ablation: how the vault request-queue depth (paper: 64) and the
+//! crossbar queue depth (paper: 128) shape contention on the mutex
+//! hot spot. Prints the simulated-cycle outcome per configuration
+//! alongside the wall-clock measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmc_bench::mutex_point;
+use hmc_sim::DeviceConfig;
+use hmc_workloads::SpinPolicy;
+use std::hint::black_box;
+use std::time::Duration;
+
+const THREADS: usize = 64;
+
+fn bench_vault_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vault_queue_depth");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for depth in [8usize, 32, 64, 256] {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.vault_queue_depth = depth;
+        let point = mutex_point(&config, SpinPolicy::PaperBounded, THREADS);
+        println!(
+            "vault queue depth {depth:>3}: min {} / max {} / avg {:.2} simulated cycles",
+            point.min, point.max, point.avg
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(mutex_point(&config, SpinPolicy::PaperBounded, THREADS)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xbar_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xbar_queue_depth");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for depth in [16usize, 64, 128, 512] {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.xbar_queue_depth = depth;
+        let point = mutex_point(&config, SpinPolicy::PaperBounded, THREADS);
+        println!(
+            "xbar queue depth {depth:>3}: min {} / max {} / avg {:.2} simulated cycles",
+            point.min, point.max, point.avg
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(mutex_point(&config, SpinPolicy::PaperBounded, THREADS)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vault_queue_depth, bench_xbar_queue_depth);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation of the timing extensions (paper §VII future work):
+//! row-buffer policy, DRAM refresh and crossbar arbitration, measured
+//! on the streaming (Triad), random (GUPS) and dependent-load
+//! (pointer-chase) kernels. Prints simulated metrics per variant
+//! alongside the wall-clock measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_sim::{Arbitration, BankTiming, DeviceConfig, HmcSim, RefreshConfig, RowPolicy};
+use hmc_workloads::kernels::pchase::{PointerChaseConfig, PointerChaseKernel};
+use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn triad_cycles(config: &DeviceConfig) -> u64 {
+    let mut sim = HmcSim::new(config.clone()).unwrap();
+    let r = TriadKernel::new(TriadConfig { elements: 2048, ..Default::default() })
+        .run(&mut sim)
+        .unwrap();
+    assert_eq!(r.errors, 0);
+    r.cycles
+}
+
+fn pchase_cpl(config: &DeviceConfig) -> f64 {
+    let mut sim = HmcSim::new(config.clone()).unwrap();
+    let r = PointerChaseKernel::new(PointerChaseConfig {
+        nodes: 256,
+        steps: 256,
+        ..Default::default()
+    })
+    .run(&mut sim)
+    .unwrap();
+    assert!(r.verified);
+    r.cycles_per_step
+}
+
+fn bench_row_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_policy");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, policy) in [("open_page", RowPolicy::OpenPage), ("closed_page", RowPolicy::ClosedPage)] {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.bank_timing = BankTiming { row_hit: 1, row_miss: 6, policy };
+        println!(
+            "row policy {name:>12}: triad {} cycles, pchase {:.2} cycles/hop",
+            triad_cycles(&config),
+            pchase_cpl(&config)
+        );
+        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+    }
+    group.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refresh");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, refresh) in [
+        ("off", None),
+        ("trefi_512_trfc_16", Some(RefreshConfig { interval: 512, duration: 16 })),
+        ("trefi_256_trfc_32", Some(RefreshConfig { interval: 256, duration: 32 })),
+    ] {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.refresh = refresh;
+        println!("refresh {name:>18}: triad {} cycles", triad_cycles(&config));
+        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+    }
+    group.finish();
+}
+
+fn bench_arbitration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitration");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, arb) in [
+        ("fixed_priority", Arbitration::FixedPriority),
+        ("round_robin", Arbitration::RoundRobin),
+    ] {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.arbitration = arb;
+        println!("arbitration {name:>15}: triad {} cycles", triad_cycles(&config));
+        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_policy, bench_refresh, bench_arbitration);
+criterion_main!(benches);

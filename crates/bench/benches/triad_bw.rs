@@ -1,0 +1,50 @@
+//! Ablation: STREAM Triad bandwidth versus request size and write
+//! posting — the prior-work kernel on which HMC-Sim's original
+//! results were reported. Prints achieved bytes/cycle per variant
+//! alongside the wall-clock measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn triad(chunk_bytes: usize, posted: bool) -> f64 {
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    let result = TriadKernel::new(TriadConfig {
+        elements: 2048,
+        chunk_bytes,
+        posted_writes: posted,
+        ..Default::default()
+    })
+    .run(&mut sim)
+    .unwrap();
+    assert_eq!(result.errors, 0);
+    result.bytes_per_cycle
+}
+
+fn bench_triad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triad_chunk_size");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for chunk in [16usize, 64, 128, 256] {
+        println!(
+            "triad chunk {chunk:>3} B: {:.2} array bytes per simulated cycle",
+            triad(chunk, false)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| black_box(triad(chunk, false)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("triad_posted_writes");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, posted) in [("acked", false), ("posted", true)] {
+        println!("triad 64 B {name}: {:.2} array bytes per simulated cycle", triad(64, posted));
+        group.bench_function(name, |b| b.iter(|| black_box(triad(64, posted))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triad);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Trace replay tool: runs a memory trace (the `hmc-workloads`
+//! trace format) against a configurable device and prints the replay
+//! metrics plus the device report.
+//!
+//! ```text
+//! cargo run --release -p hmc-bench --bin replay -- trace.txt [--links 8] [--window 128]
+//! cargo run --release -p hmc-bench --bin replay            # synthetic demo trace
+//! ```
+
+use hmc_sim::{report, DeviceConfig, HmcSim};
+use hmc_workloads::tracefile::{parse_trace, replay, synthetic_trace, ReplayConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    let links: usize = arg("--links").and_then(|s| s.parse().ok()).unwrap_or(4);
+    let window: usize = arg("--window").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let path = args.first().filter(|a| !a.starts_with("--"));
+
+    let ops = match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            parse_trace(&text).unwrap_or_else(|e| panic!("parse failure: {e}"))
+        }
+        None => {
+            println!("(no trace given: replaying a synthetic 8-thread trace)\n");
+            synthetic_trace(8, 256, 64)
+        }
+    };
+
+    let config = if links == 8 {
+        DeviceConfig::gen2_8link_8gb()
+    } else {
+        DeviceConfig::gen2_4link_4gb()
+    };
+    let mut sim = HmcSim::new(config).expect("valid device config");
+    let result = replay(&mut sim, &ops, &ReplayConfig { window, ..Default::default() })
+        .expect("replay runs");
+
+    println!(
+        "replayed {} ops ({} completed) in {} cycles: {} FLITs, {:.2} data B/cycle\n",
+        result.issued, result.completed, result.cycles, result.link_flits, result.bytes_per_cycle
+    );
+    print!("{}", report::text_report(&sim, 0).expect("report"));
+}

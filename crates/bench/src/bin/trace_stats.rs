@@ -1,0 +1,56 @@
+//! Trace-file analysis tool: parses an HMC-Sim trace (from a file or
+//! stdin) and prints the aggregate report — per-command counts,
+//! vault-load hot spots, latency percentiles and stall census.
+//!
+//! ```text
+//! cargo run -p hmc-bench --bin trace_stats -- trace.log
+//! cargo run -p hmc-bench --bin trace_stats            # demo trace
+//! ```
+
+use hmc_sim::trace_analysis::TraceSummary;
+use hmc_sim::{DeviceConfig, HmcSim, TraceBuffer, TraceLevel, Tracer};
+use hmc_types::HmcRqst;
+use std::io::Read;
+
+/// Generates a demonstration trace: a mixed workload with the CMC
+/// mutex loaded.
+fn demo_trace() -> Vec<String> {
+    hmc_cmc::ops::register_builtin_libraries();
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).expect("valid config");
+    let buf = TraceBuffer::new();
+    sim.set_tracer(Tracer::to_buffer(TraceLevel::ALL, buf.clone()));
+    sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY).expect("mutex lib");
+    for i in 0..64u64 {
+        let link = (i % 4) as usize;
+        let _ = sim.send_simple(0, link, HmcRqst::Wr16, i * 0x100, vec![i, i]);
+        let _ = sim.send_simple(0, link, HmcRqst::Inc8, 0x40, vec![]);
+        let _ = sim.send_cmc(0, link, 125, 0x4000, vec![i + 1, 0]);
+        sim.clock();
+    }
+    sim.drain(10_000);
+    buf.lines()
+}
+
+fn main() {
+    let lines: Vec<String> = match std::env::args().nth(1) {
+        Some(path) if path == "-" => {
+            let mut s = String::new();
+            std::io::stdin().read_to_string(&mut s).expect("stdin");
+            s.lines().map(str::to_string).collect()
+        }
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+            .lines()
+            .map(str::to_string)
+            .collect(),
+        None => {
+            println!("(no trace file given: analysing a generated demo trace)\n");
+            demo_trace()
+        }
+    };
+    let summary = TraceSummary::from_lines(lines.iter().map(String::as_str));
+    print!("{}", summary.render());
+    if summary.skipped_lines > 0 {
+        println!("({} non-trace lines skipped)", summary.skipped_lines);
+    }
+}

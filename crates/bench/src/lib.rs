@@ -1,0 +1,15 @@
+//! # hmc-bench
+//!
+//! The benchmark and reproduction harness: one binary per paper table
+//! and figure (see DESIGN.md §5) plus Criterion micro/macro benches.
+//! This library holds the shared harness code — table formatting and
+//! the experiment sweep driver — used by the binaries and benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{mutex_point, mutex_sim, mutex_sweep, summarize, SweepPoint, SweepSummary};
+pub use table::TableWriter;

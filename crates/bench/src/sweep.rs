@@ -1,0 +1,127 @@
+//! The mutex-kernel thread sweep behind Table VI and Figures 5–7.
+
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_workloads::{MutexKernel, MutexKernelConfig, SpinPolicy};
+
+/// One point of the thread sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Thread count of this simulation.
+    pub threads: usize,
+    /// MIN_CYCLE — fastest thread's completion cycle.
+    pub min: u64,
+    /// MAX_CYCLE — slowest thread's completion cycle.
+    pub max: u64,
+    /// AVG_CYCLE — mean completion cycle.
+    pub avg: f64,
+}
+
+/// Builds a fresh simulation context with the mutex library loaded.
+pub fn mutex_sim(config: &DeviceConfig) -> HmcSim {
+    hmc_cmc::ops::register_builtin_libraries();
+    let mut sim = HmcSim::new(config.clone()).expect("valid device config");
+    sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY)
+        .expect("mutex library loads");
+    sim
+}
+
+/// Runs Algorithm 1 once at the given thread count.
+pub fn mutex_point(config: &DeviceConfig, spin: SpinPolicy, threads: usize) -> SweepPoint {
+    let mut sim = mutex_sim(config);
+    let kernel = MutexKernel::new(MutexKernelConfig {
+        threads,
+        spin,
+        ..Default::default()
+    });
+    let result = kernel.run(&mut sim).expect("mutex kernel runs");
+    assert_eq!(result.metrics.unfinished, 0, "threads must finish");
+    SweepPoint {
+        threads,
+        min: result.metrics.min_cycle(),
+        max: result.metrics.max_cycle(),
+        avg: result.metrics.avg_cycle(),
+    }
+}
+
+/// Sweeps thread counts, one independent simulation per point — the
+/// paper's 2..=100 thread methodology (§V-B).
+pub fn mutex_sweep(
+    config: &DeviceConfig,
+    spin: SpinPolicy,
+    threads: impl IntoIterator<Item = usize>,
+) -> Vec<SweepPoint> {
+    threads
+        .into_iter()
+        .map(|t| mutex_point(config, spin, t))
+        .collect()
+}
+
+/// The Table VI row derived from a sweep: overall minimum, overall
+/// maximum and the worst per-run average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSummary {
+    /// Smallest MIN_CYCLE across the sweep.
+    pub min_cycle: u64,
+    /// Largest MAX_CYCLE across the sweep.
+    pub max_cycle: u64,
+    /// Thread count where the largest MAX_CYCLE occurred.
+    pub max_cycle_at: usize,
+    /// Largest AVG_CYCLE across the sweep.
+    pub max_avg_cycle: f64,
+    /// Thread count where the largest AVG_CYCLE occurred.
+    pub max_avg_at: usize,
+}
+
+/// Summarizes a sweep into its Table VI row.
+pub fn summarize(points: &[SweepPoint]) -> SweepSummary {
+    assert!(!points.is_empty(), "sweep must contain points");
+    let min_cycle = points.iter().map(|p| p.min).min().expect("nonempty");
+    let (max_point, _) = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .max_by_key(|(p, _)| p.max)
+        .expect("nonempty");
+    let avg_point = points
+        .iter()
+        .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("finite"))
+        .expect("nonempty");
+    SweepSummary {
+        min_cycle,
+        max_cycle: max_point.max,
+        max_cycle_at: max_point.threads,
+        max_avg_cycle: avg_point.avg,
+        max_avg_at: avg_point.threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_are_deterministic() {
+        let cfg = DeviceConfig::gen2_4link_4gb();
+        let a = mutex_point(&cfg, SpinPolicy::PaperBounded, 10);
+        let b = mutex_point(&cfg, SpinPolicy::PaperBounded, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_cycle_is_six_for_small_sweeps() {
+        let cfg = DeviceConfig::gen2_4link_4gb();
+        let points = mutex_sweep(&cfg, SpinPolicy::PaperBounded, [2, 4, 8]);
+        let summary = summarize(&points);
+        assert_eq!(summary.min_cycle, 6);
+        assert!(summary.max_cycle >= 6);
+    }
+
+    #[test]
+    fn max_grows_with_threads() {
+        let cfg = DeviceConfig::gen2_4link_4gb();
+        let points = mutex_sweep(&cfg, SpinPolicy::PaperBounded, [4, 32]);
+        assert!(points[1].max > points[0].max);
+        let summary = summarize(&points);
+        assert_eq!(summary.max_cycle_at, 32);
+    }
+}

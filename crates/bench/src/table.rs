@@ -1,0 +1,83 @@
+//! Plain-text table rendering for the reproduction binaries.
+
+/// A simple fixed-column table writer producing aligned plain-text
+/// output, matching the row/column structure of the paper's tables.
+#[derive(Debug, Default)]
+pub struct TableWriter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TableWriter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the cell count must match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                s.push_str(&format!(" {cell:<w$} |"));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TableWriter::new(&["Device", "Min", "Max"]);
+        t.row(&["4Link-4GB".into(), "6".into(), "392".into()]);
+        t.row(&["8Link-8GB".into(), "6".into(), "387".into()]);
+        let out = t.render();
+        assert!(out.contains("| Device    | Min | Max |"));
+        assert!(out.contains("| 4Link-4GB | 6   | 392 |"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = TableWriter::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

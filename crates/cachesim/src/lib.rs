@@ -1,0 +1,14 @@
+//! # hmc-cachesim
+//!
+//! The cache-based atomic-operation baseline of the paper's Table II:
+//! a model of a conventional CPU cache hierarchy performing atomic
+//! read-modify-write cycles over an HMC link (fetch a cache line,
+//! modify it in the cache, flush it back), with FLIT/byte traffic
+//! accounting and a simple MESI-style coherence-traffic estimate.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod model;
+
+pub use model::{CacheAtomicModel, CacheConfig, TrafficReport};

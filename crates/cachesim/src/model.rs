@@ -1,0 +1,210 @@
+//! The cache-based atomic baseline (paper Table II).
+//!
+//! A conventional CPU performs an atomic on HMC-resident data by
+//! pulling the enclosing cache line over the link, mutating it in the
+//! cache and flushing it back: a full read-modify-write cycle of
+//! `RD<line>` + `WR<line>`. The paper quantifies the link cost for a
+//! 64-byte line as `(1 FLIT + 5 FLITs) + (5 FLITs + 1 FLIT)` = 12
+//! FLITs, against 2 FLITs for the in-cube `INC8` (Table II).
+//!
+//! This model reproduces that accounting for any line size, plus a
+//! simple MESI-style coherence-traffic estimate for multi-core
+//! sharing (the "lack of cache locality will induce significant
+//! coherency traffic" remark in §III).
+
+use hmc_types::flit::packet_flits_for_bytes;
+use hmc_types::HmcError;
+
+/// Configuration of the cache baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache-line size in bytes (a Gen2 read/write size: 16..=128 or
+    /// 256).
+    pub line_bytes: usize,
+    /// Cores sharing the target line (drives the coherence estimate).
+    pub sharers: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { line_bytes: 64, sharers: 1 }
+    }
+}
+
+/// Link-traffic accounting for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Request FLITs sent host → cube.
+    pub rqst_flits: u64,
+    /// Response FLITs sent cube → host.
+    pub rsp_flits: u64,
+    /// Total FLITs.
+    pub total_flits: u64,
+    /// Total bytes under the paper's 128-byte-per-FLIT convention
+    /// (the unit Table II reports).
+    pub paper_bytes: u64,
+    /// Total bytes on the wire (16-byte FLITs).
+    pub wire_bytes: u64,
+}
+
+impl TrafficReport {
+    fn from_flits(rqst: u64, rsp: u64) -> Self {
+        let total = rqst + rsp;
+        TrafficReport {
+            rqst_flits: rqst,
+            rsp_flits: rsp,
+            total_flits: total,
+            paper_bytes: total * 128,
+            wire_bytes: total * 16,
+        }
+    }
+}
+
+/// The cache-based atomic model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheAtomicModel {
+    config: CacheConfig,
+}
+
+impl CacheAtomicModel {
+    /// Creates the model, validating the line size against the Gen2
+    /// command set.
+    pub fn new(config: CacheConfig) -> Result<Self, HmcError> {
+        match config.line_bytes {
+            16 | 32 | 48 | 64 | 80 | 96 | 112 | 128 | 256 => {}
+            other => return Err(HmcError::InvalidRequestSize(other)),
+        }
+        if config.sharers == 0 {
+            return Err(HmcError::InvalidRequestSize(0));
+        }
+        Ok(CacheAtomicModel { config })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Link traffic of one cache-based atomic: fetch the line
+    /// (`RD<line>`: 1 request FLIT, `1 + line/16` response FLITs) and
+    /// flush it (`WR<line>`: `1 + line/16` request FLITs, 1 response
+    /// FLIT) — the paper's "Read 64 Bytes + Write 64 Bytes" row.
+    pub fn atomic_rmw_traffic(&self) -> TrafficReport {
+        let data_flits = packet_flits_for_bytes(self.config.line_bytes) as u64;
+        // RD: 1 rqst + data_flits rsp; WR: data_flits rqst + 1 rsp.
+        TrafficReport::from_flits(1 + data_flits, data_flits + 1)
+    }
+
+    /// Link traffic of `n` consecutive atomics by a single core with
+    /// the line cached between them: one fetch, `n-1` cache hits, one
+    /// final flush.
+    pub fn cached_burst_traffic(&self, n: u64) -> TrafficReport {
+        if n == 0 {
+            return TrafficReport::from_flits(0, 0);
+        }
+        let data_flits = packet_flits_for_bytes(self.config.line_bytes) as u64;
+        TrafficReport::from_flits(1 + data_flits, data_flits + 1)
+    }
+
+    /// Link traffic of `n` atomics round-robined across the
+    /// configured sharers: every handoff invalidates the previous
+    /// owner's copy, forcing a fresh read-modify-write per atomic —
+    /// the coherence pathology §III describes.
+    pub fn shared_burst_traffic(&self, n: u64) -> TrafficReport {
+        if self.config.sharers <= 1 {
+            return self.cached_burst_traffic(n);
+        }
+        let one = self.atomic_rmw_traffic();
+        TrafficReport::from_flits(one.rqst_flits * n, one.rsp_flits * n)
+    }
+
+    /// Coherence messages (invalidations + acknowledgements) for `n`
+    /// round-robin atomics among the sharers, in a snooping MESI
+    /// estimate: each ownership transfer invalidates `sharers - 1`
+    /// copies and collects as many acks.
+    pub fn coherence_messages(&self, n: u64) -> u64 {
+        if self.config.sharers <= 1 {
+            return 0;
+        }
+        2 * n * (self.config.sharers as u64 - 1)
+    }
+}
+
+/// Traffic of the HMC-native atomic for comparison: `flits = rqst +
+/// rsp` from the command's Table I row.
+pub fn hmc_atomic_traffic(rqst_flits: u64, rsp_flits: u64) -> TrafficReport {
+    TrafficReport::from_flits(rqst_flits, rsp_flits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_two_cache_row() {
+        let model = CacheAtomicModel::new(CacheConfig::default()).unwrap();
+        let t = model.atomic_rmw_traffic();
+        // (1 FLIT + 5 FLITs) + (5 FLITs + 1 FLIT) = 12 FLITs.
+        assert_eq!(t.rqst_flits, 6);
+        assert_eq!(t.rsp_flits, 6);
+        assert_eq!(t.total_flits, 12);
+        // Table II reports 1536 bytes (128-byte FLIT convention).
+        assert_eq!(t.paper_bytes, 1536);
+    }
+
+    #[test]
+    fn table_two_hmc_row() {
+        let t = hmc_atomic_traffic(1, 1);
+        assert_eq!(t.total_flits, 2);
+        assert_eq!(t.paper_bytes, 256);
+    }
+
+    #[test]
+    fn table_two_ratio_is_six() {
+        let cache = CacheAtomicModel::new(CacheConfig::default())
+            .unwrap()
+            .atomic_rmw_traffic();
+        let hmc = hmc_atomic_traffic(1, 1);
+        assert_eq!(cache.paper_bytes / hmc.paper_bytes, 6);
+    }
+
+    #[test]
+    fn line_size_scales_traffic() {
+        let t128 = CacheAtomicModel::new(CacheConfig { line_bytes: 128, sharers: 1 })
+            .unwrap()
+            .atomic_rmw_traffic();
+        assert_eq!(t128.total_flits, (1 + 9) + (9 + 1));
+        let t16 = CacheAtomicModel::new(CacheConfig { line_bytes: 16, sharers: 1 })
+            .unwrap()
+            .atomic_rmw_traffic();
+        assert_eq!(t16.total_flits, (1 + 2) + (2 + 1));
+    }
+
+    #[test]
+    fn invalid_line_rejected() {
+        assert!(CacheAtomicModel::new(CacheConfig { line_bytes: 24, sharers: 1 }).is_err());
+        assert!(CacheAtomicModel::new(CacheConfig { line_bytes: 64, sharers: 0 }).is_err());
+    }
+
+    #[test]
+    fn single_core_burst_amortizes() {
+        let model = CacheAtomicModel::new(CacheConfig::default()).unwrap();
+        let burst = model.cached_burst_traffic(100);
+        assert_eq!(
+            burst.total_flits,
+            model.atomic_rmw_traffic().total_flits,
+            "a private line costs one RMW regardless of burst length"
+        );
+        assert_eq!(model.cached_burst_traffic(0).total_flits, 0);
+    }
+
+    #[test]
+    fn sharing_destroys_amortization() {
+        let shared = CacheAtomicModel::new(CacheConfig { line_bytes: 64, sharers: 4 }).unwrap();
+        let t = shared.shared_burst_traffic(100);
+        assert_eq!(t.total_flits, 12 * 100);
+        assert_eq!(shared.coherence_messages(100), 2 * 100 * 3);
+        let private = CacheAtomicModel::new(CacheConfig::default()).unwrap();
+        assert_eq!(private.coherence_messages(100), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hmc-cmc
+//!
+//! The Custom Memory Cube (CMC) plugin framework of HMC-Sim 2.0
+//! (paper §IV), plus a suite of builtin operations including the
+//! paper's mutex trio (§V, Table V).
+//!
+//! The Gen2 command space leaves **70 command codes unused**; HMC-Sim
+//! 2.0 maps each of them to a user-defined operation loaded at runtime
+//! from a shared library, resolved through three `dlsym`'d entry
+//! points: `cmc_register`, `cmc_execute` (symbol `hmcsim_execute_cmc`)
+//! and `cmc_str`. This crate reproduces that architecture with safe
+//! Rust plugins:
+//!
+//! * [`CmcOp`] — the three entry points as a trait
+//!   ([`CmcOp::register`], [`CmcOp::execute`], [`CmcOp::name`]).
+//! * [`CmcRegistry`] — the per-device `hmc_cmc_t` table over the 70
+//!   free command codes, with the same failure modes as the C
+//!   implementation (inactive command, busy slot, reserved code,
+//!   malformed registration).
+//! * [`library`] — a simulated dynamic loader: CMC "shared libraries"
+//!   are registered under path-like names in a process-global table
+//!   and opened by name, preserving `dlopen`/`dlsym` error behaviour
+//!   (`CmcLibraryNotFound`, `CmcSymbolMissing`) without unsafe ABI.
+//! * [`ops`] — builtin operation libraries: the mutex trio
+//!   (`libhmc_mutex.so`) and demonstration extras
+//!   (`libhmc_extras.so`).
+//!
+//! The simulator core (`hmc-sim`) depends only on the framework types;
+//! it has no knowledge of any concrete operation — the decoupling the
+//! paper's "Separable Implementation" requirement demands.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod library;
+pub mod op;
+pub mod ops;
+pub mod registry;
+
+pub use library::{open_library, register_library, registered_libraries, LibrarySpec};
+pub use op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+pub use registry::CmcRegistry;

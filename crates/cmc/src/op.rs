@@ -1,0 +1,312 @@
+//! The CMC operation contract: registration metadata, execution
+//! context and the plugin trait.
+//!
+//! These mirror the C artifacts of HMC-Sim 2.0: [`CmcRegistration`] is
+//! the set of required static globals of a CMC shared library (paper
+//! Table III), [`CmcContext`] is the argument list of
+//! `hmcsim_execute_cmc` (paper Table IV) and [`CmcOp`] bundles the
+//! three `dlsym`'d entry points.
+
+use hmc_mem::SparseMemory;
+use hmc_types::packet::payload_words;
+use hmc_types::{HmcError, HmcResponse, HmcRqst, MAX_PACKET_FLITS};
+
+/// The registration data a CMC operation publishes — the Rust
+/// equivalent of the required static globals of a CMC shared library
+/// (paper Table III) and the convenience members of `hmc_cmc_t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmcRegistration {
+    /// `op_name` — unique human-readable identifier used in traces.
+    pub op_name: String,
+    /// `rqst` — the enumerated command type; must be a CMC variant.
+    pub rqst: HmcRqst,
+    /// `cmd` — the raw command code; must match `rqst`.
+    pub cmd: u8,
+    /// `rqst_len` — total request packet length in FLITs (1..=17).
+    pub rqst_len: u8,
+    /// `rsp_len` — total response packet length in FLITs (0 for
+    /// posted operations, otherwise 1..=17).
+    pub rsp_len: u8,
+    /// `rsp_cmd` — the response packet type.
+    pub rsp_cmd: HmcResponse,
+    /// `rsp_cmd_code` — the raw response code when `rsp_cmd` is
+    /// [`HmcResponse::RspCmc`].
+    pub rsp_cmd_code: u8,
+}
+
+impl CmcRegistration {
+    /// Builds a registration for a CMC command with a standard
+    /// response type.
+    pub fn new(
+        op_name: impl Into<String>,
+        cmd: u8,
+        rqst_len: u8,
+        rsp_len: u8,
+        rsp_cmd: HmcResponse,
+    ) -> Self {
+        let rsp_cmd_code = match rsp_cmd {
+            HmcResponse::RspCmc(code) => code,
+            other => other.code(),
+        };
+        CmcRegistration {
+            op_name: op_name.into(),
+            rqst: HmcRqst::Cmc(cmd),
+            cmd,
+            rqst_len,
+            rsp_len,
+            rsp_cmd,
+            rsp_cmd_code,
+        }
+    }
+
+    /// Validates the registration exactly as HMC-Sim's
+    /// `hmc_load_cmc` does before accepting an operation.
+    pub fn validate(&self) -> Result<(), HmcError> {
+        match self.rqst {
+            HmcRqst::Cmc(code) if code == self.cmd => {}
+            HmcRqst::Cmc(code) => {
+                return Err(HmcError::CmcBadRegistration(format!(
+                    "rqst enum CMC{code} does not match cmd field {}",
+                    self.cmd
+                )));
+            }
+            other => {
+                return Err(HmcError::CmcBadRegistration(format!(
+                    "rqst must be a CMC command, got {other}"
+                )));
+            }
+        }
+        if !HmcRqst::cmc_codes().any(|c| c == self.cmd) {
+            return Err(HmcError::CmcCodeReserved(self.cmd));
+        }
+        if self.rqst_len == 0 || self.rqst_len as usize > MAX_PACKET_FLITS {
+            return Err(HmcError::CmcBadRegistration(format!(
+                "rqst_len {} outside 1..=17 FLITs",
+                self.rqst_len
+            )));
+        }
+        if self.rsp_len as usize > MAX_PACKET_FLITS {
+            return Err(HmcError::CmcBadRegistration(format!(
+                "rsp_len {} exceeds 17 FLITs",
+                self.rsp_len
+            )));
+        }
+        if self.rsp_len == 0 && self.rsp_cmd != HmcResponse::RspNone {
+            return Err(HmcError::CmcBadRegistration(
+                "posted operation (rsp_len 0) must use RSP_NONE".into(),
+            ));
+        }
+        if self.rsp_len > 0 && self.rsp_cmd == HmcResponse::RspNone {
+            return Err(HmcError::CmcBadRegistration(
+                "non-posted operation must declare a response command".into(),
+            ));
+        }
+        if self.op_name.is_empty() {
+            return Err(HmcError::CmcBadRegistration("empty op_name".into()));
+        }
+        Ok(())
+    }
+
+    /// True when the operation is posted (generates no response).
+    #[inline]
+    pub fn is_posted(&self) -> bool {
+        self.rsp_len == 0
+    }
+
+    /// Number of request payload words the packet carries.
+    #[inline]
+    pub fn rqst_payload_words(&self) -> usize {
+        payload_words(self.rqst_len)
+    }
+
+    /// Number of response payload words the packet carries.
+    #[inline]
+    pub fn rsp_payload_words(&self) -> usize {
+        if self.rsp_len == 0 {
+            0
+        } else {
+            payload_words(self.rsp_len)
+        }
+    }
+}
+
+/// The execution context handed to a CMC operation — the Rust
+/// equivalent of the `hmcsim_execute_cmc` argument list (paper
+/// Table IV). Instead of the raw `void *hmc` context pointer, the
+/// operation receives a mutable view of the target vault's backing
+/// store, which is what the C implementations cast the pointer for.
+#[derive(Debug)]
+pub struct CmcContext<'a> {
+    /// The device where the operation is executing.
+    pub dev: u32,
+    /// The quad within the device.
+    pub quad: u32,
+    /// The vault within the quad.
+    pub vault: u32,
+    /// The bank within the vault.
+    pub bank: u32,
+    /// The target base address of the incoming request.
+    pub addr: u64,
+    /// The length of the incoming request in FLITs.
+    pub length: u32,
+    /// The raw packet header.
+    pub head: u64,
+    /// The raw packet tail.
+    pub tail: u64,
+    /// The device cycle at which the operation executes (enables
+    /// time-based operations such as leased "soft" locks).
+    pub cycle: u64,
+    /// The raw request payload words.
+    pub rqst_payload: &'a [u64],
+    /// The raw response payload buffer, pre-sized to the registered
+    /// `rsp_len` (the implementor must stay within it, paper §IV-D's
+    /// buffer-overflow caution made structural).
+    pub rsp_payload: &'a mut [u64],
+    /// The device memory (the `hmc_sim_t` internals the C code
+    /// reaches through the context pointer).
+    pub mem: &'a mut SparseMemory,
+}
+
+impl CmcContext<'_> {
+    /// Decodes the raw packet header (the C implementations do this
+    /// by hand when they need header fields beyond the convenience
+    /// arguments).
+    pub fn decoded_head(&self) -> Result<hmc_types::ReqHead, HmcError> {
+        hmc_types::ReqHead::decode(self.head)
+    }
+
+    /// The request tag, decoded from the raw header.
+    pub fn tag(&self) -> Result<u16, HmcError> {
+        Ok(self.decoded_head()?.tag.value())
+    }
+
+    /// The source link id, decoded from the raw tail.
+    pub fn slid(&self) -> Result<u8, HmcError> {
+        Ok(hmc_types::ReqTail::decode(self.tail)?.slid.value())
+    }
+}
+
+/// The outcome of a CMC execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CmcResult {
+    /// Atomic-flag bit to set in the response header.
+    pub af: bool,
+}
+
+/// A Custom Memory Cube operation: the three entry points HMC-Sim
+/// resolves from a CMC shared library.
+///
+/// * [`CmcOp::register`] ⇔ `cmc_register`
+/// * [`CmcOp::execute`] ⇔ `cmc_execute` (symbol `hmcsim_execute_cmc`)
+/// * [`CmcOp::name`] ⇔ `cmc_str`
+pub trait CmcOp: Send + Sync {
+    /// Publishes the operation's registration data; called once at
+    /// load time.
+    fn register(&self) -> CmcRegistration;
+
+    /// Executes the operation against the device state. Errors abort
+    /// the request and surface as an ERROR response.
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError>;
+
+    /// The human-readable operation name resolved for trace logs.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(cmd: u8, rqst_len: u8, rsp_len: u8, rsp: HmcResponse) -> CmcRegistration {
+        CmcRegistration::new("test_op", cmd, rqst_len, rsp_len, rsp)
+    }
+
+    #[test]
+    fn valid_registration() {
+        assert!(reg(125, 2, 2, HmcResponse::WrRs).validate().is_ok());
+        assert!(reg(4, 1, 1, HmcResponse::RspCmc(0x70)).validate().is_ok());
+    }
+
+    #[test]
+    fn posted_registration() {
+        assert!(reg(5, 2, 0, HmcResponse::RspNone).validate().is_ok());
+        assert!(reg(5, 2, 0, HmcResponse::WrRs).validate().is_err());
+        assert!(reg(5, 2, 1, HmcResponse::RspNone).validate().is_err());
+    }
+
+    #[test]
+    fn reserved_code_rejected() {
+        // 0x50 is INC8 — not a free CMC slot.
+        let r = reg(0x50, 2, 2, HmcResponse::WrRs);
+        assert!(matches!(r.validate(), Err(HmcError::CmcCodeReserved(0x50))));
+    }
+
+    #[test]
+    fn enum_code_mismatch_rejected() {
+        let mut r = reg(125, 2, 2, HmcResponse::WrRs);
+        r.rqst = HmcRqst::Cmc(126);
+        assert!(r.validate().is_err());
+        r.rqst = HmcRqst::Inc8;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn length_bounds() {
+        assert!(reg(125, 0, 2, HmcResponse::WrRs).validate().is_err());
+        assert!(reg(125, 18, 2, HmcResponse::WrRs).validate().is_err());
+        assert!(reg(125, 17, 17, HmcResponse::RdRs).validate().is_ok());
+        assert!(reg(125, 2, 18, HmcResponse::RdRs).validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        assert!(reg(125, 2, 2, HmcResponse::WrRs).validate().is_ok());
+        let r = CmcRegistration::new("", 125, 2, 2, HmcResponse::WrRs);
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn payload_word_math() {
+        let r = reg(125, 2, 2, HmcResponse::WrRs);
+        assert_eq!(r.rqst_payload_words(), 2);
+        assert_eq!(r.rsp_payload_words(), 2);
+        let p = reg(5, 1, 0, HmcResponse::RspNone);
+        assert_eq!(p.rqst_payload_words(), 0);
+        assert_eq!(p.rsp_payload_words(), 0);
+        assert!(p.is_posted());
+    }
+
+    #[test]
+    fn context_header_helpers_decode_raw_fields() {
+        use hmc_types::{Cub, ReqHead, ReqTail, Slid, Tag};
+        let head = ReqHead::new_cmc(125, 2, Tag::new(77).unwrap(), 0x4000, Cub::new(0).unwrap());
+        let tail = ReqTail { slid: Slid::new(3).unwrap(), ..ReqTail::default() };
+        let mut mem = hmc_mem::SparseMemory::new(1 << 16);
+        let rqst = [1u64, 0];
+        let mut rsp = [0u64; 2];
+        let ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x4000,
+            length: 2,
+            head: head.encode(),
+            tail: tail.encode(),
+            cycle: 9,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem: &mut mem,
+        };
+        assert_eq!(ctx.tag().unwrap(), 77);
+        assert_eq!(ctx.slid().unwrap(), 3);
+        assert_eq!(ctx.decoded_head().unwrap().addr, 0x4000);
+    }
+
+    #[test]
+    fn rsp_cmd_code_defaults_from_response() {
+        let r = reg(125, 2, 2, HmcResponse::WrRs);
+        assert_eq!(r.rsp_cmd_code, HmcResponse::WrRs.code());
+        let c = reg(125, 2, 2, HmcResponse::RspCmc(0x71));
+        assert_eq!(c.rsp_cmd_code, 0x71);
+    }
+}

@@ -1,0 +1,323 @@
+//! Demonstration CMC operations beyond the paper's mutex suite.
+//!
+//! These exercise the parts of the framework surface the mutex trio
+//! does not: single-FLIT requests with no payload, custom (`RSP_CMC`)
+//! response command codes, posted CMC operations, and multi-word
+//! in-memory data structures (a Bloom filter block).
+//!
+//! | op | code | rqst | rsp | semantics |
+//! |----|------|------|-----|-----------|
+//! | `hmc_popcnt8`   | CMC4 | 1 FLIT  | RSP_CMC(0x70), 2 | population count of the 8 bytes at `addr` |
+//! | `hmc_fmax8`     | CMC5 | 2 FLITs | RD_RS, 2 | signed fetch-max of an 8-byte value |
+//! | `hmc_fmin8`     | CMC6 | 2 FLITs | RD_RS, 2 | signed fetch-min of an 8-byte value |
+//! | `hmc_bloom_ins` | CMC7 | 2 FLITs | RD_RS, 2 | insert a key into a 128-bit Bloom block |
+//! | `hmc_pfill16`   | CMC20 | 2 FLITs | posted  | fill a 16-byte block with a pattern |
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::{HmcError, HmcResponse};
+
+/// Command code of [`Popcount8`].
+pub const POPCNT8_CMD: u8 = 4;
+/// Command code of [`FetchMax8`].
+pub const FMAX8_CMD: u8 = 5;
+/// Command code of [`FetchMin8`].
+pub const FMIN8_CMD: u8 = 6;
+/// Command code of [`BloomInsert`].
+pub const BLOOM_INS_CMD: u8 = 7;
+/// Command code of [`PostedFill16`].
+pub const PFILL16_CMD: u8 = 20;
+
+/// Custom response command code published by [`Popcount8`].
+pub const POPCNT8_RSP_CODE: u8 = 0x70;
+
+fn operand(ctx: &CmcContext<'_>) -> Result<u64, HmcError> {
+    ctx.rqst_payload
+        .first()
+        .copied()
+        .ok_or_else(|| HmcError::MalformedPacket("CMC request missing operand".into()))
+}
+
+/// `hmc_popcnt8` — counts the set bits of the 8-byte value at `addr`.
+///
+/// A single-FLIT request (no payload) with a *custom* response command
+/// code, demonstrating `RSP_CMC` (paper §IV-C1).
+pub struct Popcount8;
+
+impl CmcOp for Popcount8 {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_popcnt8",
+            POPCNT8_CMD,
+            1,
+            2,
+            HmcResponse::RspCmc(POPCNT8_RSP_CODE),
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let value = ctx.mem.read_u64(ctx.addr)?;
+        ctx.rsp_payload[0] = value.count_ones() as u64;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult::default())
+    }
+
+    fn name(&self) -> &str {
+        "hmc_popcnt8"
+    }
+}
+
+/// `hmc_fmax8` — signed fetch-and-max: `mem = max(mem, operand)`,
+/// returning the original value. AF is set when memory was updated.
+pub struct FetchMax8;
+
+impl CmcOp for FetchMax8 {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_fmax8", FMAX8_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let candidate = operand(ctx)?;
+        let old = ctx.mem.read_u64(ctx.addr)?;
+        let updated = (candidate as i64) > (old as i64);
+        if updated {
+            ctx.mem.write_u64(ctx.addr, candidate)?;
+        }
+        ctx.rsp_payload[0] = old;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: updated })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_fmax8"
+    }
+}
+
+/// `hmc_fmin8` — signed fetch-and-min: `mem = min(mem, operand)`,
+/// returning the original value. AF is set when memory was updated.
+pub struct FetchMin8;
+
+impl CmcOp for FetchMin8 {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_fmin8", FMIN8_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let candidate = operand(ctx)?;
+        let old = ctx.mem.read_u64(ctx.addr)?;
+        let updated = (candidate as i64) < (old as i64);
+        if updated {
+            ctx.mem.write_u64(ctx.addr, candidate)?;
+        }
+        ctx.rsp_payload[0] = old;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: updated })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_fmin8"
+    }
+}
+
+/// Number of hash probes [`BloomInsert`] sets per key.
+pub const BLOOM_HASHES: u32 = 3;
+
+/// The three bit positions a key maps to in a 128-bit Bloom block.
+pub fn bloom_bits(key: u64) -> [u32; BLOOM_HASHES as usize] {
+    // Three independent multiplicative hashes into 0..128.
+    let h1 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h2 = key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ (key >> 32);
+    let h3 = key.wrapping_mul(0x1656_67B1_9E37_79F9).rotate_left(31);
+    [(h1 >> 57) as u32, (h2 >> 57) as u32, (h3 >> 57) as u32]
+}
+
+/// `hmc_bloom_ins` — inserts a key into the 128-bit Bloom-filter
+/// block at `addr`, setting [`BLOOM_HASHES`] bits in one in-situ
+/// read-modify-write. The response returns the pre-insert block and
+/// AF reports whether the key was (probabilistically) already
+/// present, letting hosts build memory-side duplicate filters without
+/// a read-test-write round trip.
+pub struct BloomInsert;
+
+impl CmcOp for BloomInsert {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_bloom_ins", BLOOM_INS_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        if !ctx.addr.is_multiple_of(16) {
+            return Err(HmcError::UnalignedAddress { addr: ctx.addr, align: 16 });
+        }
+        let key = operand(ctx)?;
+        let old = ctx.mem.read_u128(ctx.addr)?;
+        let mut new = old;
+        let mut present = true;
+        for bit in bloom_bits(key) {
+            let mask = 1u128 << bit;
+            present &= old & mask != 0;
+            new |= mask;
+        }
+        ctx.mem.write_u128(ctx.addr, new)?;
+        ctx.rsp_payload[0] = old as u64;
+        ctx.rsp_payload[1] = (old >> 64) as u64;
+        Ok(CmcResult { af: present })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_bloom_ins"
+    }
+}
+
+/// `hmc_pfill16` — a *posted* CMC: fills the 16-byte block at `addr`
+/// with the operand pattern in both words and generates no response,
+/// demonstrating `rsp_len = 0` registrations.
+pub struct PostedFill16;
+
+impl CmcOp for PostedFill16 {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_pfill16", PFILL16_CMD, 2, 0, HmcResponse::RspNone)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        if !ctx.addr.is_multiple_of(16) {
+            return Err(HmcError::UnalignedAddress { addr: ctx.addr, align: 16 });
+        }
+        let pattern = operand(ctx)?;
+        ctx.mem.write_u64(ctx.addr, pattern)?;
+        ctx.mem.write_u64(ctx.addr + 8, pattern)?;
+        Ok(CmcResult::default())
+    }
+
+    fn name(&self) -> &str {
+        "hmc_pfill16"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mem::SparseMemory;
+
+    fn exec_with(
+        op: &dyn CmcOp,
+        mem: &mut SparseMemory,
+        addr: u64,
+        payload: &[u64],
+    ) -> Result<(Vec<u64>, CmcResult), HmcError> {
+        let reg = op.register();
+        let mut rsp = vec![0u64; reg.rsp_payload_words()];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr,
+            length: reg.rqst_len as u32,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: payload,
+            rsp_payload: &mut rsp,
+            mem,
+        };
+        let result = op.execute(&mut ctx)?;
+        Ok((rsp, result))
+    }
+
+    #[test]
+    fn popcount_counts_bits() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x40, 0x0F0F).unwrap();
+        let (rsp, _) = exec_with(&Popcount8, &mut mem, 0x40, &[]).unwrap();
+        assert_eq!(rsp[0], 8);
+    }
+
+    #[test]
+    fn popcount_uses_custom_response_code() {
+        let reg = Popcount8.register();
+        assert_eq!(reg.rsp_cmd, HmcResponse::RspCmc(POPCNT8_RSP_CODE));
+        assert_eq!(reg.rsp_cmd_code, POPCNT8_RSP_CODE);
+        reg.validate().unwrap();
+    }
+
+    #[test]
+    fn fetch_max_semantics() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x40, 10).unwrap();
+        let (rsp, r) = exec_with(&FetchMax8, &mut mem, 0x40, &[25]).unwrap();
+        assert_eq!(rsp[0], 10);
+        assert!(r.af);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 25);
+        let (_, r) = exec_with(&FetchMax8, &mut mem, 0x40, &[5]).unwrap();
+        assert!(!r.af);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 25);
+    }
+
+    #[test]
+    fn fetch_max_is_signed() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x40, (-10i64) as u64).unwrap();
+        let (_, r) = exec_with(&FetchMax8, &mut mem, 0x40, &[3]).unwrap();
+        assert!(r.af, "3 > -10 in signed comparison");
+        assert_eq!(mem.read_u64(0x40).unwrap(), 3);
+    }
+
+    #[test]
+    fn fetch_min_semantics() {
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x40, 10).unwrap();
+        let (rsp, r) = exec_with(&FetchMin8, &mut mem, 0x40, &[(-4i64) as u64]).unwrap();
+        assert_eq!(rsp[0], 10);
+        assert!(r.af);
+        assert_eq!(mem.read_u64(0x40).unwrap() as i64, -4);
+    }
+
+    #[test]
+    fn bloom_insert_sets_bits_and_detects_duplicates() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (_, first) = exec_with(&BloomInsert, &mut mem, 0x40, &[42]).unwrap();
+        assert!(!first.af, "fresh key not present");
+        let block = mem.read_u128(0x40).unwrap();
+        for bit in bloom_bits(42) {
+            assert!(block & (1u128 << bit) != 0, "bit {bit} set");
+        }
+        let (_, second) = exec_with(&BloomInsert, &mut mem, 0x40, &[42]).unwrap();
+        assert!(second.af, "re-inserted key present");
+    }
+
+    #[test]
+    fn bloom_bits_in_range_and_spread() {
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            for bit in bloom_bits(key) {
+                assert!(bit < 128);
+            }
+        }
+        assert_ne!(bloom_bits(1), bloom_bits(2));
+    }
+
+    #[test]
+    fn posted_fill_writes_and_has_no_response() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (rsp, _) = exec_with(&PostedFill16, &mut mem, 0x40, &[0xAB, 0]).unwrap();
+        assert!(rsp.is_empty());
+        assert_eq!(mem.read_u64(0x40).unwrap(), 0xAB);
+        assert_eq!(mem.read_u64(0x48).unwrap(), 0xAB);
+        assert!(PostedFill16.register().is_posted());
+    }
+
+    #[test]
+    fn all_extras_have_valid_registrations_on_distinct_codes() {
+        let ops: Vec<Box<dyn CmcOp>> = vec![
+            Box::new(Popcount8),
+            Box::new(FetchMax8),
+            Box::new(FetchMin8),
+            Box::new(BloomInsert),
+            Box::new(PostedFill16),
+        ];
+        let mut codes = std::collections::HashSet::new();
+        for op in &ops {
+            let reg = op.register();
+            reg.validate().unwrap();
+            assert!(codes.insert(reg.cmd), "duplicate code {}", reg.cmd);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Builtin CMC operation libraries.
+//!
+//! * [`mutex`] — the paper's case study (§V): `hmc_lock`,
+//!   `hmc_trylock`, `hmc_unlock` on a 16-byte lock structure.
+//! * [`rwlock`] — a reader-writer lock using the "more expressive
+//!   locks" encoding space §V-A reserves.
+//! * [`ticket`] — a fair (FIFO) ticket lock.
+//! * [`softlock`] — a leased "soft" lock (§V-A's reserved concept).
+//! * [`extras`] — demonstration operations exercising the rest of the
+//!   framework surface (custom response codes, posted CMCs,
+//!   request-payload-free CMCs).
+//!
+//! Call [`register_builtin_libraries`] once to make them loadable by
+//! name, then `HmcSim::load_cmc_library(dev, "libhmc_mutex.so")`.
+
+pub mod extras;
+pub mod mutex;
+pub mod rwlock;
+pub mod softlock;
+pub mod ticket;
+
+use crate::library::{register_library, LibrarySpec};
+
+/// Path-like name of the mutex suite library.
+pub const MUTEX_LIBRARY: &str = "libhmc_mutex.so";
+
+/// Path-like name of the reader-writer lock library.
+pub const RWLOCK_LIBRARY: &str = "libhmc_rwlock.so";
+
+/// Path-like name of the ticket lock library.
+pub const TICKET_LIBRARY: &str = "libhmc_ticket.so";
+
+/// Path-like name of the soft-lock library.
+pub const SOFTLOCK_LIBRARY: &str = "libhmc_softlock.so";
+
+/// Path-like name of the extras library.
+pub const EXTRAS_LIBRARY: &str = "libhmc_extras.so";
+
+/// Installs the builtin libraries in the simulated dynamic-loader
+/// table. Idempotent.
+pub fn register_builtin_libraries() {
+    register_library(
+        MUTEX_LIBRARY,
+        LibrarySpec::new(|| {
+            vec![
+                Box::new(mutex::HmcLock),
+                Box::new(mutex::HmcTrylock),
+                Box::new(mutex::HmcUnlock),
+            ]
+        }),
+    );
+    register_library(
+        RWLOCK_LIBRARY,
+        LibrarySpec::new(|| {
+            vec![
+                Box::new(rwlock::RdLock),
+                Box::new(rwlock::RdUnlock),
+                Box::new(rwlock::WrLock),
+                Box::new(rwlock::WrUnlock),
+            ]
+        }),
+    );
+    register_library(
+        TICKET_LIBRARY,
+        LibrarySpec::new(|| {
+            vec![
+                Box::new(ticket::TicketTake),
+                Box::new(ticket::TicketPoll),
+                Box::new(ticket::TicketRelease),
+            ]
+        }),
+    );
+    register_library(
+        SOFTLOCK_LIBRARY,
+        LibrarySpec::new(|| {
+            vec![
+                Box::new(softlock::SoftLockAcquire),
+                Box::new(softlock::SoftLockRenew),
+                Box::new(softlock::SoftLockRelease),
+            ]
+        }),
+    );
+    register_library(
+        EXTRAS_LIBRARY,
+        LibrarySpec::new(|| {
+            vec![
+                Box::new(extras::Popcount8),
+                Box::new(extras::FetchMax8),
+                Box::new(extras::FetchMin8),
+                Box::new(extras::BloomInsert),
+                Box::new(extras::PostedFill16),
+            ]
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::open_library;
+
+    #[test]
+    fn builtin_libraries_open_by_name() {
+        register_builtin_libraries();
+        assert_eq!(open_library(MUTEX_LIBRARY).unwrap().len(), 3);
+        assert_eq!(open_library(RWLOCK_LIBRARY).unwrap().len(), 4);
+        assert_eq!(open_library(TICKET_LIBRARY).unwrap().len(), 3);
+        assert_eq!(open_library(SOFTLOCK_LIBRARY).unwrap().len(), 3);
+        assert_eq!(open_library(EXTRAS_LIBRARY).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn all_builtin_ops_use_distinct_free_codes() {
+        register_builtin_libraries();
+        let mut codes = std::collections::HashSet::new();
+        for lib in [
+            MUTEX_LIBRARY,
+            RWLOCK_LIBRARY,
+            TICKET_LIBRARY,
+            SOFTLOCK_LIBRARY,
+            EXTRAS_LIBRARY,
+        ] {
+            for op in open_library(lib).unwrap() {
+                let reg = op.register();
+                reg.validate().unwrap();
+                assert!(codes.insert(reg.cmd), "duplicate code {} in {lib}", reg.cmd);
+            }
+        }
+        assert_eq!(codes.len(), 18);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        register_builtin_libraries();
+        register_builtin_libraries();
+        assert_eq!(open_library(MUTEX_LIBRARY).unwrap().len(), 3);
+    }
+}

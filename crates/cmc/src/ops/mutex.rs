@@ -1,0 +1,305 @@
+//! The CMC mutex suite (paper §V, Table V).
+//!
+//! Three operations modeled after `pthread_mutex_lock`,
+//! `pthread_mutex_trylock` and `pthread_mutex_unlock`, executing
+//! entirely in the cube's logic layer so no kernel context switch is
+//! required.
+//!
+//! The lock lives in one 16-byte (one-FLIT) block (paper Figure 4):
+//!
+//! ```text
+//! | 127 .. 64 : thread/task id | 63 .. 0 : lock value |
+//! ```
+//!
+//! stored little-endian: the lock word at `addr`, the owner id at
+//! `addr + 8`. Any nonzero lock value means the lock is held; when the
+//! lock word is clear the owner field is undefined.
+//!
+//! | op          | enum   | code | rqst | rsp        | semantics |
+//! |-------------|--------|------|------|------------|-----------|
+//! | `hmc_lock`    | CMC125 | 125 | 2 FLITs | WR_RS, 2 | acquire if free; returns 1 on success, else 0 |
+//! | `hmc_trylock` | CMC126 | 126 | 2 FLITs | RD_RS, 2 | acquire if free; returns the owner id |
+//! | `hmc_unlock`  | CMC127 | 127 | 2 FLITs | WR_RS, 2 | release if owned by the caller; returns 1/0 |
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::{HmcError, HmcResponse};
+
+/// Command code of `hmc_lock` (Table V).
+pub const LOCK_CMD: u8 = 125;
+/// Command code of `hmc_trylock` (Table V).
+pub const TRYLOCK_CMD: u8 = 126;
+/// Command code of `hmc_unlock` (Table V).
+pub const UNLOCK_CMD: u8 = 127;
+
+/// Request packet length shared by the three operations (2 FLITs: the
+/// header/tail FLIT plus one data FLIT carrying the caller's id).
+pub const MUTEX_RQST_FLITS: u8 = 2;
+/// Response packet length shared by the three operations.
+pub const MUTEX_RSP_FLITS: u8 = 2;
+
+fn require_alignment(addr: u64) -> Result<(), HmcError> {
+    if !addr.is_multiple_of(16) {
+        return Err(HmcError::UnalignedAddress { addr, align: 16 });
+    }
+    Ok(())
+}
+
+fn caller_tid(ctx: &CmcContext<'_>) -> Result<u64, HmcError> {
+    ctx.rqst_payload
+        .first()
+        .copied()
+        .ok_or_else(|| HmcError::MalformedPacket("mutex request missing TID payload".into()))
+}
+
+/// `hmc_lock` — CMC125.
+///
+/// `IF (ADDR[63:0] == 0) { ADDR[127:64] = TID; ADDR[63:0] = 1; RET 1 }
+/// ELSE { RET 0 }` (Table V). The response's first payload word is the
+/// success flag; AF mirrors it.
+pub struct HmcLock;
+
+impl CmcOp for HmcLock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_lock",
+            LOCK_CMD,
+            MUTEX_RQST_FLITS,
+            MUTEX_RSP_FLITS,
+            HmcResponse::WrRs,
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        require_alignment(ctx.addr)?;
+        let tid = caller_tid(ctx)?;
+        let lock = ctx.mem.read_u64(ctx.addr)?;
+        let acquired = lock == 0;
+        if acquired {
+            ctx.mem.write_u64(ctx.addr + 8, tid)?;
+            ctx.mem.write_u64(ctx.addr, 1)?;
+        }
+        ctx.rsp_payload[0] = acquired as u64;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: acquired })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_lock"
+    }
+}
+
+/// `hmc_trylock` — CMC126.
+///
+/// Attempts the same acquisition as `hmc_lock`, but the response
+/// payload carries the thread id that holds the lock *after* the
+/// attempt; the encountering thread compares it against its own id to
+/// learn whether it now owns the lock (paper §V-A).
+pub struct HmcTrylock;
+
+impl CmcOp for HmcTrylock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_trylock",
+            TRYLOCK_CMD,
+            MUTEX_RQST_FLITS,
+            MUTEX_RSP_FLITS,
+            HmcResponse::RdRs,
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        require_alignment(ctx.addr)?;
+        let tid = caller_tid(ctx)?;
+        let lock = ctx.mem.read_u64(ctx.addr)?;
+        let acquired = lock == 0;
+        if acquired {
+            ctx.mem.write_u64(ctx.addr + 8, tid)?;
+            ctx.mem.write_u64(ctx.addr, 1)?;
+        }
+        let owner = ctx.mem.read_u64(ctx.addr + 8)?;
+        ctx.rsp_payload[0] = owner;
+        ctx.rsp_payload[1] = ctx.mem.read_u64(ctx.addr)?;
+        Ok(CmcResult { af: acquired })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_trylock"
+    }
+}
+
+/// `hmc_unlock` — CMC127.
+///
+/// `IF (ADDR[127:64] == TID && ADDR[63:0] == 1) { ADDR[63:0] = 0;
+/// RET 1 } ELSE { RET 0 }` (Table V).
+pub struct HmcUnlock;
+
+impl CmcOp for HmcUnlock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_unlock",
+            UNLOCK_CMD,
+            MUTEX_RQST_FLITS,
+            MUTEX_RSP_FLITS,
+            HmcResponse::WrRs,
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        require_alignment(ctx.addr)?;
+        let tid = caller_tid(ctx)?;
+        let lock = ctx.mem.read_u64(ctx.addr)?;
+        let owner = ctx.mem.read_u64(ctx.addr + 8)?;
+        let released = lock == 1 && owner == tid;
+        if released {
+            ctx.mem.write_u64(ctx.addr, 0)?;
+        }
+        ctx.rsp_payload[0] = released as u64;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: released })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_unlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mem::SparseMemory;
+
+    fn exec(
+        op: &dyn CmcOp,
+        mem: &mut SparseMemory,
+        addr: u64,
+        tid: u64,
+    ) -> (Vec<u64>, CmcResult) {
+        let rqst = [tid, 0];
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr,
+            length: 2,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem,
+        };
+        let result = op.execute(&mut ctx).unwrap();
+        (rsp.to_vec(), result)
+    }
+
+    #[test]
+    fn registrations_match_table_v() {
+        for (op, cmd, rsp) in [
+            (&HmcLock as &dyn CmcOp, 125u8, HmcResponse::WrRs),
+            (&HmcTrylock, 126, HmcResponse::RdRs),
+            (&HmcUnlock, 127, HmcResponse::WrRs),
+        ] {
+            let reg = op.register();
+            reg.validate().unwrap();
+            assert_eq!(reg.cmd, cmd);
+            assert_eq!(reg.rqst_len, 2);
+            assert_eq!(reg.rsp_len, 2);
+            assert_eq!(reg.rsp_cmd, rsp);
+        }
+    }
+
+    #[test]
+    fn lock_acquires_when_free() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (rsp, r) = exec(&HmcLock, &mut mem, 0x40, 7);
+        assert_eq!(rsp[0], 1);
+        assert!(r.af);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 1);
+        assert_eq!(mem.read_u64(0x48).unwrap(), 7);
+    }
+
+    #[test]
+    fn lock_fails_when_held() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&HmcLock, &mut mem, 0x40, 7);
+        let (rsp, r) = exec(&HmcLock, &mut mem, 0x40, 9);
+        assert_eq!(rsp[0], 0);
+        assert!(!r.af);
+        assert_eq!(mem.read_u64(0x48).unwrap(), 7, "owner unchanged");
+    }
+
+    #[test]
+    fn trylock_returns_owner_id() {
+        let mut mem = SparseMemory::new(1 << 16);
+        // Free lock: caller acquires and sees itself as owner.
+        let (rsp, r) = exec(&HmcTrylock, &mut mem, 0x40, 11);
+        assert_eq!(rsp[0], 11);
+        assert!(r.af);
+        // Held lock: a different caller sees the current owner.
+        let (rsp, r) = exec(&HmcTrylock, &mut mem, 0x40, 22);
+        assert_eq!(rsp[0], 11);
+        assert!(!r.af);
+    }
+
+    #[test]
+    fn unlock_requires_matching_tid() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&HmcLock, &mut mem, 0x40, 7);
+        let (rsp, _) = exec(&HmcUnlock, &mut mem, 0x40, 9);
+        assert_eq!(rsp[0], 0, "wrong owner cannot unlock");
+        assert_eq!(mem.read_u64(0x40).unwrap(), 1);
+        let (rsp, _) = exec(&HmcUnlock, &mut mem, 0x40, 7);
+        assert_eq!(rsp[0], 1);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 0);
+    }
+
+    #[test]
+    fn unlock_of_free_lock_fails() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (rsp, r) = exec(&HmcUnlock, &mut mem, 0x40, 7);
+        assert_eq!(rsp[0], 0);
+        assert!(!r.af);
+    }
+
+    #[test]
+    fn lock_handoff_cycle() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&HmcLock, &mut mem, 0x40, 1);
+        exec(&HmcUnlock, &mut mem, 0x40, 1);
+        let (rsp, _) = exec(&HmcLock, &mut mem, 0x40, 2);
+        assert_eq!(rsp[0], 1, "lock reusable after unlock");
+        assert_eq!(mem.read_u64(0x48).unwrap(), 2);
+    }
+
+    #[test]
+    fn misaligned_lock_address_rejected() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let rqst = [1u64, 0];
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x44,
+            length: 2,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem: &mut mem,
+        };
+        assert!(HmcLock.execute(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn distinct_locks_are_independent() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&HmcLock, &mut mem, 0x40, 1);
+        let (rsp, _) = exec(&HmcLock, &mut mem, 0x50, 2);
+        assert_eq!(rsp[0], 1, "adjacent 16-byte block is a separate lock");
+    }
+}

@@ -1,0 +1,246 @@
+//! A CMC reader-writer lock suite.
+//!
+//! The paper reserves the lock word's encoding space for "more
+//! expressive locks" (§V-A); this library uses it: the 16-byte block
+//! holds a reader count / writer sentinel in bits 63:0 and the writer
+//! id in bits 127:64.
+//!
+//! ```text
+//! state == 0          : free
+//! state == u64::MAX   : write-locked (owner id in bits 127:64)
+//! 0 < state < u64::MAX: `state` concurrent readers
+//! ```
+//!
+//! | op | code | rqst | rsp | semantics |
+//! |----|------|------|-----|-----------|
+//! | `hmc_rdlock`   | CMC107 | 2 FLITs | WR_RS, 2 | acquire shared; returns 1/0 |
+//! | `hmc_rdunlock` | CMC108 | 2 FLITs | WR_RS, 2 | release shared; returns 1/0 |
+//! | `hmc_wrlock`   | CMC109 | 2 FLITs | WR_RS, 2 | acquire exclusive; returns 1/0 |
+//! | `hmc_wrunlock` | CMC110 | 2 FLITs | WR_RS, 2 | release exclusive (owner only) |
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::{HmcError, HmcResponse};
+
+/// Command code of [`RdLock`].
+pub const RDLOCK_CMD: u8 = 107;
+/// Command code of [`RdUnlock`].
+pub const RDUNLOCK_CMD: u8 = 108;
+/// Command code of [`WrLock`].
+pub const WRLOCK_CMD: u8 = 109;
+/// Command code of [`WrUnlock`].
+pub const WRUNLOCK_CMD: u8 = 110;
+
+/// The write-locked sentinel in the state word.
+pub const WRITE_LOCKED: u64 = u64::MAX;
+
+fn check(ctx: &CmcContext<'_>) -> Result<u64, HmcError> {
+    if !ctx.addr.is_multiple_of(16) {
+        return Err(HmcError::UnalignedAddress { addr: ctx.addr, align: 16 });
+    }
+    ctx.rqst_payload
+        .first()
+        .copied()
+        .ok_or_else(|| HmcError::MalformedPacket("rwlock request missing TID payload".into()))
+}
+
+fn reply(ctx: &mut CmcContext<'_>, ok: bool) -> CmcResult {
+    ctx.rsp_payload[0] = ok as u64;
+    ctx.rsp_payload[1] = 0;
+    CmcResult { af: ok }
+}
+
+/// `hmc_rdlock` — CMC107: acquire the lock shared. Succeeds unless a
+/// writer holds it (readers never starve writers out of *acquiring*
+/// here; fairness policies belong to the host).
+pub struct RdLock;
+
+impl CmcOp for RdLock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_rdlock", RDLOCK_CMD, 2, 2, HmcResponse::WrRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        check(ctx)?;
+        let state = ctx.mem.read_u64(ctx.addr)?;
+        let ok = state != WRITE_LOCKED && state != WRITE_LOCKED - 1;
+        if ok {
+            ctx.mem.write_u64(ctx.addr, state + 1)?;
+        }
+        Ok(reply(ctx, ok))
+    }
+
+    fn name(&self) -> &str {
+        "hmc_rdlock"
+    }
+}
+
+/// `hmc_rdunlock` — CMC108: release a shared hold.
+pub struct RdUnlock;
+
+impl CmcOp for RdUnlock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_rdunlock", RDUNLOCK_CMD, 2, 2, HmcResponse::WrRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        check(ctx)?;
+        let state = ctx.mem.read_u64(ctx.addr)?;
+        let ok = state > 0 && state != WRITE_LOCKED;
+        if ok {
+            ctx.mem.write_u64(ctx.addr, state - 1)?;
+        }
+        Ok(reply(ctx, ok))
+    }
+
+    fn name(&self) -> &str {
+        "hmc_rdunlock"
+    }
+}
+
+/// `hmc_wrlock` — CMC109: acquire the lock exclusive; records the
+/// caller's id as the owner.
+pub struct WrLock;
+
+impl CmcOp for WrLock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_wrlock", WRLOCK_CMD, 2, 2, HmcResponse::WrRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let tid = check(ctx)?;
+        let state = ctx.mem.read_u64(ctx.addr)?;
+        let ok = state == 0;
+        if ok {
+            ctx.mem.write_u64(ctx.addr + 8, tid)?;
+            ctx.mem.write_u64(ctx.addr, WRITE_LOCKED)?;
+        }
+        Ok(reply(ctx, ok))
+    }
+
+    fn name(&self) -> &str {
+        "hmc_wrlock"
+    }
+}
+
+/// `hmc_wrunlock` — CMC110: release the exclusive hold; only the
+/// recorded owner may release.
+pub struct WrUnlock;
+
+impl CmcOp for WrUnlock {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_wrunlock", WRUNLOCK_CMD, 2, 2, HmcResponse::WrRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let tid = check(ctx)?;
+        let state = ctx.mem.read_u64(ctx.addr)?;
+        let owner = ctx.mem.read_u64(ctx.addr + 8)?;
+        let ok = state == WRITE_LOCKED && owner == tid;
+        if ok {
+            ctx.mem.write_u64(ctx.addr, 0)?;
+        }
+        Ok(reply(ctx, ok))
+    }
+
+    fn name(&self) -> &str {
+        "hmc_wrunlock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mem::SparseMemory;
+
+    fn exec(op: &dyn CmcOp, mem: &mut SparseMemory, tid: u64) -> (u64, bool) {
+        let rqst = [tid, 0];
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x40,
+            length: 2,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem,
+        };
+        let r = op.execute(&mut ctx).unwrap();
+        (rsp[0], r.af)
+    }
+
+    #[test]
+    fn registrations_are_valid_and_distinct() {
+        let ops: [&dyn CmcOp; 4] = [&RdLock, &RdUnlock, &WrLock, &WrUnlock];
+        let mut codes = std::collections::HashSet::new();
+        for op in ops {
+            let reg = op.register();
+            reg.validate().unwrap();
+            assert!(codes.insert(reg.cmd));
+        }
+    }
+
+    #[test]
+    fn multiple_readers_share() {
+        let mut mem = SparseMemory::new(1 << 16);
+        assert_eq!(exec(&RdLock, &mut mem, 1).0, 1);
+        assert_eq!(exec(&RdLock, &mut mem, 2).0, 1);
+        assert_eq!(exec(&RdLock, &mut mem, 3).0, 1);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 3);
+        // A writer cannot enter while readers hold the lock.
+        assert_eq!(exec(&WrLock, &mut mem, 9).0, 0);
+    }
+
+    #[test]
+    fn writer_excludes_everyone() {
+        let mut mem = SparseMemory::new(1 << 16);
+        assert_eq!(exec(&WrLock, &mut mem, 7).0, 1);
+        assert_eq!(mem.read_u64(0x40).unwrap(), WRITE_LOCKED);
+        assert_eq!(mem.read_u64(0x48).unwrap(), 7);
+        assert_eq!(exec(&RdLock, &mut mem, 1).0, 0);
+        assert_eq!(exec(&WrLock, &mut mem, 8).0, 0);
+    }
+
+    #[test]
+    fn reader_release_cycle() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&RdLock, &mut mem, 1);
+        exec(&RdLock, &mut mem, 2);
+        assert_eq!(exec(&RdUnlock, &mut mem, 1).0, 1);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 1);
+        assert_eq!(exec(&RdUnlock, &mut mem, 2).0, 1);
+        // The lock is free again: a writer may enter.
+        assert_eq!(exec(&WrLock, &mut mem, 9).0, 1);
+    }
+
+    #[test]
+    fn rdunlock_of_free_or_writelocked_fails() {
+        let mut mem = SparseMemory::new(1 << 16);
+        assert_eq!(exec(&RdUnlock, &mut mem, 1).0, 0, "free lock");
+        exec(&WrLock, &mut mem, 7);
+        assert_eq!(exec(&RdUnlock, &mut mem, 1).0, 0, "write-locked");
+    }
+
+    #[test]
+    fn wrunlock_requires_ownership() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&WrLock, &mut mem, 7);
+        assert_eq!(exec(&WrUnlock, &mut mem, 8).0, 0, "non-owner");
+        assert_eq!(exec(&WrUnlock, &mut mem, 7).0, 1);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 0);
+        assert_eq!(exec(&WrUnlock, &mut mem, 7).0, 0, "already free");
+    }
+
+    #[test]
+    fn reader_count_saturation_guard() {
+        // One below the sentinel must not increment into WRITE_LOCKED.
+        let mut mem = SparseMemory::new(1 << 16);
+        mem.write_u64(0x40, WRITE_LOCKED - 1).unwrap();
+        assert_eq!(exec(&RdLock, &mut mem, 1).0, 0);
+        assert_eq!(mem.read_u64(0x40).unwrap(), WRITE_LOCKED - 1);
+    }
+}

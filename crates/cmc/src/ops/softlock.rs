@@ -1,0 +1,248 @@
+//! A CMC *soft lock* — the leased lock the paper explicitly reserves
+//! encoding space for ("We reserve the ability to encode more
+//! expressive locks (such as soft locks) in this space in the
+//! future", §V-A).
+//!
+//! The holder's claim expires after a lease: a crashed or descheduled
+//! owner cannot wedge the lock forever. The 16-byte block holds the
+//! lease-expiry cycle in bits 63:0 (0 = free) and the owner id in
+//! bits 127:64.
+//!
+//! | op | code | rqst | rsp | semantics |
+//! |----|------|------|-----|-----------|
+//! | `hmc_softlock_acquire` | CMC120 | 2 FLITs | RD_RS, 2 | acquire when free **or expired**; payload `[tid, lease_cycles]`; returns `[owner, expiry]` |
+//! | `hmc_softlock_renew`   | CMC121 | 2 FLITs | RD_RS, 2 | extend the holder's lease; returns `[owner, expiry]` |
+//! | `hmc_softlock_release` | CMC122 | 2 FLITs | WR_RS, 2 | release when owned by the caller (an expired claim releases trivially) |
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::{HmcError, HmcResponse};
+
+/// Command code of [`SoftLockAcquire`].
+pub const SOFTLOCK_ACQUIRE_CMD: u8 = 120;
+/// Command code of [`SoftLockRenew`].
+pub const SOFTLOCK_RENEW_CMD: u8 = 121;
+/// Command code of [`SoftLockRelease`].
+pub const SOFTLOCK_RELEASE_CMD: u8 = 122;
+
+fn args(ctx: &CmcContext<'_>) -> Result<(u64, u64), HmcError> {
+    if !ctx.addr.is_multiple_of(16) {
+        return Err(HmcError::UnalignedAddress { addr: ctx.addr, align: 16 });
+    }
+    match ctx.rqst_payload {
+        [a, b, ..] => Ok((*a, *b)),
+        _ => Err(HmcError::MalformedPacket("softlock request missing payload".into())),
+    }
+}
+
+fn state(ctx: &CmcContext<'_>) -> Result<(u64, u64), HmcError> {
+    Ok((ctx.mem.read_u64(ctx.addr)?, ctx.mem.read_u64(ctx.addr + 8)?))
+}
+
+fn respond(ctx: &mut CmcContext<'_>, ok: bool) -> Result<CmcResult, HmcError> {
+    let (expiry, owner) = state(ctx)?;
+    ctx.rsp_payload[0] = owner;
+    ctx.rsp_payload[1] = expiry;
+    Ok(CmcResult { af: ok })
+}
+
+/// True when the lock word represents a live claim at `cycle`.
+fn held(expiry: u64, cycle: u64) -> bool {
+    expiry != 0 && expiry > cycle
+}
+
+/// `hmc_softlock_acquire` — CMC120.
+pub struct SoftLockAcquire;
+
+impl CmcOp for SoftLockAcquire {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_softlock_acquire", SOFTLOCK_ACQUIRE_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let (tid, lease) = args(ctx)?;
+        if lease == 0 {
+            return Err(HmcError::MalformedPacket("zero-length lease".into()));
+        }
+        let (expiry, _) = state(ctx)?;
+        let acquired = !held(expiry, ctx.cycle);
+        if acquired {
+            ctx.mem.write_u64(ctx.addr + 8, tid)?;
+            ctx.mem.write_u64(ctx.addr, ctx.cycle + lease)?;
+        }
+        respond(ctx, acquired)
+    }
+
+    fn name(&self) -> &str {
+        "hmc_softlock_acquire"
+    }
+}
+
+/// `hmc_softlock_renew` — CMC121: the live holder extends its lease
+/// by `lease` cycles from *now*.
+pub struct SoftLockRenew;
+
+impl CmcOp for SoftLockRenew {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_softlock_renew", SOFTLOCK_RENEW_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let (tid, lease) = args(ctx)?;
+        let (expiry, owner) = state(ctx)?;
+        let renewed = held(expiry, ctx.cycle) && owner == tid && lease > 0;
+        if renewed {
+            ctx.mem.write_u64(ctx.addr, ctx.cycle + lease)?;
+        }
+        respond(ctx, renewed)
+    }
+
+    fn name(&self) -> &str {
+        "hmc_softlock_renew"
+    }
+}
+
+/// `hmc_softlock_release` — CMC122.
+pub struct SoftLockRelease;
+
+impl CmcOp for SoftLockRelease {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_softlock_release",
+            SOFTLOCK_RELEASE_CMD,
+            2,
+            2,
+            HmcResponse::WrRs,
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        let (tid, _) = args(ctx)?;
+        let (expiry, owner) = state(ctx)?;
+        let released = held(expiry, ctx.cycle) && owner == tid;
+        if released {
+            ctx.mem.write_u64(ctx.addr, 0)?;
+        }
+        ctx.rsp_payload[0] = released as u64;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: released })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_softlock_release"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mem::SparseMemory;
+
+    fn exec(
+        op: &dyn CmcOp,
+        mem: &mut SparseMemory,
+        cycle: u64,
+        tid: u64,
+        lease: u64,
+    ) -> (Vec<u64>, bool) {
+        let rqst = [tid, lease];
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x40,
+            length: 2,
+            head: 0,
+            tail: 0,
+            cycle,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem,
+        };
+        let r = op.execute(&mut ctx).unwrap();
+        (rsp.to_vec(), r.af)
+    }
+
+    #[test]
+    fn acquire_and_release_within_lease() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (rsp, ok) = exec(&SoftLockAcquire, &mut mem, 100, 7, 50);
+        assert!(ok);
+        assert_eq!(rsp[0], 7, "owner");
+        assert_eq!(rsp[1], 150, "expiry");
+        let (_, ok) = exec(&SoftLockRelease, &mut mem, 120, 7, 0);
+        assert!(ok);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 0);
+    }
+
+    #[test]
+    fn live_lease_excludes_others() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&SoftLockAcquire, &mut mem, 100, 7, 50);
+        let (rsp, ok) = exec(&SoftLockAcquire, &mut mem, 130, 9, 50);
+        assert!(!ok, "lease still live at 130");
+        assert_eq!(rsp[0], 7, "reports the current owner");
+    }
+
+    #[test]
+    fn expired_lease_is_stealable() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&SoftLockAcquire, &mut mem, 100, 7, 50);
+        let (rsp, ok) = exec(&SoftLockAcquire, &mut mem, 151, 9, 20);
+        assert!(ok, "lease expired at 150");
+        assert_eq!(rsp[0], 9);
+        assert_eq!(rsp[1], 171);
+    }
+
+    #[test]
+    fn renew_extends_only_the_live_owner() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&SoftLockAcquire, &mut mem, 100, 7, 50);
+        let (_, ok) = exec(&SoftLockRenew, &mut mem, 140, 7, 100);
+        assert!(ok);
+        assert_eq!(mem.read_u64(0x40).unwrap(), 240);
+        let (_, ok) = exec(&SoftLockRenew, &mut mem, 150, 9, 100);
+        assert!(!ok, "non-owner cannot renew");
+        let (_, ok) = exec(&SoftLockRenew, &mut mem, 500, 7, 100);
+        assert!(!ok, "expired owner cannot renew");
+    }
+
+    #[test]
+    fn release_after_expiry_is_a_noop() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&SoftLockAcquire, &mut mem, 100, 7, 10);
+        let (rsp, ok) = exec(&SoftLockRelease, &mut mem, 200, 7, 0);
+        assert!(!ok, "claim already lapsed");
+        assert_eq!(rsp[0], 0);
+    }
+
+    #[test]
+    fn zero_lease_rejected() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let rqst = [7u64, 0];
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x40,
+            length: 2,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: &rqst,
+            rsp_payload: &mut rsp,
+            mem: &mut mem,
+        };
+        assert!(SoftLockAcquire.execute(&mut ctx).is_err());
+    }
+
+    #[test]
+    fn registrations_valid_on_free_codes() {
+        for op in [&SoftLockAcquire as &dyn CmcOp, &SoftLockRenew, &SoftLockRelease] {
+            op.register().validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A CMC ticket-lock suite — a *fair* mutex in a 16-byte block.
+//!
+//! The paper's test-and-set mutex admits starvation under contention;
+//! a ticket lock grants the critical section in arrival order. The
+//! block holds `next_ticket` in bits 63:0 and `now_serving` in bits
+//! 127:64.
+//!
+//! | op | code | rqst | rsp | semantics |
+//! |----|------|------|-----|-----------|
+//! | `hmc_ticket_take`    | CMC112 | 1 FLIT  | RD_RS, 2 | fetch-and-increment `next_ticket`; returns `[my_ticket, now_serving]` |
+//! | `hmc_ticket_poll`    | CMC113 | 2 FLITs | RD_RS, 2 | returns `[now_serving, next_ticket]`; AF set when the caller's ticket is being served |
+//! | `hmc_ticket_release` | CMC114 | 1 FLIT  | WR_RS, 2 | increment `now_serving`; returns the new value |
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::{HmcError, HmcResponse};
+
+/// Command code of [`TicketTake`].
+pub const TICKET_TAKE_CMD: u8 = 112;
+/// Command code of [`TicketPoll`].
+pub const TICKET_POLL_CMD: u8 = 113;
+/// Command code of [`TicketRelease`].
+pub const TICKET_RELEASE_CMD: u8 = 114;
+
+fn check_align(addr: u64) -> Result<(), HmcError> {
+    if !addr.is_multiple_of(16) {
+        return Err(HmcError::UnalignedAddress { addr, align: 16 });
+    }
+    Ok(())
+}
+
+/// `hmc_ticket_take` — CMC112: draws the next ticket.
+pub struct TicketTake;
+
+impl CmcOp for TicketTake {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_ticket_take", TICKET_TAKE_CMD, 1, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        check_align(ctx.addr)?;
+        let ticket = ctx.mem.read_u64(ctx.addr)?;
+        let serving = ctx.mem.read_u64(ctx.addr + 8)?;
+        ctx.mem.write_u64(ctx.addr, ticket.wrapping_add(1))?;
+        ctx.rsp_payload[0] = ticket;
+        ctx.rsp_payload[1] = serving;
+        // AF reports an immediately-granted ticket.
+        Ok(CmcResult { af: ticket == serving })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_ticket_take"
+    }
+}
+
+/// `hmc_ticket_poll` — CMC113: checks whether the caller's ticket
+/// (request payload word 0) is being served.
+pub struct TicketPoll;
+
+impl CmcOp for TicketPoll {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new("hmc_ticket_poll", TICKET_POLL_CMD, 2, 2, HmcResponse::RdRs)
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        check_align(ctx.addr)?;
+        let my_ticket = ctx
+            .rqst_payload
+            .first()
+            .copied()
+            .ok_or_else(|| HmcError::MalformedPacket("poll missing ticket payload".into()))?;
+        let serving = ctx.mem.read_u64(ctx.addr + 8)?;
+        ctx.rsp_payload[0] = serving;
+        ctx.rsp_payload[1] = ctx.mem.read_u64(ctx.addr)?;
+        Ok(CmcResult { af: serving == my_ticket })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_ticket_poll"
+    }
+}
+
+/// `hmc_ticket_release` — CMC114: passes the lock to the next ticket.
+pub struct TicketRelease;
+
+impl CmcOp for TicketRelease {
+    fn register(&self) -> CmcRegistration {
+        CmcRegistration::new(
+            "hmc_ticket_release",
+            TICKET_RELEASE_CMD,
+            1,
+            2,
+            HmcResponse::WrRs,
+        )
+    }
+
+    fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        check_align(ctx.addr)?;
+        let serving = ctx.mem.read_u64(ctx.addr + 8)?.wrapping_add(1);
+        ctx.mem.write_u64(ctx.addr + 8, serving)?;
+        ctx.rsp_payload[0] = serving;
+        ctx.rsp_payload[1] = 0;
+        Ok(CmcResult { af: false })
+    }
+
+    fn name(&self) -> &str {
+        "hmc_ticket_release"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_mem::SparseMemory;
+
+    fn exec(op: &dyn CmcOp, mem: &mut SparseMemory, payload: &[u64]) -> (Vec<u64>, bool) {
+        let mut rsp = [0u64; 2];
+        let mut ctx = CmcContext {
+            dev: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            addr: 0x40,
+            length: op.register().rqst_len as u32,
+            head: 0,
+            tail: 0,
+            cycle: 0,
+            rqst_payload: payload,
+            rsp_payload: &mut rsp,
+            mem,
+        };
+        let r = op.execute(&mut ctx).unwrap();
+        (rsp.to_vec(), r.af)
+    }
+
+    #[test]
+    fn tickets_issue_in_order() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let (r0, granted0) = exec(&TicketTake, &mut mem, &[]);
+        let (r1, granted1) = exec(&TicketTake, &mut mem, &[]);
+        let (r2, _) = exec(&TicketTake, &mut mem, &[]);
+        assert_eq!(r0[0], 0);
+        assert_eq!(r1[0], 1);
+        assert_eq!(r2[0], 2);
+        assert!(granted0, "ticket 0 is served immediately");
+        assert!(!granted1);
+    }
+
+    #[test]
+    fn poll_reports_serving_state() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&TicketTake, &mut mem, &[]); // ticket 0
+        exec(&TicketTake, &mut mem, &[]); // ticket 1
+        let (_, af) = exec(&TicketPoll, &mut mem, &[1]);
+        assert!(!af, "ticket 1 not yet served");
+        let (rsp, af) = exec(&TicketPoll, &mut mem, &[0]);
+        assert!(af, "ticket 0 served");
+        assert_eq!(rsp[0], 0, "now_serving");
+        assert_eq!(rsp[1], 2, "next_ticket");
+    }
+
+    #[test]
+    fn release_advances_serving() {
+        let mut mem = SparseMemory::new(1 << 16);
+        exec(&TicketTake, &mut mem, &[]);
+        exec(&TicketTake, &mut mem, &[]);
+        let (rsp, _) = exec(&TicketRelease, &mut mem, &[]);
+        assert_eq!(rsp[0], 1);
+        let (_, af) = exec(&TicketPoll, &mut mem, &[1]);
+        assert!(af, "ticket 1 now served");
+    }
+
+    #[test]
+    fn fairness_full_cycle() {
+        // Three contenders are served strictly in ticket order.
+        let mut mem = SparseMemory::new(1 << 16);
+        let tickets: Vec<u64> = (0..3).map(|_| exec(&TicketTake, &mut mem, &[]).0[0]).collect();
+        assert_eq!(tickets, vec![0, 1, 2]);
+        for t in 0..3u64 {
+            // Exactly one contender polls true.
+            let served: Vec<bool> =
+                tickets.iter().map(|&k| exec(&TicketPoll, &mut mem, &[k]).1).collect();
+            assert_eq!(served.iter().filter(|&&s| s).count(), 1);
+            assert!(served[t as usize], "ticket {t} served in order");
+            exec(&TicketRelease, &mut mem, &[]);
+        }
+    }
+
+    #[test]
+    fn registrations_valid() {
+        for op in [&TicketTake as &dyn CmcOp, &TicketPoll, &TicketRelease] {
+            op.register().validate().unwrap();
+        }
+        assert_eq!(TicketTake.register().rqst_len, 1, "take needs no payload");
+        assert_eq!(TicketPoll.register().rqst_len, 2, "poll carries the ticket");
+    }
+}

@@ -1,0 +1,197 @@
+//! The per-device CMC registration table.
+//!
+//! [`CmcRegistry`] is the Rust counterpart of HMC-Sim's array of
+//! `hmc_cmc_t` structures: one slot per command code, populated by
+//! `hmc_load_cmc` and consulted by `hmcsim_process_rqst` when a packet
+//! carrying a CMC command reaches a vault (paper §IV-C).
+
+use crate::op::{CmcContext, CmcOp, CmcRegistration, CmcResult};
+use hmc_types::cmd::CMD_CODE_SPACE;
+use hmc_types::HmcError;
+
+/// A loaded CMC operation: the registration data plus the resolved
+/// entry points (the `hmc_cmc_t` function pointers).
+pub struct LoadedCmc {
+    reg: CmcRegistration,
+    op: Box<dyn CmcOp>,
+}
+
+impl LoadedCmc {
+    /// The registration data captured at load time.
+    #[inline]
+    pub fn registration(&self) -> &CmcRegistration {
+        &self.reg
+    }
+
+    /// Executes the operation (`cmc_execute` via its function
+    /// pointer).
+    pub fn execute(&self, ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        self.op.execute(ctx)
+    }
+
+    /// The trace-log name (`cmc_str` via its function pointer).
+    pub fn trace_name(&self) -> &str {
+        self.op.name()
+    }
+}
+
+impl std::fmt::Debug for LoadedCmc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedCmc").field("reg", &self.reg).finish()
+    }
+}
+
+/// The table of active CMC operations for one simulation context.
+///
+/// Up to all 70 free Gen2 command codes may be active concurrently
+/// (paper §I: "the ability to load up to seventy disparate operations
+/// concurrently").
+#[derive(Debug, Default)]
+pub struct CmcRegistry {
+    slots: Vec<Option<LoadedCmc>>,
+}
+
+impl CmcRegistry {
+    /// An empty registry (no CMC command active).
+    pub fn new() -> Self {
+        CmcRegistry {
+            slots: (0..CMD_CODE_SPACE).map(|_| None).collect(),
+        }
+    }
+
+    /// Registers an operation, performing the full `hmc_load_cmc`
+    /// validation sequence: the registration must be well-formed, the
+    /// command code must be one of the 70 free codes, and the slot
+    /// must not already be active.
+    pub fn register(&mut self, op: Box<dyn CmcOp>) -> Result<u8, HmcError> {
+        let reg = op.register();
+        reg.validate()?;
+        let slot = &mut self.slots[reg.cmd as usize];
+        if slot.is_some() {
+            return Err(HmcError::CmcSlotBusy(reg.cmd));
+        }
+        let cmd = reg.cmd;
+        *slot = Some(LoadedCmc { reg, op });
+        Ok(cmd)
+    }
+
+    /// Unregisters the operation at `cmd`, freeing the slot.
+    pub fn unregister(&mut self, cmd: u8) -> Result<(), HmcError> {
+        let slot = self
+            .slots
+            .get_mut(cmd as usize)
+            .ok_or(HmcError::InvalidCommandCode(cmd))?;
+        if slot.take().is_none() {
+            return Err(HmcError::CmcNotActive(cmd));
+        }
+        Ok(())
+    }
+
+    /// Looks up the active operation for a command code, returning
+    /// [`HmcError::CmcNotActive`] when nothing is loaded — the error
+    /// `hmcsim_process_rqst` raises for packets carrying an inactive
+    /// CMC command.
+    pub fn lookup(&self, cmd: u8) -> Result<&LoadedCmc, HmcError> {
+        self.slots
+            .get(cmd as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(HmcError::CmcNotActive(cmd))
+    }
+
+    /// True when a CMC operation is active on `cmd`.
+    pub fn is_active(&self, cmd: u8) -> bool {
+        self.slots.get(cmd as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Number of active operations.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterator over active registrations in command-code order.
+    pub fn active(&self) -> impl Iterator<Item = &CmcRegistration> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|l| &l.reg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{HmcResponse, HmcRqst};
+
+    /// A minimal no-op CMC used to exercise the registry.
+    struct Nop {
+        cmd: u8,
+    }
+
+    impl CmcOp for Nop {
+        fn register(&self) -> CmcRegistration {
+            CmcRegistration::new("nop", self.cmd, 1, 1, HmcResponse::WrRs)
+        }
+        fn execute(&self, _ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+            Ok(CmcResult::default())
+        }
+        fn name(&self) -> &str {
+            "nop"
+        }
+    }
+
+    #[test]
+    fn register_lookup_cycle() {
+        let mut reg = CmcRegistry::new();
+        assert!(!reg.is_active(125));
+        assert_eq!(reg.register(Box::new(Nop { cmd: 125 })).unwrap(), 125);
+        assert!(reg.is_active(125));
+        assert_eq!(reg.lookup(125).unwrap().registration().cmd, 125);
+        assert_eq!(reg.active_count(), 1);
+    }
+
+    #[test]
+    fn inactive_lookup_errors() {
+        let reg = CmcRegistry::new();
+        assert!(matches!(reg.lookup(125), Err(HmcError::CmcNotActive(125))));
+    }
+
+    #[test]
+    fn busy_slot_rejected() {
+        let mut reg = CmcRegistry::new();
+        reg.register(Box::new(Nop { cmd: 125 })).unwrap();
+        assert!(matches!(
+            reg.register(Box::new(Nop { cmd: 125 })),
+            Err(HmcError::CmcSlotBusy(125))
+        ));
+    }
+
+    #[test]
+    fn reserved_code_rejected_at_registry() {
+        let mut reg = CmcRegistry::new();
+        assert!(matches!(
+            reg.register(Box::new(Nop { cmd: 0x30 })), // RD16
+            Err(HmcError::CmcCodeReserved(0x30))
+        ));
+    }
+
+    #[test]
+    fn unregister_frees_slot() {
+        let mut reg = CmcRegistry::new();
+        reg.register(Box::new(Nop { cmd: 125 })).unwrap();
+        reg.unregister(125).unwrap();
+        assert!(!reg.is_active(125));
+        assert!(reg.unregister(125).is_err());
+        // Slot can be reused after unregistration.
+        reg.register(Box::new(Nop { cmd: 125 })).unwrap();
+    }
+
+    #[test]
+    fn all_seventy_slots_fill_concurrently() {
+        let mut reg = CmcRegistry::new();
+        for code in HmcRqst::cmc_codes() {
+            reg.register(Box::new(Nop { cmd: code })).unwrap();
+        }
+        assert_eq!(reg.active_count(), 70);
+        let codes: Vec<u8> = reg.active().map(|r| r.cmd).collect();
+        assert_eq!(codes, HmcRqst::cmc_codes().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the CMC registry and registration validation.
+
+use hmc_cmc::{CmcContext, CmcOp, CmcRegistration, CmcRegistry, CmcResult};
+use hmc_types::{HmcError, HmcResponse, HmcRqst};
+use proptest::prelude::*;
+
+/// A configurable do-nothing operation.
+struct Cfg {
+    reg: CmcRegistration,
+}
+
+impl CmcOp for Cfg {
+    fn register(&self) -> CmcRegistration {
+        self.reg.clone()
+    }
+    fn execute(&self, _ctx: &mut CmcContext<'_>) -> Result<CmcResult, HmcError> {
+        Ok(CmcResult::default())
+    }
+    fn name(&self) -> &str {
+        &self.reg.op_name
+    }
+}
+
+fn free_codes() -> Vec<u8> {
+    HmcRqst::cmc_codes().collect()
+}
+
+fn pick_rsp(rsp_len: u8, seed: u64) -> HmcResponse {
+    if rsp_len == 0 {
+        HmcResponse::RspNone
+    } else {
+        match seed % 3 {
+            0 => HmcResponse::RdRs,
+            1 => HmcResponse::WrRs,
+            _ => HmcResponse::RspCmc((seed % 255 + 1) as u8),
+        }
+    }
+}
+
+proptest! {
+    /// Any registration on a free code with in-range lengths and a
+    /// consistent response class validates; registry registration
+    /// succeeds and the slot becomes active.
+    #[test]
+    fn wellformed_registrations_always_register(
+        code in prop::sample::select(free_codes()),
+        rqst_len in 1u8..=17,
+        rsp_len in 0u8..=17,
+        seed in any::<u64>(),
+    ) {
+        let rsp_cmd = pick_rsp(rsp_len, seed);
+        let reg = CmcRegistration::new("prop_op", code, rqst_len, rsp_len, rsp_cmd);
+        prop_assert!(reg.validate().is_ok(), "reg {:?}", reg);
+        let mut registry = CmcRegistry::new();
+        prop_assert_eq!(registry.register(Box::new(Cfg { reg })).unwrap(), code);
+        prop_assert!(registry.is_active(code));
+        let dup = registry.register(Box::new(Cfg {
+            reg: CmcRegistration::new("dup", code, 1, 1, HmcResponse::WrRs),
+        }));
+        prop_assert!(matches!(dup, Err(HmcError::CmcSlotBusy(_))));
+    }
+
+    /// Reserved (standard) codes are always rejected.
+    #[test]
+    fn reserved_codes_always_rejected(
+        cmd in prop::sample::select(HmcRqst::STANDARD.to_vec()),
+    ) {
+        let reg = CmcRegistration::new("bad", cmd.code(), 2, 2, HmcResponse::WrRs);
+        prop_assert!(matches!(reg.validate(), Err(HmcError::CmcCodeReserved(_))));
+    }
+
+    /// Out-of-range lengths are always rejected.
+    #[test]
+    fn bad_lengths_always_rejected(
+        code in prop::sample::select(free_codes()),
+        rqst_len in 18u8..=31,
+        rsp_len in 18u8..=31,
+    ) {
+        let r = CmcRegistration::new("bad", code, rqst_len, 2, HmcResponse::WrRs);
+        prop_assert!(r.validate().is_err());
+        let r = CmcRegistration::new("bad", code, 2, rsp_len, HmcResponse::WrRs);
+        prop_assert!(r.validate().is_err());
+        let r = CmcRegistration::new("bad", code, 0, 2, HmcResponse::WrRs);
+        prop_assert!(r.validate().is_err());
+    }
+
+    /// Random register/unregister sequences keep the registry's
+    /// active-count bookkeeping exact.
+    #[test]
+    fn registry_bookkeeping_is_exact(
+        ops in prop::collection::vec((prop::sample::select(free_codes()), any::<bool>()), 0..128),
+    ) {
+        let mut registry = CmcRegistry::new();
+        let mut model = std::collections::HashSet::new();
+        for (code, register) in ops {
+            if register {
+                let reg = CmcRegistration::new("op", code, 1, 1, HmcResponse::WrRs);
+                match registry.register(Box::new(Cfg { reg })) {
+                    Ok(c) => {
+                        prop_assert_eq!(c, code);
+                        prop_assert!(model.insert(code), "registered into a busy slot");
+                    }
+                    Err(HmcError::CmcSlotBusy(_)) => prop_assert!(model.contains(&code)),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            } else {
+                match registry.unregister(code) {
+                    Ok(()) => prop_assert!(model.remove(&code), "unregistered a free slot"),
+                    Err(HmcError::CmcNotActive(_)) => prop_assert!(!model.contains(&code)),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            }
+            prop_assert_eq!(registry.active_count(), model.len());
+        }
+        let active: std::collections::HashSet<u8> =
+            registry.active().map(|r| r.cmd).collect();
+        prop_assert_eq!(active, model);
+    }
+}

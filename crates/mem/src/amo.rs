@@ -1,0 +1,418 @@
+//! Gen2 atomic memory operation (AMO) semantics.
+//!
+//! Each AMO is a read-modify-write performed by the vault controller
+//! in the cube's logic layer (paper §III). [`execute`] applies one AMO
+//! to the backing store and produces the response payload and the
+//! atomic flag (AF) bit.
+//!
+//! Operand conventions (all little-endian):
+//!
+//! * `2ADD8` family — payload = two 8-byte signed immediates, added to
+//!   the two 8-byte values at `addr` and `addr+8`. The `R` variant
+//!   returns the two *original* values (fetch-and-add).
+//! * `ADD16` family — payload = one 16-byte signed immediate added to
+//!   the 16-byte value at `addr`; `R` variant returns the original.
+//! * `INC8` — no payload; increments the 8-byte value at `addr`.
+//! * Boolean 16-byte ops — payload = one 16-byte operand; the response
+//!   carries the original 16 bytes.
+//! * CAS family — payload word 0 = swap value, word 1 = compare value
+//!   (8-byte ops) or words 0..2 = 16-byte swap value (`CASZERO16`).
+//!   The response carries the original memory value; AF is set when
+//!   the swap occurred.
+//! * `EQ8`/`EQ16` — payload = comparand; 1-FLIT response with AF set
+//!   on equality.
+//! * `BWR` family — payload word 0 = data, word 1 = bit mask;
+//!   `mem = (mem & !mask) | (data & mask)`. `BWR8R` returns the
+//!   original 8 bytes.
+//! * `SWAP16` — payload = 16-byte new value; returns the original.
+
+use crate::store::SparseMemory;
+use hmc_types::{HmcError, HmcRqst};
+
+/// Result of executing an AMO: the response data payload (already in
+/// 64-bit words, padded to whole FLITs by the caller's packetizer) and
+/// the atomic flag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AmoResult {
+    /// Response data words (empty for ack-only AMOs such as INC8/EQ8).
+    pub payload: Vec<u64>,
+    /// The AF (atomic flag) bit: comparison outcome for CAS/EQ ops.
+    pub af: bool,
+}
+
+fn check_align(addr: u64, align: u64) -> Result<(), HmcError> {
+    if !addr.is_multiple_of(align) {
+        return Err(HmcError::UnalignedAddress { addr, align });
+    }
+    Ok(())
+}
+
+fn want_operands(cmd: HmcRqst, got: usize, want: usize) -> Result<(), HmcError> {
+    if got != want {
+        return Err(HmcError::MalformedPacket(format!(
+            "{cmd} expects {want} operand words, got {got}"
+        )));
+    }
+    Ok(())
+}
+
+/// Executes one atomic memory operation against `mem`.
+///
+/// `operand` is the request's data payload in 64-bit words (2 words
+/// for 2-FLIT atomics, empty for INC8). Returns the response payload
+/// and AF bit; rejects non-atomic commands, misaligned addresses and
+/// malformed operand lengths.
+pub fn execute(
+    cmd: HmcRqst,
+    mem: &mut SparseMemory,
+    addr: u64,
+    operand: &[u64],
+) -> Result<AmoResult, HmcError> {
+    match cmd {
+        // ---- dual 8-byte signed add immediate ----
+        HmcRqst::TwoAdd8 | HmcRqst::P2Add8 | HmcRqst::TwoAddS8R => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let old0 = mem.read_u64(addr)?;
+            let old1 = mem.read_u64(addr + 8)?;
+            mem.write_u64(addr, (old0 as i64).wrapping_add(operand[0] as i64) as u64)?;
+            mem.write_u64(addr + 8, (old1 as i64).wrapping_add(operand[1] as i64) as u64)?;
+            let payload = if cmd == HmcRqst::TwoAddS8R { vec![old0, old1] } else { vec![] };
+            Ok(AmoResult { payload, af: false })
+        }
+        // ---- single 16-byte signed add immediate ----
+        HmcRqst::Add16 | HmcRqst::PAdd16 | HmcRqst::AddS16R => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let old = mem.read_u128(addr)?;
+            let imm = (operand[0] as u128) | ((operand[1] as u128) << 64);
+            mem.write_u128(addr, (old as i128).wrapping_add(imm as i128) as u128)?;
+            let payload = if cmd == HmcRqst::AddS16R {
+                vec![old as u64, (old >> 64) as u64]
+            } else {
+                vec![]
+            };
+            Ok(AmoResult { payload, af: false })
+        }
+        // ---- 8-byte increment ----
+        HmcRqst::Inc8 | HmcRqst::PInc8 => {
+            check_align(addr, 8)?;
+            want_operands(cmd, operand.len(), 0)?;
+            let old = mem.read_u64(addr)?;
+            mem.write_u64(addr, old.wrapping_add(1))?;
+            Ok(AmoResult::default())
+        }
+        // ---- 16-byte boolean ops (return original data) ----
+        HmcRqst::Xor16 | HmcRqst::Or16 | HmcRqst::Nor16 | HmcRqst::And16 | HmcRqst::Nand16 => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let old = mem.read_u128(addr)?;
+            let op = (operand[0] as u128) | ((operand[1] as u128) << 64);
+            let new = match cmd {
+                HmcRqst::Xor16 => old ^ op,
+                HmcRqst::Or16 => old | op,
+                HmcRqst::Nor16 => !(old | op),
+                HmcRqst::And16 => old & op,
+                HmcRqst::Nand16 => !(old & op),
+                _ => unreachable!("boolean arm"),
+            };
+            mem.write_u128(addr, new)?;
+            Ok(AmoResult { payload: vec![old as u64, (old >> 64) as u64], af: false })
+        }
+        // ---- 8-byte compare-and-swap family ----
+        HmcRqst::CasGt8 | HmcRqst::CasLt8 | HmcRqst::CasEq8 => {
+            check_align(addr, 8)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let (swap, cmp) = (operand[0], operand[1]);
+            let old = mem.read_u64(addr)?;
+            let hit = match cmd {
+                HmcRqst::CasGt8 => (old as i64) > (cmp as i64),
+                HmcRqst::CasLt8 => (old as i64) < (cmp as i64),
+                HmcRqst::CasEq8 => old == cmp,
+                _ => unreachable!("cas8 arm"),
+            };
+            if hit {
+                mem.write_u64(addr, swap)?;
+            }
+            Ok(AmoResult { payload: vec![old, 0], af: hit })
+        }
+        // ---- 16-byte compare-and-swap family ----
+        HmcRqst::CasGt16 | HmcRqst::CasLt16 | HmcRqst::CasZero16 => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let swap = (operand[0] as u128) | ((operand[1] as u128) << 64);
+            let old = mem.read_u128(addr)?;
+            let hit = match cmd {
+                // 16-byte comparisons are against the swap operand
+                // itself (the spec's "CAS if greater/less than").
+                HmcRqst::CasGt16 => (old as i128) > (swap as i128),
+                HmcRqst::CasLt16 => (old as i128) < (swap as i128),
+                HmcRqst::CasZero16 => old == 0,
+                _ => unreachable!("cas16 arm"),
+            };
+            if hit {
+                mem.write_u128(addr, swap)?;
+            }
+            Ok(AmoResult { payload: vec![old as u64, (old >> 64) as u64], af: hit })
+        }
+        // ---- equality probes (ack-only responses, AF = outcome) ----
+        HmcRqst::Eq8 => {
+            check_align(addr, 8)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let old = mem.read_u64(addr)?;
+            Ok(AmoResult { payload: vec![], af: old == operand[0] })
+        }
+        HmcRqst::Eq16 => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let old = mem.read_u128(addr)?;
+            let cmp = (operand[0] as u128) | ((operand[1] as u128) << 64);
+            Ok(AmoResult { payload: vec![], af: old == cmp })
+        }
+        // ---- 8-byte bit write ----
+        HmcRqst::Bwr | HmcRqst::PBwr | HmcRqst::Bwr8R => {
+            check_align(addr, 8)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let (data, mask) = (operand[0], operand[1]);
+            let old = mem.read_u64(addr)?;
+            mem.write_u64(addr, (old & !mask) | (data & mask))?;
+            let payload = if cmd == HmcRqst::Bwr8R { vec![old, 0] } else { vec![] };
+            Ok(AmoResult { payload, af: false })
+        }
+        // ---- 16-byte swap/exchange ----
+        HmcRqst::Swap16 => {
+            check_align(addr, 16)?;
+            want_operands(cmd, operand.len(), 2)?;
+            let new = (operand[0] as u128) | ((operand[1] as u128) << 64);
+            let old = mem.read_u128(addr)?;
+            mem.write_u128(addr, new)?;
+            Ok(AmoResult { payload: vec![old as u64, (old >> 64) as u64], af: false })
+        }
+        other => Err(HmcError::MalformedPacket(format!(
+            "{other} is not an atomic memory operation"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> SparseMemory {
+        SparseMemory::new(1 << 20)
+    }
+
+    #[test]
+    fn two_add8_adds_both_lanes() {
+        let mut m = mem();
+        m.write_u64(0x40, 100).unwrap();
+        m.write_u64(0x48, u64::MAX).unwrap(); // -1 as i64
+        let r = execute(HmcRqst::TwoAdd8, &mut m, 0x40, &[5, 2]).unwrap();
+        assert!(r.payload.is_empty());
+        assert_eq!(m.read_u64(0x40).unwrap(), 105);
+        assert_eq!(m.read_u64(0x48).unwrap(), 1);
+    }
+
+    #[test]
+    fn two_adds8r_returns_originals() {
+        let mut m = mem();
+        m.write_u64(0x40, 7).unwrap();
+        m.write_u64(0x48, 9).unwrap();
+        let r = execute(HmcRqst::TwoAddS8R, &mut m, 0x40, &[1, 1]).unwrap();
+        assert_eq!(r.payload, vec![7, 9]);
+        assert_eq!(m.read_u64(0x40).unwrap(), 8);
+    }
+
+    #[test]
+    fn two_add8_negative_immediate() {
+        let mut m = mem();
+        m.write_u64(0x40, 10).unwrap();
+        let minus_three = (-3i64) as u64;
+        execute(HmcRqst::P2Add8, &mut m, 0x40, &[minus_three, 0]).unwrap();
+        assert_eq!(m.read_u64(0x40).unwrap(), 7);
+    }
+
+    #[test]
+    fn add16_full_width_carry() {
+        let mut m = mem();
+        m.write_u128(0x40, u64::MAX as u128).unwrap();
+        execute(HmcRqst::Add16, &mut m, 0x40, &[1, 0]).unwrap();
+        assert_eq!(m.read_u128(0x40).unwrap(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn adds16r_returns_original() {
+        let mut m = mem();
+        m.write_u128(0x40, 0xAAAA_0000_BBBBu128).unwrap();
+        let r = execute(HmcRqst::AddS16R, &mut m, 0x40, &[1, 0]).unwrap();
+        assert_eq!(r.payload, vec![0xAAAA_0000_BBBB, 0]);
+    }
+
+    #[test]
+    fn inc8_wraps() {
+        let mut m = mem();
+        m.write_u64(0x8, u64::MAX).unwrap();
+        execute(HmcRqst::Inc8, &mut m, 0x8, &[]).unwrap();
+        assert_eq!(m.read_u64(0x8).unwrap(), 0);
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn boolean_ops_semantics() {
+        let cases: [(HmcRqst, fn(u128, u128) -> u128); 5] = [
+            (HmcRqst::Xor16, |a, b| a ^ b),
+            (HmcRqst::Or16, |a, b| a | b),
+            (HmcRqst::Nor16, |a, b| !(a | b)),
+            (HmcRqst::And16, |a, b| a & b),
+            (HmcRqst::Nand16, |a, b| !(a & b)),
+        ];
+        for (cmd, f) in cases {
+            let mut m = mem();
+            let init = 0xF0F0_F0F0_F0F0_F0F0_0F0F_0F0F_0F0F_0F0Fu128;
+            let op = 0x00FF_00FF_00FF_00FF_FF00_FF00_FF00_FF00u128;
+            m.write_u128(0x40, init).unwrap();
+            let r = execute(cmd, &mut m, 0x40, &[op as u64, (op >> 64) as u64]).unwrap();
+            assert_eq!(m.read_u128(0x40).unwrap(), f(init, op), "{cmd}");
+            assert_eq!(r.payload, vec![init as u64, (init >> 64) as u64], "{cmd} returns old");
+        }
+    }
+
+    #[test]
+    fn caseq8_swaps_only_on_equality() {
+        let mut m = mem();
+        m.write_u64(0x40, 5).unwrap();
+        let miss = execute(HmcRqst::CasEq8, &mut m, 0x40, &[99, 4]).unwrap();
+        assert!(!miss.af);
+        assert_eq!(m.read_u64(0x40).unwrap(), 5);
+        let hit = execute(HmcRqst::CasEq8, &mut m, 0x40, &[99, 5]).unwrap();
+        assert!(hit.af);
+        assert_eq!(hit.payload[0], 5);
+        assert_eq!(m.read_u64(0x40).unwrap(), 99);
+    }
+
+    #[test]
+    fn casgt8_signed_comparison() {
+        let mut m = mem();
+        m.write_u64(0x40, (-2i64) as u64).unwrap();
+        // mem (-2) > cmp (-5) -> swap
+        let r = execute(HmcRqst::CasGt8, &mut m, 0x40, &[1, (-5i64) as u64]).unwrap();
+        assert!(r.af);
+        assert_eq!(m.read_u64(0x40).unwrap(), 1);
+        // mem (1) > cmp (3)? no
+        let r = execute(HmcRqst::CasGt8, &mut m, 0x40, &[7, 3]).unwrap();
+        assert!(!r.af);
+        assert_eq!(m.read_u64(0x40).unwrap(), 1);
+    }
+
+    #[test]
+    fn caslt8() {
+        let mut m = mem();
+        m.write_u64(0x40, 3).unwrap();
+        let r = execute(HmcRqst::CasLt8, &mut m, 0x40, &[10, 5]).unwrap();
+        assert!(r.af, "3 < 5 swaps");
+        assert_eq!(m.read_u64(0x40).unwrap(), 10);
+    }
+
+    #[test]
+    fn caszero16() {
+        let mut m = mem();
+        let r = execute(HmcRqst::CasZero16, &mut m, 0x40, &[0xAB, 0xCD]).unwrap();
+        assert!(r.af, "zero memory swaps");
+        assert_eq!(m.read_u64(0x40).unwrap(), 0xAB);
+        assert_eq!(m.read_u64(0x48).unwrap(), 0xCD);
+        let r = execute(HmcRqst::CasZero16, &mut m, 0x40, &[1, 1]).unwrap();
+        assert!(!r.af, "nonzero memory does not swap");
+        assert_eq!(r.payload, vec![0xAB, 0xCD], "returns original");
+    }
+
+    #[test]
+    fn cas16_signed_comparisons() {
+        let mut m = mem();
+        m.write_u128(0x40, (-4i128) as u128).unwrap();
+        // mem (-4) < swap (10) -> CASLT16 swaps
+        let r = execute(HmcRqst::CasLt16, &mut m, 0x40, &[10, 0]).unwrap();
+        assert!(r.af);
+        assert_eq!(m.read_u128(0x40).unwrap(), 10);
+        // mem (10) > swap (3) -> CASGT16 swaps
+        let r = execute(HmcRqst::CasGt16, &mut m, 0x40, &[3, 0]).unwrap();
+        assert!(r.af);
+        assert_eq!(m.read_u128(0x40).unwrap(), 3);
+    }
+
+    #[test]
+    fn eq_probes() {
+        let mut m = mem();
+        m.write_u64(0x40, 0x77).unwrap();
+        assert!(execute(HmcRqst::Eq8, &mut m, 0x40, &[0x77, 0]).unwrap().af);
+        assert!(!execute(HmcRqst::Eq8, &mut m, 0x40, &[0x78, 0]).unwrap().af);
+        m.write_u128(0x80, 0x1234_0000_5678u128).unwrap();
+        assert!(execute(HmcRqst::Eq16, &mut m, 0x80, &[0x1234_0000_5678, 0]).unwrap().af);
+        assert!(!execute(HmcRqst::Eq16, &mut m, 0x80, &[0, 1]).unwrap().af);
+    }
+
+    #[test]
+    fn bit_write_masks() {
+        let mut m = mem();
+        m.write_u64(0x40, 0xFFFF_FFFF_FFFF_FFFF).unwrap();
+        execute(HmcRqst::Bwr, &mut m, 0x40, &[0x0000_0000_AAAA_0000, 0x0000_0000_FFFF_0000])
+            .unwrap();
+        assert_eq!(m.read_u64(0x40).unwrap(), 0xFFFF_FFFF_AAAA_FFFF);
+    }
+
+    #[test]
+    fn bwr8r_returns_original() {
+        let mut m = mem();
+        m.write_u64(0x40, 0x1111).unwrap();
+        let r = execute(HmcRqst::Bwr8R, &mut m, 0x40, &[0xFF, 0xFF]).unwrap();
+        assert_eq!(r.payload[0], 0x1111);
+        assert_eq!(m.read_u64(0x40).unwrap(), 0x11FF);
+    }
+
+    #[test]
+    fn swap16_exchanges() {
+        let mut m = mem();
+        m.write_u128(0x40, 111).unwrap();
+        let r = execute(HmcRqst::Swap16, &mut m, 0x40, &[222, 0]).unwrap();
+        assert_eq!(r.payload, vec![111, 0]);
+        assert_eq!(m.read_u128(0x40).unwrap(), 222);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = mem();
+        assert!(matches!(
+            execute(HmcRqst::Inc8, &mut m, 0x41, &[]),
+            Err(HmcError::UnalignedAddress { align: 8, .. })
+        ));
+        assert!(matches!(
+            execute(HmcRqst::Add16, &mut m, 0x48, &[0, 0]),
+            Err(HmcError::UnalignedAddress { align: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn operand_arity_enforced() {
+        let mut m = mem();
+        assert!(execute(HmcRqst::Inc8, &mut m, 0x40, &[1]).is_err());
+        assert!(execute(HmcRqst::Add16, &mut m, 0x40, &[1]).is_err());
+        assert!(execute(HmcRqst::CasEq8, &mut m, 0x40, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn non_atomic_command_rejected() {
+        let mut m = mem();
+        assert!(execute(HmcRqst::Rd64, &mut m, 0x40, &[]).is_err());
+        assert!(execute(HmcRqst::Cmc(125), &mut m, 0x40, &[]).is_err());
+    }
+
+    #[test]
+    fn posted_variants_mutate_without_payload() {
+        let mut m = mem();
+        for cmd in [HmcRqst::P2Add8, HmcRqst::PAdd16, HmcRqst::PBwr] {
+            let r = execute(cmd, &mut m, 0x40, &[1, 1]).unwrap();
+            assert!(r.payload.is_empty(), "{cmd}");
+        }
+        let r = execute(HmcRqst::PInc8, &mut m, 0x40, &[]).unwrap();
+        assert!(r.payload.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Sparse byte-addressable backing store.
+//!
+//! A cube holds 4 or 8 GiB; simulations touch a tiny fraction of it, so
+//! the store allocates 4 KiB pages on first write. Unwritten memory
+//! reads as zero, matching HMC-Sim's calloc'd vault storage.
+
+use hmc_types::HmcError;
+use std::collections::HashMap;
+
+/// Size of one lazily-allocated page in bytes.
+pub const PAGE_BYTES: usize = 4096;
+
+/// A sparse, zero-initialized, byte-addressable memory of fixed
+/// capacity.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    capacity: u64,
+}
+
+impl SparseMemory {
+    /// Creates a store of `capacity` bytes. All bytes read as zero
+    /// until written.
+    pub fn new(capacity: u64) -> Self {
+        SparseMemory { pages: HashMap::new(), capacity }
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of pages materialized so far (for memory-footprint
+    /// diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), HmcError> {
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(HmcError::AddressOutOfRange(addr))?;
+        if end > self.capacity {
+            return Err(HmcError::AddressOutOfRange(addr));
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), HmcError> {
+        self.check_range(addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let page = cur / PAGE_BYTES as u64;
+            let in_page = (cur % PAGE_BYTES as u64) as usize;
+            let n = (PAGE_BYTES - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`, materializing pages as needed.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), HmcError> {
+        self.check_range(addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let page = cur / PAGE_BYTES as u64;
+            let in_page = (cur % PAGE_BYTES as u64) as usize;
+            let n = (PAGE_BYTES - in_page).min(buf.len() - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr` (no alignment required).
+    pub fn read_u64(&self, addr: u64) -> Result<u64, HmcError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), HmcError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u128` (one 16-byte DRAM block) at `addr`.
+    pub fn read_u128(&self, addr: u64) -> Result<u128, HmcError> {
+        let mut b = [0u8; 16];
+        self.read(addr, &mut b)?;
+        Ok(u128::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u128` at `addr`.
+    pub fn write_u128(&mut self, addr: u64, value: u128) -> Result<(), HmcError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads `n` little-endian 64-bit words starting at `addr`.
+    pub fn read_words(&self, addr: u64, n: usize) -> Result<Vec<u64>, HmcError> {
+        let mut bytes = vec![0u8; n * 8];
+        self.read(addr, &mut bytes)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    /// Writes 64-bit words starting at `addr`.
+    pub fn write_words(&mut self, addr: u64, words: &[u64]) -> Result<(), HmcError> {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.write(addr, &bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = SparseMemory::new(1 << 20);
+        assert_eq!(mem.read_u64(0x500).unwrap(), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut mem = SparseMemory::new(1 << 20);
+        mem.write(0x100, b"hybrid memory cube").unwrap();
+        let mut buf = [0u8; 18];
+        mem.read(0x100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hybrid memory cube");
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = SparseMemory::new(1 << 20);
+        let addr = PAGE_BYTES as u64 - 4;
+        mem.write_u64(addr, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_u64(addr).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut mem = SparseMemory::new(4096);
+        assert!(mem.write_u64(4092, 1).is_err());
+        assert!(mem.read_u64(4092).is_err());
+        assert!(mem.write_u64(4088, 1).is_ok());
+    }
+
+    #[test]
+    fn overflow_addr_rejected() {
+        let mem = SparseMemory::new(u64::MAX);
+        let mut b = [0u8; 16];
+        assert!(mem.read(u64::MAX - 4, &mut b).is_err());
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        mem.write_u128(0x40, v).unwrap();
+        assert_eq!(mem.read_u128(0x40).unwrap(), v);
+        // Little-endian halves land as two u64s.
+        assert_eq!(mem.read_u64(0x40).unwrap(), v as u64);
+        assert_eq!(mem.read_u64(0x48).unwrap(), (v >> 64) as u64);
+    }
+
+    #[test]
+    fn word_vector_round_trip() {
+        let mut mem = SparseMemory::new(1 << 16);
+        let words: Vec<u64> = (0..32).map(|i| i * 0x0101_0101).collect();
+        mem.write_words(0x200, &words).unwrap();
+        assert_eq!(mem.read_words(0x200, 32).unwrap(), words);
+    }
+
+    #[test]
+    fn sparse_pages_only_materialize_on_write() {
+        let mut mem = SparseMemory::new(4 << 30);
+        mem.write_u64(3 << 30, 7).unwrap();
+        assert_eq!(mem.resident_pages(), 1);
+        assert_eq!(mem.read_u64(1 << 30).unwrap(), 0);
+        assert_eq!(mem.resident_pages(), 1, "reads do not allocate");
+    }
+}

@@ -1,0 +1,173 @@
+//! Physical address decomposition.
+//!
+//! Gen2 devices interleave the physical address space across vaults
+//! and banks at the configured maximum-block granularity: the low
+//! bits select the byte within a block, the next bits select the
+//! vault (so consecutive blocks land on consecutive vaults — the
+//! stride-friendly layout HMC-Sim models), then the bank within the
+//! vault, and the remaining bits the DRAM row.
+
+use crate::config::DeviceConfig;
+use hmc_types::HmcError;
+
+/// A decoded physical location within a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Quad index.
+    pub quad: u32,
+    /// Vault index *within the device* (0..total_vaults).
+    pub vault: u32,
+    /// Bank index within the vault.
+    pub bank: u32,
+    /// DRAM row (the remaining upper address bits).
+    pub row: u64,
+    /// Byte offset within the block.
+    pub offset: u32,
+}
+
+/// The device's block-interleaved address map.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    block_bits: u32,
+    vault_bits: u32,
+    bank_bits: u32,
+    vaults_per_quad: usize,
+    capacity: u64,
+}
+
+impl AddressMap {
+    /// Builds the map for a device configuration.
+    pub fn new(config: &DeviceConfig) -> Self {
+        AddressMap {
+            block_bits: config.block_size.trailing_zeros(),
+            vault_bits: config.total_vaults().trailing_zeros(),
+            bank_bits: config.banks_per_vault.trailing_zeros(),
+            vaults_per_quad: config.vaults_per_quad,
+            capacity: config.capacity,
+        }
+    }
+
+    /// Decomposes a byte address into its physical location.
+    pub fn decompose(&self, addr: u64) -> Result<Location, HmcError> {
+        if addr >= self.capacity {
+            return Err(HmcError::AddressOutOfRange(addr));
+        }
+        let offset = addr & ((1 << self.block_bits) - 1);
+        let vault = (addr >> self.block_bits) & ((1 << self.vault_bits) - 1);
+        let bank = (addr >> (self.block_bits + self.vault_bits)) & ((1 << self.bank_bits) - 1);
+        let row = addr >> (self.block_bits + self.vault_bits + self.bank_bits);
+        Ok(Location {
+            quad: (vault as usize / self.vaults_per_quad) as u32,
+            vault: vault as u32,
+            bank: bank as u32,
+            row,
+            offset: offset as u32,
+        })
+    }
+
+    /// Recomposes a location back into a byte address (inverse of
+    /// [`AddressMap::decompose`]).
+    pub fn recompose(&self, loc: &Location) -> u64 {
+        (loc.row << (self.block_bits + self.vault_bits + self.bank_bits))
+            | ((loc.bank as u64) << (self.block_bits + self.vault_bits))
+            | ((loc.vault as u64) << self.block_bits)
+            | loc.offset as u64
+    }
+
+    /// The smallest address that maps to the given vault (useful for
+    /// steering workloads at a specific vault).
+    pub fn vault_base(&self, vault: u32) -> u64 {
+        (vault as u64) << self.block_bits
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        1 << self.block_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(&DeviceConfig::gen2_4link_4gb())
+    }
+
+    #[test]
+    fn consecutive_blocks_interleave_across_vaults() {
+        let m = map();
+        let a = m.decompose(0).unwrap();
+        let b = m.decompose(64).unwrap();
+        let c = m.decompose(64 * 31).unwrap();
+        let wrap = m.decompose(64 * 32).unwrap();
+        assert_eq!(a.vault, 0);
+        assert_eq!(b.vault, 1);
+        assert_eq!(c.vault, 31);
+        assert_eq!(wrap.vault, 0);
+        assert_eq!(wrap.bank, 1, "after all vaults, the bank advances");
+    }
+
+    #[test]
+    fn same_block_same_vault() {
+        let m = map();
+        let a = m.decompose(0x40).unwrap();
+        let b = m.decompose(0x7F).unwrap();
+        assert_eq!(a.vault, b.vault);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.offset, 0x3F);
+    }
+
+    #[test]
+    fn quad_derived_from_vault() {
+        let m = map();
+        for vault in 0..32u64 {
+            let loc = m.decompose(vault * 64).unwrap();
+            assert_eq!(loc.quad, (vault / 8) as u32);
+        }
+    }
+
+    #[test]
+    fn decompose_recompose_is_identity() {
+        let m = map();
+        for addr in [0u64, 1, 63, 64, 0x1234_5678, (4u64 << 30) - 1] {
+            let loc = m.decompose(addr).unwrap();
+            assert_eq!(m.recompose(&loc), addr, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let m = map();
+        assert!(m.decompose(4 << 30).is_err());
+        assert!(m.decompose((4 << 30) - 1).is_ok());
+    }
+
+    #[test]
+    fn vault_base_targets_vault() {
+        let m = map();
+        for v in 0..32 {
+            assert_eq!(m.decompose(m.vault_base(v)).unwrap().vault, v);
+        }
+    }
+
+    #[test]
+    fn eight_gig_part_has_more_banks() {
+        let m = AddressMap::new(&DeviceConfig::gen2_8link_8gb());
+        // 32 banks/vault -> 5 bank bits; highest bank reachable.
+        let addr = (31u64) << (6 + 5); // offset 0, vault 0, bank 31
+        let loc = m.decompose(addr).unwrap();
+        assert_eq!(loc.bank, 31);
+        assert_eq!(m.recompose(&loc), addr);
+    }
+
+    #[test]
+    fn block_size_respected() {
+        let mut cfg = DeviceConfig::gen2_4link_4gb();
+        cfg.block_size = 256;
+        let m = AddressMap::new(&cfg);
+        assert_eq!(m.block_size(), 256);
+        assert_eq!(m.decompose(255).unwrap().vault, 0);
+        assert_eq!(m.decompose(256).unwrap().vault, 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Device and simulation configuration.
+//!
+//! The two presets used throughout the paper's evaluation (§V-B) are
+//! [`DeviceConfig::gen2_4link_4gb`] and [`DeviceConfig::gen2_8link_8gb`],
+//! both with a 64-byte maximum block size, 64-slot vault request
+//! queues and 128-slot crossbar queues.
+
+use crate::dram::{BankTiming, RefreshConfig};
+use crate::link::LinkConfig;
+use hmc_types::{CmdKind, HmcError, HmcRqst};
+
+/// Crossbar link-service arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// Serve links in fixed index order each cycle (HMC-Sim's simple
+    /// loop; lower-numbered links win ties).
+    #[default]
+    FixedPriority,
+    /// Rotate the starting link each cycle so tie-breaking is fair.
+    RoundRobin,
+}
+
+/// Which HMC specification revision the device implements.
+///
+/// HMC-Sim 1.0 modeled the 1.0 specification (reads/writes up to 128
+/// bytes plus mode and flow commands); the 2.0 release adds the Gen2
+/// command space — 256-byte transfers, the atomic memory operations
+/// and the CMC slots (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpecRevision {
+    /// HMC specification 1.0.
+    Gen1,
+    /// HMC specification 2.0/2.1 (the paper's target).
+    #[default]
+    Gen2,
+}
+
+impl SpecRevision {
+    /// True when a device of this revision executes `cmd`.
+    pub fn supports(self, cmd: HmcRqst) -> bool {
+        match self {
+            SpecRevision::Gen2 => true,
+            SpecRevision::Gen1 => match cmd.fixed_info() {
+                Some(info) => match info.kind {
+                    CmdKind::Flow | CmdKind::ModeRead | CmdKind::ModeWrite => true,
+                    CmdKind::Read | CmdKind::Write | CmdKind::PostedWrite => {
+                        info.data_bytes <= 128
+                    }
+                    CmdKind::Atomic | CmdKind::PostedAtomic | CmdKind::Cmc => false,
+                },
+                None => false, // CMC requires Gen2
+            },
+        }
+    }
+}
+
+/// Static configuration of one HMC device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Number of host/chain links (2, 4 or 8).
+    pub links: usize,
+    /// Device capacity in bytes (4 or 8 GiB for Gen2 parts).
+    pub capacity: u64,
+    /// Number of quads (link-local vault groups). Gen2 devices have 4.
+    pub quads: usize,
+    /// Vaults per quad (Gen2: 8, for 32 vaults total).
+    pub vaults_per_quad: usize,
+    /// DRAM banks per vault (16 for 4 GB parts, 32 for 8 GB parts).
+    pub banks_per_vault: usize,
+    /// Maximum block size in bytes (32/64/128/256); sets the address
+    /// interleave granularity.
+    pub block_size: usize,
+    /// Vault request-queue depth in slots (paper experiments: 64).
+    pub vault_queue_depth: usize,
+    /// Crossbar queue depth in slots per link (paper experiments: 128).
+    pub xbar_queue_depth: usize,
+    /// Extra cycles a bank stays busy after servicing a request
+    /// (0 = pure queue-structural model, as the paper uses).
+    pub bank_latency: u64,
+    /// Row-buffer timing (all-zero by default, degenerating to the
+    /// paper's untimed bank model).
+    pub bank_timing: BankTiming,
+    /// Packets each link moves per stage per cycle (link bandwidth in
+    /// the packet-rate abstraction).
+    pub link_bandwidth: usize,
+    /// Requests each vault controller retires per cycle.
+    pub vault_bandwidth: usize,
+    /// Cycles a packet spends crossing to a chained neighbour device.
+    pub hop_latency: u64,
+    /// Link-layer protocol configuration (tokens / retry), applied to
+    /// every link of the device. Inert by default.
+    pub link_config: LinkConfig,
+    /// The HMC specification revision the device implements.
+    pub revision: SpecRevision,
+    /// Crossbar arbitration among links.
+    pub arbitration: Arbitration,
+    /// Extra cycles a request pays when its target vault lies in a
+    /// different quad than its entry link's local quad (link *i* is
+    /// local to quad `i % quads`). 0 = uniform crossbar (the paper's
+    /// model).
+    pub remote_quad_penalty: u64,
+    /// Optional DRAM refresh model (None = no refresh, the paper's
+    /// timing-agnostic configuration).
+    pub refresh: Option<RefreshConfig>,
+}
+
+impl DeviceConfig {
+    /// The paper's 4Link-4GB evaluation configuration: 4 links, 4 GiB,
+    /// 32 vaults, 16 banks/vault, 64-byte blocks, 64-slot vault
+    /// queues, 128-slot crossbar queues.
+    pub fn gen2_4link_4gb() -> Self {
+        DeviceConfig {
+            links: 4,
+            capacity: 4 << 30,
+            quads: 4,
+            vaults_per_quad: 8,
+            banks_per_vault: 16,
+            block_size: 64,
+            vault_queue_depth: 64,
+            xbar_queue_depth: 128,
+            bank_latency: 0,
+            bank_timing: BankTiming::default(),
+            link_bandwidth: 1,
+            vault_bandwidth: 1,
+            hop_latency: 1,
+            link_config: LinkConfig::default(),
+            revision: SpecRevision::Gen2,
+            arbitration: Arbitration::FixedPriority,
+            remote_quad_penalty: 0,
+            refresh: None,
+        }
+    }
+
+    /// The paper's 8Link-8GB evaluation configuration: 8 links, 8 GiB,
+    /// 32 vaults, 32 banks/vault; queue depths as above.
+    pub fn gen2_8link_8gb() -> Self {
+        DeviceConfig {
+            links: 8,
+            capacity: 8 << 30,
+            banks_per_vault: 32,
+            ..Self::gen2_4link_4gb()
+        }
+    }
+
+    /// A small 2-link development part, useful for the link-count
+    /// ablation sweeps.
+    pub fn gen2_2link_4gb() -> Self {
+        DeviceConfig { links: 2, ..Self::gen2_4link_4gb() }
+    }
+
+    /// An HMC 1.0 part (HMC-Sim 1.0's model): 4 links, 2 GiB, no
+    /// Gen2 atomics, 256-byte transfers or CMC slots.
+    pub fn gen1_4link_2gb() -> Self {
+        DeviceConfig {
+            capacity: 2 << 30,
+            banks_per_vault: 8,
+            revision: SpecRevision::Gen1,
+            ..Self::gen2_4link_4gb()
+        }
+    }
+
+    /// Total vault count.
+    #[inline]
+    pub fn total_vaults(&self) -> usize {
+        self.quads * self.vaults_per_quad
+    }
+
+    /// Validates structural invariants (power-of-two geometry, legal
+    /// block size, non-zero queues).
+    pub fn validate(&self) -> Result<(), HmcError> {
+        let bad = |why: String| Err(HmcError::MalformedPacket(why));
+        if !matches!(self.links, 2 | 4 | 8) {
+            return bad(format!("links must be 2, 4 or 8, got {}", self.links));
+        }
+        if !matches!(self.block_size, 32 | 64 | 128 | 256) {
+            return bad(format!("block size must be 32/64/128/256, got {}", self.block_size));
+        }
+        for (name, v) in [
+            ("quads", self.quads),
+            ("vaults_per_quad", self.vaults_per_quad),
+            ("banks_per_vault", self.banks_per_vault),
+            ("vault_queue_depth", self.vault_queue_depth),
+            ("xbar_queue_depth", self.xbar_queue_depth),
+            ("link_bandwidth", self.link_bandwidth),
+            ("vault_bandwidth", self.vault_bandwidth),
+        ] {
+            if v == 0 {
+                return bad(format!("{name} must be nonzero"));
+            }
+        }
+        if !self.total_vaults().is_power_of_two() {
+            return bad(format!("vault count {} must be a power of two", self.total_vaults()));
+        }
+        if !self.banks_per_vault.is_power_of_two() {
+            return bad(format!("banks/vault {} must be a power of two", self.banks_per_vault));
+        }
+        if self.capacity == 0 || !self.capacity.is_power_of_two() {
+            return bad(format!("capacity {} must be a nonzero power of two", self.capacity));
+        }
+        if self.capacity < (self.total_vaults() * self.banks_per_vault * self.block_size) as u64 {
+            return bad("capacity smaller than one block per bank".into());
+        }
+        Ok(())
+    }
+
+    /// A short human-readable name, e.g. `4Link-4GB`.
+    pub fn label(&self) -> String {
+        format!("{}Link-{}GB", self.links, self.capacity >> 30)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gen2_4link_4gb()
+    }
+}
+
+/// How multiple devices are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkTopology {
+    /// A single host-attached device (the paper's evaluation setup).
+    #[default]
+    HostOnly,
+    /// Devices chained in a line; the host attaches to device 0 and
+    /// packets for cube *n* traverse *n* hops (paper §II's chaining
+    /// support carried forward from HMC-Sim 1.0).
+    Chain,
+}
+
+/// Configuration of a whole simulation context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Per-device configurations; the device index is its CUB id.
+    pub devices: Vec<DeviceConfig>,
+    /// Inter-device wiring.
+    pub topology: LinkTopology,
+}
+
+impl SimConfig {
+    /// A single-device context.
+    pub fn single(device: DeviceConfig) -> Self {
+        SimConfig { devices: vec![device], topology: LinkTopology::HostOnly }
+    }
+
+    /// A chain of `n` identical devices.
+    pub fn chain(device: DeviceConfig, n: usize) -> Self {
+        SimConfig {
+            devices: std::iter::repeat_n(device, n).collect(),
+            topology: LinkTopology::Chain,
+        }
+    }
+
+    /// Validates every device plus topology constraints (at most 8
+    /// cubes — the CUB field is 3 bits).
+    pub fn validate(&self) -> Result<(), HmcError> {
+        if self.devices.is_empty() {
+            return Err(HmcError::MalformedPacket("no devices configured".into()));
+        }
+        if self.devices.len() > 8 {
+            return Err(HmcError::InvalidCube(self.devices.len() as u8));
+        }
+        for d in &self.devices {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets_are_valid() {
+        let four = DeviceConfig::gen2_4link_4gb();
+        four.validate().unwrap();
+        assert_eq!(four.label(), "4Link-4GB");
+        assert_eq!(four.total_vaults(), 32);
+        assert_eq!(four.vault_queue_depth, 64);
+        assert_eq!(four.xbar_queue_depth, 128);
+        assert_eq!(four.block_size, 64);
+
+        let eight = DeviceConfig::gen2_8link_8gb();
+        eight.validate().unwrap();
+        assert_eq!(eight.label(), "8Link-8GB");
+        assert_eq!(eight.links, 8);
+        assert_eq!(eight.capacity, 8 << 30);
+        assert_eq!(eight.banks_per_vault, 32);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.links = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.block_size = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.vault_queue_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.vaults_per_quad = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.capacity = 3 << 30;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sim_config_bounds() {
+        assert!(SimConfig::single(DeviceConfig::default()).validate().is_ok());
+        assert!(SimConfig::chain(DeviceConfig::default(), 8).validate().is_ok());
+        assert!(SimConfig::chain(DeviceConfig::default(), 9).validate().is_err());
+        let empty = SimConfig { devices: vec![], topology: LinkTopology::HostOnly };
+        assert!(empty.validate().is_err());
+    }
+}

@@ -1,0 +1,1010 @@
+//! The single-cube device model.
+//!
+//! A [`Device`] mirrors the Gen2 hardware structure HMC-Sim models:
+//! per-link crossbar request/response queues, 32 vaults each with a
+//! bounded request queue and response queue fronting its DRAM banks,
+//! the backing memory, the CMC registration table, the register file
+//! and the statistics/power accounting.
+//!
+//! The clock advances in four stages per cycle, executed in reverse
+//! pipeline order so a packet moves through at most one stage per
+//! cycle:
+//!
+//! 1. vault response queues → crossbar response queues
+//! 2. crossbar response queues → host delivery (handled by the
+//!    simulation context, same cycle as stage 1 — the response path
+//!    costs one cycle end-to-end)
+//! 3. vault execution (the `hmcsim_process_rqst` equivalent)
+//! 4. crossbar request queues → vault request queues
+//!
+//! giving an uncontended request a three-cycle round trip.
+
+use crate::addr::AddressMap;
+use crate::config::DeviceConfig;
+use crate::dram::{Bank, BankTiming};
+use crate::power::{PowerConfig, PowerModel};
+use crate::queue::BoundedQueue;
+use crate::regs::RegisterFile;
+use crate::stats::DeviceStats;
+use crate::trace::{TraceLevel, Tracer};
+use hmc_cmc::{CmcContext, CmcRegistry};
+use hmc_mem::SparseMemory;
+use hmc_types::packet::payload_words;
+use hmc_types::rsp::HmcResponse;
+use hmc_types::{CmdKind, Cub, HmcError, HmcRqst, Request, Response, RspHead, RspTail, Slid};
+
+/// A request in flight inside the simulator, carrying the host-side
+/// bookkeeping the C implementation keeps in its packet envelopes.
+#[derive(Debug, Clone)]
+pub struct TrackedRequest {
+    /// The wire packet.
+    pub req: Request,
+    /// The device index the host injected the packet into.
+    pub entry_device: usize,
+    /// The link the packet entered on.
+    pub entry_link: usize,
+    /// Simulation cycle at injection.
+    pub issue_cycle: u64,
+    /// Chained-device hops traversed so far.
+    pub hops: u32,
+    /// Earliest cycle the vault may execute this request (set by the
+    /// crossbar when the target quad is remote to the entry link).
+    pub ready_cycle: u64,
+}
+
+/// A response in flight, annotated with completion data.
+#[derive(Debug, Clone)]
+pub struct TrackedResponse {
+    /// The wire packet.
+    pub rsp: Response,
+    /// Cycle the originating request was injected.
+    pub issue_cycle: u64,
+    /// Cycle the response became visible to the host (set at
+    /// delivery).
+    pub complete_cycle: u64,
+    /// Round-trip latency in cycles (set at delivery).
+    pub latency: u64,
+    /// The device the originating request entered through.
+    pub entry_device: usize,
+    /// The link the response must be delivered on.
+    pub entry_link: usize,
+}
+
+/// One vault: request/response queues plus per-bank busy tracking.
+#[derive(Debug)]
+pub(crate) struct Vault {
+    pub(crate) rqst: BoundedQueue<TrackedRequest>,
+    pub(crate) rsp: BoundedQueue<TrackedResponse>,
+    banks: Vec<Bank>,
+}
+
+impl Vault {
+    fn new(config: &DeviceConfig) -> Self {
+        Vault {
+            rqst: BoundedQueue::new(config.vault_queue_depth),
+            rsp: BoundedQueue::new(config.vault_queue_depth),
+            banks: (0..config.banks_per_vault).map(|_| Bank::default()).collect(),
+        }
+    }
+}
+
+/// What the request-routing stage asks the simulation context to do
+/// with a packet destined for another cube.
+#[derive(Debug)]
+pub(crate) struct ForwardRequest {
+    pub(crate) item: TrackedRequest,
+    pub(crate) from_link: usize,
+}
+
+/// The result of one request-routing stage.
+#[derive(Debug, Default)]
+pub(crate) struct RouteOutcome {
+    /// Packets destined for other cubes.
+    pub(crate) forwards: Vec<ForwardRequest>,
+    /// FLITs freed from each link's crossbar input buffer this cycle
+    /// (the token-return path).
+    pub(crate) freed_flits: Vec<u64>,
+}
+
+/// A response leaving the device: either for the local host or for a
+/// chained neighbour.
+#[derive(Debug)]
+pub(crate) enum Egress {
+    Deliver(TrackedResponse),
+    Forward(TrackedResponse),
+}
+
+/// A single simulated HMC device.
+#[derive(Debug)]
+pub struct Device {
+    id: usize,
+    config: DeviceConfig,
+    map: AddressMap,
+    xbar_rqst: Vec<BoundedQueue<TrackedRequest>>,
+    xbar_rsp: Vec<BoundedQueue<TrackedResponse>>,
+    vaults: Vec<Vault>,
+    mem: SparseMemory,
+    cmc: CmcRegistry,
+    regs: RegisterFile,
+    stats: DeviceStats,
+    power: PowerModel,
+    /// Row-buffer timing with the flat `bank_latency` folded in.
+    bank_timing: BankTiming,
+}
+
+impl Device {
+    /// Builds a device with the given cube id and configuration.
+    pub fn new(id: usize, config: DeviceConfig) -> Result<Self, HmcError> {
+        config.validate()?;
+        let bank_timing = BankTiming {
+            row_hit: config.bank_timing.row_hit + config.bank_latency,
+            row_miss: config.bank_timing.row_miss + config.bank_latency,
+            policy: config.bank_timing.policy,
+        };
+        Ok(Device {
+            id,
+            map: AddressMap::new(&config),
+            xbar_rqst: (0..config.links)
+                .map(|_| BoundedQueue::new(config.xbar_queue_depth))
+                .collect(),
+            xbar_rsp: (0..config.links)
+                .map(|_| BoundedQueue::new(config.xbar_queue_depth))
+                .collect(),
+            vaults: (0..config.total_vaults()).map(|_| Vault::new(&config)).collect(),
+            mem: SparseMemory::new(config.capacity),
+            cmc: CmcRegistry::new(),
+            regs: RegisterFile::new(config.capacity, config.links),
+            stats: DeviceStats::default(),
+            power: PowerModel::new(PowerConfig::default()),
+            bank_timing,
+            config,
+        })
+    }
+
+    /// The cube id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// The address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Read-only statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// The accumulated power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The CMC registration table.
+    pub fn cmc(&self) -> &CmcRegistry {
+        &self.cmc
+    }
+
+    /// Mutable CMC registration table (used by `hmc_load_cmc`).
+    pub fn cmc_mut(&mut self) -> &mut CmcRegistry {
+        &mut self.cmc
+    }
+
+    /// The register file (JTAG access path).
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Mutable register file (JTAG write path).
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Host backdoor: direct memory read (simulation setup /
+    /// verification, like HMC-Sim's direct memory initialization).
+    pub fn mem(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// Host backdoor: direct memory write.
+    pub fn mem_mut(&mut self) -> &mut SparseMemory {
+        &mut self.mem
+    }
+
+    /// Counts a host-visible send stall (link layer rejected the
+    /// packet before it reached the crossbar queue).
+    pub(crate) fn count_send_stall(&mut self) {
+        self.stats.send_stalls += 1;
+    }
+
+    /// True when `link`'s crossbar request queue can accept a packet.
+    pub(crate) fn link_can_accept(&self, link: usize) -> bool {
+        link < self.config.links && !self.xbar_rqst[link].is_full()
+    }
+
+    /// Injects a packet into a link's crossbar request queue
+    /// (`hmc_send_packet`). Returns the packet on stall so the host
+    /// can retry.
+    #[allow(clippy::result_large_err)] // stalls hand the packet back by value
+    pub(crate) fn send(
+        &mut self,
+        link: usize,
+        item: TrackedRequest,
+    ) -> Result<(), (TrackedRequest, HmcError)> {
+        if link >= self.config.links {
+            return Err((item, HmcError::InvalidLink(link)));
+        }
+        let flits = item.req.flits() as u64;
+        match self.xbar_rqst[link].push(item) {
+            Ok(()) => {
+                self.stats.rqst_flits += flits;
+                self.power.add_link_flits(flits);
+                Ok(())
+            }
+            Err((item, e)) => {
+                self.stats.send_stalls += 1;
+                Err((item, e))
+            }
+        }
+    }
+
+    /// Accepts a packet forwarded from a chained neighbour.
+    #[allow(clippy::result_large_err)] // stalls hand the packet back by value
+    pub(crate) fn accept_forward(
+        &mut self,
+        link: usize,
+        item: TrackedRequest,
+    ) -> Result<(), (TrackedRequest, HmcError)> {
+        let link = link % self.config.links;
+        self.xbar_rqst[link].push(item)
+    }
+
+    /// Accepts a response travelling back toward its entry device.
+    #[allow(clippy::result_large_err)] // stalls hand the packet back by value
+    pub(crate) fn accept_return(
+        &mut self,
+        link: usize,
+        item: TrackedResponse,
+    ) -> Result<(), (TrackedResponse, HmcError)> {
+        let link = link % self.config.links;
+        self.xbar_rsp[link].push(item)
+    }
+
+    /// Stage 1: vault response queues → crossbar response queues.
+    pub(crate) fn route_responses(&mut self, cycle: u64, tracer: &mut Tracer) {
+        for (v, vault) in self.vaults.iter_mut().enumerate() {
+            for _ in 0..self.config.vault_bandwidth {
+                let Some(rsp) = vault.rsp.peek() else { break };
+                let link = rsp.entry_link % self.config.links;
+                if self.xbar_rsp[link].is_full() {
+                    self.stats.vault_stalls += 1;
+                    tracer.event(
+                        TraceLevel::STALL,
+                        cycle,
+                        "STALL",
+                        format_args!("xbar rsp queue full: vault={v} link={link}"),
+                    );
+                    break;
+                }
+                let rsp = vault.rsp.pop().expect("peeked");
+                self.xbar_rsp[link]
+                    .try_push(rsp)
+                    .expect("checked not full");
+            }
+        }
+    }
+
+    /// Stage 2: crossbar response queues → egress (host delivery or
+    /// chained return). The simulation context completes delivery.
+    pub(crate) fn drain_responses(&mut self, _cycle: u64) -> Vec<Egress> {
+        let mut out = Vec::new();
+        for link in 0..self.config.links {
+            for _ in 0..self.config.link_bandwidth {
+                let Some(rsp) = self.xbar_rsp[link].pop() else { break };
+                let flits = rsp.rsp.flits() as u64;
+                if rsp.entry_device == self.id {
+                    self.stats.rsp_flits += flits;
+                    self.power.add_link_flits(flits);
+                    out.push(Egress::Deliver(rsp));
+                } else {
+                    out.push(Egress::Forward(rsp));
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage 3: vault execution — the `hmcsim_process_rqst`
+    /// equivalent.
+    pub(crate) fn execute_vaults(&mut self, cycle: u64, tracer: &mut Tracer) {
+        let Device {
+            id,
+            config,
+            map,
+            vaults,
+            mem,
+            cmc,
+            regs,
+            stats,
+            power,
+            bank_timing,
+            ..
+        } = self;
+        for (vidx, vault) in vaults.iter_mut().enumerate() {
+            for _ in 0..config.vault_bandwidth {
+                let Some(head) = vault.rqst.peek() else { break };
+                if head.ready_cycle > cycle {
+                    // Still crossing the quad fabric.
+                    break;
+                }
+                let addr = head.req.head.addr;
+                let loc = match map.decompose(addr) {
+                    Ok(loc) => loc,
+                    Err(_) => {
+                        // Out-of-range addresses produce error
+                        // responses; fabricate a location for
+                        // bookkeeping.
+                        crate::addr::Location { quad: 0, vault: vidx as u32, bank: 0, row: 0, offset: 0 }
+                    }
+                };
+                let bank = loc.bank as usize % config.banks_per_vault;
+                if let Some(refresh) = &config.refresh {
+                    let global_bank = (vidx * config.banks_per_vault + bank) as u64;
+                    let total = (config.total_vaults() * config.banks_per_vault) as u64;
+                    if refresh.blocks(cycle, global_bank, total) {
+                        stats.vault_stalls += 1;
+                        tracer.event(
+                            TraceLevel::BANK,
+                            cycle,
+                            "BANK",
+                            format_args!("refresh: vault={vidx} bank={bank}"),
+                        );
+                        break;
+                    }
+                }
+                if vault.banks[bank].is_busy(cycle) {
+                    stats.vault_stalls += 1;
+                    tracer.event(
+                        TraceLevel::BANK,
+                        cycle,
+                        "BANK",
+                        format_args!("bank busy: vault={vidx} bank={bank}"),
+                    );
+                    break;
+                }
+                let posted = is_posted(&head.req, cmc);
+                if !posted && vault.rsp.is_full() {
+                    stats.vault_stalls += 1;
+                    tracer.event(
+                        TraceLevel::STALL,
+                        cycle,
+                        "STALL",
+                        format_args!("vault rsp queue full: vault={vidx}"),
+                    );
+                    break;
+                }
+                let item = vault.rqst.pop().expect("peeked");
+                vault.banks[bank].access(cycle, loc.row, bank_timing);
+                power.add_dram_access();
+                let rsp = execute_request(
+                    *id, config, &item, &loc, mem, cmc, regs, stats, power, cycle, tracer,
+                );
+                if let Some(rsp) = rsp {
+                    stats.responses += 1;
+                    vault
+                        .rsp
+                        .try_push(TrackedResponse {
+                            rsp,
+                            issue_cycle: item.issue_cycle,
+                            complete_cycle: 0,
+                            latency: 0,
+                            entry_device: item.entry_device,
+                            entry_link: item.entry_link,
+                        })
+                        .expect("rsp queue checked above");
+                }
+            }
+        }
+    }
+
+    /// Stage 4: crossbar request queues → vault request queues, or
+    /// hand packets for other cubes back to the simulation context.
+    pub(crate) fn route_requests(&mut self, cycle: u64, tracer: &mut Tracer) -> RouteOutcome {
+        let mut out = RouteOutcome {
+            forwards: Vec::new(),
+            freed_flits: vec![0; self.config.links],
+        };
+        // Arbitration: fixed priority serves links in index order;
+        // round-robin rotates the first-served link each cycle.
+        let start = match self.config.arbitration {
+            crate::config::Arbitration::FixedPriority => 0,
+            crate::config::Arbitration::RoundRobin => (cycle as usize) % self.config.links,
+        };
+        for i in 0..self.config.links {
+            let link = (start + i) % self.config.links;
+            for _ in 0..self.config.link_bandwidth {
+                let Some(head) = self.xbar_rqst[link].peek() else { break };
+                if head.req.head.cub.value() as usize != self.id {
+                    let item = self.xbar_rqst[link].pop().expect("peeked");
+                    self.stats.forwarded += 1;
+                    out.freed_flits[link] += item.req.flits() as u64;
+                    out.forwards.push(ForwardRequest { item, from_link: link });
+                    continue;
+                }
+                let vault = match self.map.decompose(head.req.head.addr) {
+                    Ok(loc) => loc.vault as usize,
+                    Err(_) => 0, // error surfaces at execution
+                };
+                if self.vaults[vault].rqst.is_full() {
+                    self.stats.xbar_stalls += 1;
+                    tracer.event(
+                        TraceLevel::STALL,
+                        cycle,
+                        "STALL",
+                        format_args!("vault rqst queue full: link={link} vault={vault}"),
+                    );
+                    break;
+                }
+                let mut item = self.xbar_rqst[link].pop().expect("peeked");
+                out.freed_flits[link] += item.req.flits() as u64;
+                // Quad affinity: link i is local to quad i % quads;
+                // requests for other quads pay the crossing penalty.
+                if self.config.remote_quad_penalty > 0 {
+                    let target_quad = vault / self.config.vaults_per_quad;
+                    if target_quad != link % self.config.quads {
+                        // Execution normally starts next cycle; the
+                        // penalty delays it by that many extra cycles.
+                        item.ready_cycle = cycle + 1 + self.config.remote_quad_penalty;
+                        self.stats.remote_quad_requests += 1;
+                    }
+                }
+                tracer.event(
+                    TraceLevel::QUEUE,
+                    cycle,
+                    "QUEUE",
+                    format_args!(
+                        "xbar->vault: link={link} vault={vault} occ={}",
+                        self.vaults[vault].rqst.len() + 1
+                    ),
+                );
+                self.vaults[vault]
+                    .rqst
+                    .try_push(item)
+                    .expect("checked not full");
+            }
+        }
+        out
+    }
+
+    /// Aggregate row-buffer statistics across all banks:
+    /// `(row_hits, row_misses)`.
+    pub fn row_buffer_stats(&self) -> (u64, u64) {
+        self.vaults
+            .iter()
+            .flat_map(|v| v.banks.iter())
+            .fold((0, 0), |(h, m), b| (h + b.row_hits, m + b.row_misses))
+    }
+
+    /// Packets currently resident in any device queue (crossbar or
+    /// vault, either direction). Zero means the device is quiescent.
+    pub fn pending_work(&self) -> usize {
+        self.xbar_rqst.iter().map(|q| q.len()).sum::<usize>()
+            + self.xbar_rsp.iter().map(|q| q.len()).sum::<usize>()
+            + self
+                .vaults
+                .iter()
+                .map(|v| v.rqst.len() + v.rsp.len())
+                .sum::<usize>()
+    }
+
+    /// Total crossbar-queue stall count (for diagnostics).
+    pub fn xbar_queue_stalls(&self) -> u64 {
+        self.xbar_rqst.iter().map(|q| q.stalls()).sum()
+    }
+
+    /// Highest vault request-queue occupancy observed.
+    pub fn vault_queue_high_water(&self) -> usize {
+        self.vaults.iter().map(|v| v.rqst.high_water()).max().unwrap_or(0)
+    }
+
+    /// Leakage accounting hook, called once per cycle.
+    pub(crate) fn tick_power(&mut self) {
+        self.power.add_cycles(1);
+    }
+
+    /// Records a completed-request latency (delivery happens at the
+    /// context level, but the counter belongs to the entry device).
+    pub(crate) fn stats_latency(&mut self, latency: u64) {
+        self.stats.latency.record(latency);
+    }
+}
+
+/// Postedness of a request: fixed for standard commands, registry-
+/// defined for CMC commands (unknown CMC commands are treated as
+/// non-posted so the host receives the error response).
+fn is_posted(req: &Request, cmc: &CmcRegistry) -> bool {
+    match req.head.cmd {
+        HmcRqst::Cmc(code) => cmc
+            .lookup(code)
+            .map(|op| op.registration().is_posted())
+            .unwrap_or(false),
+        cmd => cmd.is_posted(),
+    }
+}
+
+/// Builds an error response for a failed request.
+fn error_response(dev: usize, item: &TrackedRequest, errstat: u8) -> Response {
+    Response {
+        head: RspHead {
+            cmd: HmcResponse::Error,
+            lng: 1,
+            tag: item.req.head.tag,
+            af: false,
+            slid: Slid::new((item.entry_link % 8) as u8).expect("link < 8"),
+            cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
+        },
+        payload: vec![],
+        tail: RspTail { errstat, ..RspTail::default() },
+    }
+}
+
+/// Builds a success response.
+fn make_response(
+    dev: usize,
+    item: &TrackedRequest,
+    cmd: HmcResponse,
+    payload: Vec<u64>,
+    af: bool,
+) -> Response {
+    let lng = (1 + payload.len() / 2) as u8;
+    Response {
+        head: RspHead {
+            cmd,
+            lng,
+            tag: item.req.head.tag,
+            af,
+            slid: Slid::new((item.entry_link % 8) as u8).expect("link < 8"),
+            cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
+        },
+        payload,
+        tail: RspTail::default(),
+    }
+}
+
+/// Executes one request against the device state, returning the
+/// response packet (None for posted/flow commands).
+#[allow(clippy::too_many_arguments)]
+fn execute_request(
+    dev: usize,
+    config: &DeviceConfig,
+    item: &TrackedRequest,
+    loc: &crate::addr::Location,
+    mem: &mut SparseMemory,
+    cmc: &CmcRegistry,
+    regs: &mut RegisterFile,
+    stats: &mut DeviceStats,
+    power: &mut PowerModel,
+    cycle: u64,
+    tracer: &mut Tracer,
+) -> Option<Response> {
+    let cmd = item.req.head.cmd;
+    let addr = item.req.head.addr;
+    let kind = cmd.kind();
+    stats.count_kind(kind);
+
+    // Revision gate: a Gen1 part rejects Gen2-only commands with an
+    // error response (HMC-Sim 1.0 never accepted them).
+    if !config.revision.supports(cmd) {
+        tracer.event(
+            TraceLevel::CMD,
+            cycle,
+            "RQST",
+            format_args!("CMD={} rejected: not in {:?}", cmd.mnemonic(), config.revision),
+        );
+        stats.error_responses += 1;
+        return if cmd.is_posted() { None } else { Some(error_response(dev, item, 0x20)) };
+    }
+
+    let trace_cmd = |tracer: &mut Tracer, name: &str| {
+        tracer.event(
+            TraceLevel::CMD,
+            cycle,
+            "RQST",
+            format_args!(
+                "CMD={name} CUB={dev} QUAD={} VAULT={} BANK={} ADDR={addr:#x} TAG={}",
+                loc.quad,
+                loc.vault,
+                loc.bank,
+                item.req.head.tag.value()
+            ),
+        );
+    };
+
+    let fail = |stats: &mut DeviceStats, errstat: u8, posted: bool| {
+        stats.error_responses += 1;
+        if posted {
+            None
+        } else {
+            Some(error_response(dev, item, errstat))
+        }
+    };
+
+    match kind {
+        CmdKind::Flow => {
+            trace_cmd(tracer, &cmd.mnemonic());
+            None
+        }
+        CmdKind::Read => {
+            trace_cmd(tracer, &cmd.mnemonic());
+            let bytes = cmd.fixed_info().expect("standard").data_bytes as usize;
+            match mem.read_words(addr, bytes / 8) {
+                Ok(payload) => Some(make_response(dev, item, HmcResponse::RdRs, payload, false)),
+                Err(_) => fail(stats, 0x01, false),
+            }
+        }
+        CmdKind::Write | CmdKind::PostedWrite => {
+            trace_cmd(tracer, &cmd.mnemonic());
+            let posted = kind == CmdKind::PostedWrite;
+            match mem.write_words(addr, &item.req.payload) {
+                Ok(()) => {
+                    if posted {
+                        None
+                    } else {
+                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], false))
+                    }
+                }
+                Err(_) => fail(stats, 0x01, posted),
+            }
+        }
+        CmdKind::ModeRead => {
+            trace_cmd(tracer, "MD_RD");
+            match regs.read(addr as u32) {
+                Ok(v) => Some(make_response(dev, item, HmcResponse::MdRdRs, vec![v, 0], false)),
+                Err(_) => fail(stats, 0x02, false),
+            }
+        }
+        CmdKind::ModeWrite => {
+            trace_cmd(tracer, "MD_WR");
+            let value = item.req.payload.first().copied().unwrap_or(0);
+            match regs.write(addr as u32, value) {
+                Ok(()) => Some(make_response(dev, item, HmcResponse::MdWrRs, vec![], false)),
+                Err(_) => fail(stats, 0x02, false),
+            }
+        }
+        CmdKind::Atomic | CmdKind::PostedAtomic => {
+            trace_cmd(tracer, &cmd.mnemonic());
+            power.add_logic_op();
+            let posted = kind == CmdKind::PostedAtomic;
+            match hmc_mem::amo::execute(cmd, mem, addr, &item.req.payload) {
+                Ok(out) => {
+                    let rsp_flits = cmd.fixed_info().expect("standard").rsp_flits;
+                    if rsp_flits == 0 {
+                        None
+                    } else if rsp_flits == 1 {
+                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], out.af))
+                    } else {
+                        let mut payload = out.payload;
+                        payload.resize(payload_words(rsp_flits), 0);
+                        Some(make_response(dev, item, HmcResponse::RdRs, payload, out.af))
+                    }
+                }
+                Err(_) => fail(stats, 0x03, posted),
+            }
+        }
+        CmdKind::Cmc => {
+            let HmcRqst::Cmc(code) = cmd else { unreachable!("kind Cmc") };
+            let loaded = match cmc.lookup(code) {
+                Ok(loaded) => loaded,
+                Err(_) => {
+                    // Paper §IV-C2: packets for a command not marked
+                    // active return an error.
+                    trace_cmd(tracer, &format!("CMC{code}(inactive)"));
+                    return fail(stats, 0x10, false);
+                }
+            };
+            let reg = loaded.registration().clone();
+            if item.req.head.lng != reg.rqst_len {
+                trace_cmd(tracer, loaded.trace_name());
+                return fail(stats, 0x11, reg.is_posted());
+            }
+            power.add_logic_op();
+            let mut rsp_payload = vec![0u64; reg.rsp_payload_words()];
+            let mut ctx = CmcContext {
+                dev: dev as u32,
+                quad: loc.quad,
+                vault: loc.vault,
+                bank: loc.bank,
+                addr,
+                length: item.req.head.lng as u32,
+                head: item.req.head.encode(),
+                tail: item.req.tail.encode(),
+                cycle,
+                rqst_payload: &item.req.payload,
+                rsp_payload: &mut rsp_payload,
+                mem,
+            };
+            match loaded.execute(&mut ctx) {
+                Ok(result) => {
+                    // Discrete tracing: the CMC op resolves in the
+                    // trace under its cmc_str name like any command.
+                    trace_cmd(tracer, loaded.trace_name());
+                    tracer.event(
+                        TraceLevel::CMC,
+                        cycle,
+                        "CMC",
+                        format_args!(
+                            "op={} cmd={code} af={} rsp_len={}",
+                            loaded.trace_name(),
+                            result.af,
+                            reg.rsp_len
+                        ),
+                    );
+                    if reg.is_posted() {
+                        None
+                    } else {
+                        Some(make_response(dev, item, reg.rsp_cmd, rsp_payload, result.af))
+                    }
+                }
+                Err(_) => {
+                    trace_cmd(tracer, loaded.trace_name());
+                    fail(stats, 0x12, reg.is_posted())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::Tag;
+
+    fn tracked(req: Request) -> TrackedRequest {
+        TrackedRequest { req, entry_device: 0, entry_link: 0, issue_cycle: 0, hops: 0, ready_cycle: 0 }
+    }
+
+    fn device() -> Device {
+        Device::new(0, DeviceConfig::gen2_4link_4gb()).unwrap()
+    }
+
+    #[test]
+    fn send_counts_flits() {
+        let mut dev = device();
+        let req = Request::new(
+            HmcRqst::Wr64,
+            Tag::new(1).unwrap(),
+            0x1000,
+            Cub::new(0).unwrap(),
+            vec![0; 8],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        assert_eq!(dev.stats().rqst_flits, 5);
+    }
+
+    #[test]
+    fn send_invalid_link_rejected() {
+        let mut dev = device();
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(0).unwrap(),
+            0,
+            Cub::new(0).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        let (_, err) = dev.send(4, tracked(req)).unwrap_err();
+        assert!(matches!(err, HmcError::InvalidLink(4)));
+    }
+
+    #[test]
+    fn full_xbar_queue_stalls_send() {
+        let mut cfg = DeviceConfig::gen2_4link_4gb();
+        cfg.xbar_queue_depth = 1;
+        let mut dev = Device::new(0, cfg).unwrap();
+        let mk = || {
+            tracked(
+                Request::new(
+                    HmcRqst::Rd16,
+                    Tag::new(0).unwrap(),
+                    0,
+                    Cub::new(0).unwrap(),
+                    vec![],
+                )
+                .unwrap(),
+            )
+        };
+        dev.send(0, mk()).unwrap();
+        let (_, err) = dev.send(0, mk()).unwrap_err();
+        assert!(err.is_stall());
+        assert_eq!(dev.stats().send_stalls, 1);
+    }
+
+    #[test]
+    fn full_pipeline_read_round_trip() {
+        let mut dev = device();
+        dev.mem_mut().write_u64(0x40, 0xABCD).unwrap();
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(5).unwrap(),
+            0x40,
+            Cub::new(0).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        dev.send(1, tracked(req)).unwrap();
+        let mut tracer = Tracer::disabled();
+
+        // Cycle 0: request routes to its vault.
+        dev.route_requests(0, &mut tracer);
+        // Cycle 1: vault executes.
+        dev.execute_vaults(1, &mut tracer);
+        // Cycle 2: response routes and drains.
+        dev.route_responses(2, &mut tracer);
+        let egress = dev.drain_responses(2);
+        assert_eq!(egress.len(), 1);
+        match &egress[0] {
+            Egress::Deliver(rsp) => {
+                assert_eq!(rsp.rsp.head.cmd, HmcResponse::RdRs);
+                assert_eq!(rsp.rsp.head.tag.value(), 5);
+                assert_eq!(rsp.rsp.payload[0], 0xABCD);
+                assert_eq!(rsp.entry_link, 0);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(dev.stats().reads, 1);
+        assert_eq!(dev.stats().responses, 1);
+    }
+
+    #[test]
+    fn posted_write_generates_no_response() {
+        let mut dev = device();
+        let req = Request::new(
+            HmcRqst::PWr16,
+            Tag::new(0).unwrap(),
+            0x80,
+            Cub::new(0).unwrap(),
+            vec![0x11, 0x22],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        let mut tracer = Tracer::disabled();
+        dev.route_requests(0, &mut tracer);
+        dev.execute_vaults(1, &mut tracer);
+        dev.route_responses(2, &mut tracer);
+        assert!(dev.drain_responses(2).is_empty());
+        assert_eq!(dev.mem().read_u64(0x80).unwrap(), 0x11);
+        assert_eq!(dev.stats().posted_writes, 1);
+        assert_eq!(dev.stats().responses, 0);
+    }
+
+    #[test]
+    fn inactive_cmc_returns_error_response() {
+        let mut dev = device();
+        let req = Request::new_cmc(
+            125,
+            2,
+            Tag::new(3).unwrap(),
+            0x40,
+            Cub::new(0).unwrap(),
+            vec![7, 0],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        let mut tracer = Tracer::disabled();
+        dev.route_requests(0, &mut tracer);
+        dev.execute_vaults(1, &mut tracer);
+        dev.route_responses(2, &mut tracer);
+        let egress = dev.drain_responses(2);
+        match &egress[0] {
+            Egress::Deliver(rsp) => {
+                assert_eq!(rsp.rsp.head.cmd, HmcResponse::Error);
+                assert_eq!(rsp.rsp.tail.errstat, 0x10);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(dev.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn foreign_cub_is_forwarded() {
+        let mut dev = device();
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(0).unwrap(),
+            0,
+            Cub::new(3).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        let mut tracer = Tracer::disabled();
+        let outcome = dev.route_requests(0, &mut tracer);
+        assert_eq!(outcome.forwards.len(), 1);
+        assert_eq!(outcome.forwards[0].from_link, 0);
+        assert_eq!(outcome.freed_flits[0], 1, "forwarded packet freed its flit");
+        assert_eq!(dev.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn mode_read_reaches_register_file() {
+        let mut dev = device();
+        let req = Request::new(
+            HmcRqst::MdRd,
+            Tag::new(2).unwrap(),
+            crate::regs::REG_FEAT as u64,
+            Cub::new(0).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        let mut tracer = Tracer::disabled();
+        dev.route_requests(0, &mut tracer);
+        dev.execute_vaults(1, &mut tracer);
+        dev.route_responses(2, &mut tracer);
+        match &dev.drain_responses(2)[0] {
+            Egress::Deliver(rsp) => {
+                assert_eq!(rsp.rsp.head.cmd, HmcResponse::MdRdRs);
+                assert_eq!(rsp.rsp.payload[0], 0x44);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bank_latency_stalls_back_to_back_same_bank() {
+        let mut cfg = DeviceConfig::gen2_4link_4gb();
+        cfg.bank_latency = 4;
+        let mut dev = Device::new(0, cfg).unwrap();
+        let mk = |tag: u32| {
+            tracked(
+                Request::new(
+                    HmcRqst::Rd16,
+                    Tag::new(tag).unwrap(),
+                    0x40, // same block -> same bank
+                    Cub::new(0).unwrap(),
+                    vec![],
+                )
+                .unwrap(),
+            )
+        };
+        dev.send(0, mk(1)).unwrap();
+        dev.send(0, mk(2)).unwrap();
+        let mut tracer = Tracer::disabled();
+        dev.route_requests(0, &mut tracer);
+        dev.route_requests(1, &mut tracer);
+        dev.execute_vaults(2, &mut tracer); // first executes, bank busy until 6
+        dev.execute_vaults(3, &mut tracer); // second stalls
+        assert_eq!(dev.stats().reads, 1);
+        assert!(dev.stats().vault_stalls >= 1);
+        dev.execute_vaults(7, &mut tracer); // bank free again
+        assert_eq!(dev.stats().reads, 2);
+    }
+
+    #[test]
+    fn trace_records_cmd_events() {
+        let mut dev = device();
+        let buf = crate::trace::TraceBuffer::new();
+        let mut tracer = Tracer::to_buffer(TraceLevel::CMD, buf.clone());
+        let req = Request::new(
+            HmcRqst::Inc8,
+            Tag::new(9).unwrap(),
+            0x40,
+            Cub::new(0).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        dev.send(0, tracked(req)).unwrap();
+        dev.route_requests(0, &mut tracer);
+        dev.execute_vaults(1, &mut tracer);
+        let cmds = buf.grep("CMD=INC8");
+        assert_eq!(cmds.len(), 1);
+        assert!(cmds[0].contains("TAG=9"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bank-level DRAM timing: row buffers and busy windows.
+//!
+//! HMC-Sim's core model is deliberately timing-agnostic (paper §VII),
+//! but its structure exposes banks; this module adds an optional
+//! row-buffer model on top so users can study open-row locality —
+//! part of the "more accurate timing resolution" the paper names as
+//! future work. With all latencies at their zero defaults the model
+//! degenerates to the paper's pure queue-structural behaviour.
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPolicy {
+    /// Keep the row open after an access (open-page): subsequent
+    /// accesses to the same row pay the hit latency, a different row
+    /// pays the miss latency.
+    #[default]
+    OpenPage,
+    /// Precharge after every access (closed-page): every access pays
+    /// the miss latency, but there is no worst-case conflict penalty.
+    ClosedPage,
+}
+
+/// Bank timing parameters, all in device cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankTiming {
+    /// Extra busy cycles for an access that hits the open row.
+    pub row_hit: u64,
+    /// Extra busy cycles for an access that opens a new row
+    /// (precharge + activate).
+    pub row_miss: u64,
+    /// Row-buffer policy.
+    pub policy: RowPolicy,
+}
+
+/// Periodic DRAM refresh parameters.
+///
+/// Every `interval` cycles each bank is unavailable for `duration`
+/// cycles (tRFC). Banks refresh staggered: bank *k* of *n* begins its
+/// window at `k * interval / n`, the usual per-bank refresh rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshConfig {
+    /// Cycles between refreshes of one bank (tREFI analogue).
+    pub interval: u64,
+    /// Cycles a refresh blocks the bank (tRFC analogue).
+    pub duration: u64,
+}
+
+impl RefreshConfig {
+    /// True when `bank_index` (of `total_banks` in the device) is in
+    /// its refresh window at `cycle`.
+    pub fn blocks(&self, cycle: u64, bank_index: u64, total_banks: u64) -> bool {
+        if self.interval == 0 || self.duration == 0 {
+            return false;
+        }
+        let offset = bank_index * self.interval / total_banks.max(1);
+        (cycle + self.interval - offset % self.interval) % self.interval < self.duration
+    }
+}
+
+/// One DRAM bank's dynamic state.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    busy_until: u64,
+    open_row: Option<u64>,
+    /// Accesses that hit the open row.
+    pub row_hits: u64,
+    /// Accesses that required an activate.
+    pub row_misses: u64,
+}
+
+impl Bank {
+    /// True when the bank cannot accept an access at `cycle`.
+    #[inline]
+    pub fn is_busy(&self, cycle: u64) -> bool {
+        self.busy_until > cycle
+    }
+
+    /// Performs an access to `row` at `cycle`, updating the row
+    /// buffer and the busy window, and returns the access latency in
+    /// cycles.
+    pub fn access(&mut self, cycle: u64, row: u64, timing: &BankTiming) -> u64 {
+        debug_assert!(!self.is_busy(cycle), "caller checks is_busy first");
+        let hit = self.open_row == Some(row) && timing.policy == RowPolicy::OpenPage;
+        let latency = if hit {
+            self.row_hits += 1;
+            timing.row_hit
+        } else {
+            self.row_misses += 1;
+            timing.row_miss
+        };
+        self.open_row = match timing.policy {
+            RowPolicy::OpenPage => Some(row),
+            RowPolicy::ClosedPage => None,
+        };
+        self.busy_until = cycle + latency;
+        latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(hit: u64, miss: u64, policy: RowPolicy) -> BankTiming {
+        BankTiming { row_hit: hit, row_miss: miss, policy }
+    }
+
+    #[test]
+    fn zero_timing_is_the_paper_model() {
+        let mut bank = Bank::default();
+        let t = BankTiming::default();
+        assert_eq!(bank.access(0, 5, &t), 0);
+        assert!(!bank.is_busy(0), "zero latency never blocks");
+        assert_eq!(bank.access(0, 9, &t), 0);
+    }
+
+    #[test]
+    fn open_page_hits_and_misses() {
+        let mut bank = Bank::default();
+        let t = timing(2, 10, RowPolicy::OpenPage);
+        assert_eq!(bank.access(0, 5, &t), 10, "first access activates");
+        assert!(bank.is_busy(9));
+        assert!(!bank.is_busy(10));
+        assert_eq!(bank.access(10, 5, &t), 2, "same row hits");
+        assert_eq!(bank.access(20, 6, &t), 10, "row change misses");
+        assert_eq!(bank.row_hits, 1);
+        assert_eq!(bank.row_misses, 2);
+    }
+
+    #[test]
+    fn closed_page_always_misses() {
+        let mut bank = Bank::default();
+        let t = timing(2, 10, RowPolicy::ClosedPage);
+        assert_eq!(bank.access(0, 5, &t), 10);
+        assert_eq!(bank.access(20, 5, &t), 10, "row not kept open");
+        assert_eq!(bank.row_hits, 0);
+        assert_eq!(bank.row_misses, 2);
+    }
+
+    #[test]
+    fn refresh_windows_are_periodic_and_staggered() {
+        let r = RefreshConfig { interval: 100, duration: 10 };
+        // Bank 0 of 4 refreshes at cycles [0,10), [100,110), ...
+        assert!(r.blocks(0, 0, 4));
+        assert!(r.blocks(9, 0, 4));
+        assert!(!r.blocks(10, 0, 4));
+        assert!(r.blocks(105, 0, 4));
+        // Bank 1 of 4 is offset by 25 cycles.
+        assert!(!r.blocks(0, 1, 4));
+        assert!(r.blocks(25, 1, 4));
+        assert!(r.blocks(34, 1, 4));
+        assert!(!r.blocks(35, 1, 4));
+        // Degenerate configs never block.
+        assert!(!RefreshConfig { interval: 0, duration: 5 }.blocks(3, 0, 4));
+        assert!(!RefreshConfig { interval: 100, duration: 0 }.blocks(0, 0, 4));
+    }
+
+    #[test]
+    fn busy_window_tracks_latency() {
+        let mut bank = Bank::default();
+        let t = timing(0, 4, RowPolicy::OpenPage);
+        bank.access(100, 1, &t);
+        assert!(bank.is_busy(101));
+        assert!(bank.is_busy(103));
+        assert!(!bank.is_busy(104));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hmc-sim
+//!
+//! The HMC-Sim 2.0 device model: a cycle-based simulator for Hybrid
+//! Memory Cube Gen2 devices.
+//!
+//! A [`HmcSim`] context owns one or more [`device::Device`]s. Each
+//! device models the Gen2 hardware structure (paper §III):
+//!
+//! * **links** — 4 or 8 host/chain links, each with a crossbar request
+//!   queue and a crossbar response queue (the paper's experiments use
+//!   a depth of 128 slots);
+//! * **quads / vaults** — 32 vaults in 4 quads, each vault with a
+//!   request queue (depth 64 in the paper's experiments) and a
+//!   response queue, fronting its DRAM banks;
+//! * **banks** — 16 (4 GB parts) or 32 (8 GB parts) banks per vault
+//!   with a configurable busy latency;
+//! * a **register file** reachable through the simulated JTAG API and
+//!   the `MD_RD`/`MD_WR` mode commands;
+//! * a **trace subsystem** recording command execution, queue stalls,
+//!   latencies and CMC activity;
+//! * a **power model** (the paper's §VII future work, implemented
+//!   here as an extension).
+//!
+//! The pipeline gives an uncontended request a three-cycle round
+//! trip — host → crossbar → vault (execute) → crossbar → host — so the
+//! paper's two-round-trip mutex algorithm completes in six cycles
+//! minimum, matching Table VI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod compat;
+pub mod config;
+pub mod device;
+pub mod dram;
+pub mod link;
+pub mod power;
+pub mod queue;
+pub mod regs;
+pub mod report;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+pub mod trace_analysis;
+
+pub use addr::AddressMap;
+pub use config::{Arbitration, DeviceConfig, LinkTopology, SimConfig, SpecRevision};
+pub use device::{TrackedRequest, TrackedResponse};
+pub use dram::{BankTiming, RefreshConfig, RowPolicy};
+pub use link::{LinkConfig, LinkStats};
+pub use power::{PowerConfig, PowerReport};
+pub use sim::HmcSim;
+pub use stats::DeviceStats;
+pub use trace::{TraceBuffer, TraceLevel, Tracer};
+pub use trace_analysis::{TraceEvent, TraceSummary};

@@ -1,0 +1,193 @@
+//! Link-layer flow control and retry.
+//!
+//! The HMC link protocol flow-controls the transmitter with *tokens*
+//! (one per FLIT of receiver input buffer, returned through the RTC
+//! field as the receiver drains) and recovers from transmission
+//! errors with a *retry* mechanism driven by the FRP/RRP retry
+//! pointers and IRTRY flow packets. HMC-Sim 1.0 carried the packet
+//! fields; this module models the protocol behaviour:
+//!
+//! * **Tokens** — a send consumes the packet's FLIT count; tokens
+//!   return when the crossbar hands the packet to its vault (the
+//!   input buffer slot frees). With the default unlimited pool the
+//!   layer is inert, preserving the paper's queue-structural results
+//!   ("no simulation perturbation", §IV-A).
+//! * **Retry** — an injected transmission error keeps the packet in
+//!   the transmitter's retry buffer instead of delivering it; after
+//!   `retry_latency` cycles (the IRTRY/StartRetry exchange) the
+//!   packet replays. Errors are injected deterministically every
+//!   `error_period`-th packet so tests are reproducible.
+
+/// Link-layer configuration (per link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Input-buffer tokens in FLITs. `None` = unlimited (default:
+    /// flow control inert, the paper's configuration).
+    pub tokens: Option<u32>,
+    /// Inject a transmission error on every Nth packet (`None` =
+    /// error-free link).
+    pub error_period: Option<u64>,
+    /// Cycles consumed by the retry exchange before the packet
+    /// replays.
+    pub retry_latency: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig { tokens: None, error_period: None, retry_latency: 8 }
+    }
+}
+
+/// Per-link protocol statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets accepted by the link layer.
+    pub packets_sent: u64,
+    /// Sends rejected for lack of tokens.
+    pub token_stalls: u64,
+    /// Transmission errors injected (and recovered).
+    pub retries: u64,
+}
+
+/// The transmitter-side state of one link.
+#[derive(Debug, Clone)]
+pub struct LinkControl {
+    config: LinkConfig,
+    tokens_available: u32,
+    packet_counter: u64,
+    /// Sequence counter carried in the tail SEQ field.
+    seq: u8,
+    /// Protocol statistics.
+    pub stats: LinkStats,
+}
+
+impl LinkControl {
+    /// Creates the link state for a configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        LinkControl {
+            tokens_available: config.tokens.unwrap_or(u32::MAX),
+            config,
+            packet_counter: 0,
+            seq: 0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Tokens currently available to the transmitter.
+    pub fn tokens_available(&self) -> u32 {
+        self.tokens_available
+    }
+
+    /// Whether a packet of `flits` can be accepted right now.
+    pub fn can_send(&self, flits: u32) -> bool {
+        self.tokens_available >= flits
+    }
+
+    /// Accounts for a packet entering the link. Returns `Err(())`
+    /// when the transmitter is out of tokens (the caller surfaces
+    /// `HMC_STALL`), otherwise `Ok(injected_error)` telling the
+    /// caller whether this transmission must go through the retry
+    /// path instead of being delivered.
+    #[allow(clippy::result_unit_err)] // Err carries no data: the caller maps it to HMC_STALL
+    pub fn send(&mut self, flits: u32) -> Result<bool, ()> {
+        if !self.can_send(flits) {
+            self.stats.token_stalls += 1;
+            return Err(());
+        }
+        self.tokens_available -= flits;
+        self.packet_counter += 1;
+        self.stats.packets_sent += 1;
+        self.seq = (self.seq + 1) & 0x7;
+        let errored = self
+            .config
+            .error_period
+            .is_some_and(|n| n > 0 && self.packet_counter.is_multiple_of(n));
+        if errored {
+            self.stats.retries += 1;
+        }
+        Ok(errored)
+    }
+
+    /// The SEQ value for the next outgoing tail.
+    pub fn seq(&self) -> u8 {
+        self.seq
+    }
+
+    /// Returns tokens as the receiver drains `flits` of input buffer
+    /// (the RTC return path).
+    pub fn return_tokens(&mut self, flits: u32) {
+        self.tokens_available = self
+            .tokens_available
+            .saturating_add(flits)
+            .min(self.config.tokens.unwrap_or(u32::MAX));
+    }
+
+    /// The retry delay for an injected error.
+    pub fn retry_latency(&self) -> u64 {
+        self.config.retry_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_tokens_never_stall() {
+        let mut link = LinkControl::new(LinkConfig::default());
+        for _ in 0..1000 {
+            assert_eq!(link.send(17), Ok(false));
+        }
+        assert_eq!(link.stats.token_stalls, 0);
+        assert_eq!(link.stats.packets_sent, 1000);
+    }
+
+    #[test]
+    fn token_pool_depletes_and_refills() {
+        let mut link = LinkControl::new(LinkConfig {
+            tokens: Some(10),
+            ..Default::default()
+        });
+        assert_eq!(link.send(4), Ok(false));
+        assert_eq!(link.send(4), Ok(false));
+        assert!(!link.can_send(4));
+        assert_eq!(link.send(4), Err(()));
+        assert_eq!(link.stats.token_stalls, 1);
+        link.return_tokens(4);
+        assert_eq!(link.send(4), Ok(false));
+        assert_eq!(link.tokens_available(), 2);
+    }
+
+    #[test]
+    fn token_return_saturates_at_pool_size() {
+        let mut link = LinkControl::new(LinkConfig {
+            tokens: Some(10),
+            ..Default::default()
+        });
+        link.return_tokens(1000);
+        assert_eq!(link.tokens_available(), 10);
+    }
+
+    #[test]
+    fn deterministic_error_injection() {
+        let mut link = LinkControl::new(LinkConfig {
+            error_period: Some(3),
+            ..Default::default()
+        });
+        let outcomes: Vec<bool> = (0..9).map(|_| link.send(2).unwrap()).collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(link.stats.retries, 3);
+    }
+
+    #[test]
+    fn seq_wraps_at_three_bits() {
+        let mut link = LinkControl::new(LinkConfig::default());
+        for _ in 0..9 {
+            link.send(1).unwrap();
+        }
+        assert_eq!(link.seq(), 1, "9 mod 8");
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded FIFO queues with occupancy statistics.
+//!
+//! Every queueing structure in the device (crossbar queues, vault
+//! request/response queues) is a [`BoundedQueue`]; a full queue
+//! produces [`HmcError::Stall`], the back-pressure signal that shapes
+//! the paper's contention results.
+
+use hmc_types::HmcError;
+use std::collections::VecDeque;
+
+/// A bounded FIFO with stall accounting and a high-water mark.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    depth: usize,
+    high_water: usize,
+    stalls: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with `depth` slots.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be nonzero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(depth),
+            depth,
+            high_water: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Enqueues an item, or stalls when the queue is full (the item
+    /// is handed back inside the error path untouched by value — the
+    /// caller keeps ownership via [`BoundedQueue::try_push`]).
+    pub fn push(&mut self, item: T) -> Result<(), (T, HmcError)> {
+        if self.items.len() >= self.depth {
+            self.stalls += 1;
+            return Err((item, HmcError::Stall));
+        }
+        self.items.push_back(item);
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Enqueue variant that drops the item on stall and reports only
+    /// the error; use when the caller clones or re-creates.
+    pub fn try_push(&mut self, item: T) -> Result<(), HmcError> {
+        self.push(item).map_err(|(_, e)| e)
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.depth
+    }
+
+    /// Configured depth in slots.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of rejected pushes.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.peek(), Some(&3));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stall_when_full() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(q.is_full());
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!(item, 3, "ownership returned on stall");
+        assert!(err.is_stall());
+        assert_eq!(q.stalls(), 1);
+        q.pop();
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.try_push(9).unwrap();
+        assert_eq!(q.high_water(), 5);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be nonzero")]
+    fn zero_depth_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! End-of-simulation reporting.
+//!
+//! Renders a device's statistics, queue pressure, link-protocol and
+//! power accounting as a human-readable report or a CSV row — the
+//! summary HMC-Sim users print after `hmcsim_free`.
+
+use crate::sim::HmcSim;
+use hmc_types::HmcError;
+
+/// Renders a full text report for one device.
+pub fn text_report(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
+    use std::fmt::Write;
+    let stats = sim.stats(dev)?;
+    let config = sim.device_config(dev)?;
+    let power = sim.power_report(dev)?;
+    let (row_hits, row_misses) = sim.row_buffer_stats(dev)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== device {dev} ({}) @ cycle {} ===", config.label(), sim.cycle());
+    let _ = writeln!(
+        out,
+        "requests : {} total ({} rd, {} wr, {} posted-wr, {} atomic, {} cmc, {} mode, {} flow)",
+        stats.total_requests(),
+        stats.reads,
+        stats.writes,
+        stats.posted_writes,
+        stats.atomics,
+        stats.cmc_ops,
+        stats.mode_ops,
+        stats.flow_packets
+    );
+    let _ = writeln!(
+        out,
+        "responses: {} ({} errors); latency min/mean/max = {}/{:.2}/{} cycles",
+        stats.responses,
+        stats.error_responses,
+        stats.latency.min,
+        stats.latency.mean(),
+        stats.latency.max
+    );
+    let _ = writeln!(
+        out,
+        "traffic  : {} rqst FLITs in, {} rsp FLITs out ({} wire bytes)",
+        stats.rqst_flits,
+        stats.rsp_flits,
+        stats.link_bytes()
+    );
+    let _ = writeln!(
+        out,
+        "stalls   : {} send, {} xbar, {} vault; vault-queue high water {}",
+        stats.send_stalls,
+        stats.xbar_stalls,
+        stats.vault_stalls,
+        sim.vault_queue_high_water(dev)?
+    );
+    if row_hits + row_misses > 0 {
+        let _ = writeln!(
+            out,
+            "dram     : {row_hits} row hits / {row_misses} row misses ({:.1}% hit rate)",
+            100.0 * row_hits as f64 / (row_hits + row_misses) as f64
+        );
+    }
+    let mut link_lines = Vec::new();
+    for link in 0..config.links {
+        let ls = sim.link_stats(dev, link)?;
+        if ls.packets_sent > 0 || ls.token_stalls > 0 || ls.retries > 0 {
+            link_lines.push(format!(
+                "  link {link}: {} packets, {} token stalls, {} retries",
+                ls.packets_sent, ls.token_stalls, ls.retries
+            ));
+        }
+    }
+    if !link_lines.is_empty() {
+        let _ = writeln!(out, "links    :");
+        for l in link_lines {
+            let _ = writeln!(out, "{l}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "power    : {:.1} nJ total (link {:.1}, dram {:.1}, logic {:.1}, idle {:.1}); avg {:.2} mW",
+        power.total_pj / 1e3,
+        power.link_pj / 1e3,
+        power.dram_pj / 1e3,
+        power.logic_pj / 1e3,
+        power.idle_pj / 1e3,
+        power.avg_watts * 1e3
+    );
+    Ok(out)
+}
+
+/// The CSV header matching [`csv_row`].
+pub const CSV_HEADER: &str = "device,cycle,total_requests,reads,writes,posted_writes,atomics,\
+cmc_ops,responses,error_responses,rqst_flits,rsp_flits,send_stalls,xbar_stalls,vault_stalls,\
+lat_min,lat_mean,lat_max,total_pj";
+
+/// Renders one device's statistics as a CSV row (see [`CSV_HEADER`]).
+pub fn csv_row(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
+    let s = sim.stats(dev)?;
+    let p = sim.power_report(dev)?;
+    Ok(format!(
+        "{dev},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.1}",
+        sim.cycle(),
+        s.total_requests(),
+        s.reads,
+        s.writes,
+        s.posted_writes,
+        s.atomics,
+        s.cmc_ops,
+        s.responses,
+        s.error_responses,
+        s.rqst_flits,
+        s.rsp_flits,
+        s.send_stalls,
+        s.xbar_stalls,
+        s.vault_stalls,
+        s.latency.min,
+        s.latency.mean(),
+        s.latency.max,
+        p.total_pj
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use hmc_types::HmcRqst;
+
+    fn loaded_sim() -> HmcSim {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        for i in 0..4u64 {
+            let tag = sim
+                .send_simple(0, i as usize % 4, HmcRqst::Inc8, 0x40, vec![])
+                .unwrap()
+                .unwrap();
+            sim.run_until_response(0, i as usize % 4, tag, 100).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn text_report_contains_key_sections() {
+        let sim = loaded_sim();
+        let report = text_report(&sim, 0).unwrap();
+        assert!(report.contains("4Link-4GB"));
+        assert!(report.contains("4 atomic"));
+        assert!(report.contains("latency min/mean/max = 3/3.00/3"));
+        assert!(report.contains("power"));
+        assert!(report.contains("link 0: 1 packets"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let sim = loaded_sim();
+        let row = csv_row(&sim, 0).unwrap();
+        assert_eq!(
+            row.split(',').count(),
+            CSV_HEADER.split(',').count(),
+            "row: {row}"
+        );
+    }
+
+    #[test]
+    fn invalid_device_errors() {
+        let sim = loaded_sim();
+        assert!(text_report(&sim, 5).is_err());
+        assert!(csv_row(&sim, 5).is_err());
+    }
+}

@@ -1,0 +1,738 @@
+//! The simulation context — the `hmc_sim_t` equivalent.
+//!
+//! [`HmcSim`] owns the devices, the global cycle counter, the host
+//! receive buffers, per-link tag pools and the tracer, and exposes the
+//! HMC-Sim user API: `send`, `recv`, `clock`, `load_cmc`, the JTAG
+//! register access path and statistics.
+
+use crate::config::{DeviceConfig, LinkTopology, SimConfig};
+use crate::device::{Device, Egress, TrackedRequest, TrackedResponse};
+use crate::link::{LinkControl, LinkStats};
+use crate::power::PowerReport;
+use crate::stats::DeviceStats;
+use crate::trace::{TraceLevel, Tracer};
+use hmc_cmc::{CmcOp, CmcRegistration};
+use hmc_types::{Cub, HmcError, HmcRqst, Request, Tag, TagPool};
+use std::collections::{HashSet, VecDeque};
+
+/// A packet crossing between chained devices.
+#[derive(Debug)]
+enum Transit {
+    Rqst { to_dev: usize, link: usize, item: TrackedRequest, ready: u64 },
+    Rsp { to_dev: usize, link: usize, item: TrackedResponse, ready: u64 },
+}
+
+/// A packet held in the link-layer retry buffer after an injected
+/// transmission error.
+#[derive(Debug)]
+struct RetryEntry {
+    dev: usize,
+    link: usize,
+    item: TrackedRequest,
+    ready: u64,
+}
+
+/// The HMC-Sim simulation context.
+#[derive(Debug)]
+pub struct HmcSim {
+    config: SimConfig,
+    devices: Vec<Device>,
+    cycle: u64,
+    host_rx: Vec<Vec<VecDeque<TrackedResponse>>>,
+    tag_pools: Vec<Vec<TagPool>>,
+    pool_tags: Vec<Vec<HashSet<u16>>>,
+    in_transit: Vec<Transit>,
+    links: Vec<Vec<LinkControl>>,
+    retry_pending: Vec<RetryEntry>,
+    tracer: Tracer,
+}
+
+impl HmcSim {
+    /// Creates a single-device context.
+    pub fn new(device: DeviceConfig) -> Result<Self, HmcError> {
+        Self::with_config(SimConfig::single(device))
+    }
+
+    /// Creates a context from a full simulation configuration.
+    pub fn with_config(config: SimConfig) -> Result<Self, HmcError> {
+        config.validate()?;
+        let devices = config
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Device::new(i, c.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let host_rx = config
+            .devices
+            .iter()
+            .map(|c| (0..c.links).map(|_| VecDeque::new()).collect())
+            .collect();
+        let tag_pools = config
+            .devices
+            .iter()
+            .map(|c| (0..c.links).map(|_| TagPool::full()).collect())
+            .collect();
+        let pool_tags = config
+            .devices
+            .iter()
+            .map(|c| (0..c.links).map(|_| HashSet::new()).collect())
+            .collect();
+        let links = config
+            .devices
+            .iter()
+            .map(|c| (0..c.links).map(|_| LinkControl::new(c.link_config)).collect())
+            .collect();
+        Ok(HmcSim {
+            config,
+            devices,
+            cycle: 0,
+            host_rx,
+            tag_pools,
+            pool_tags,
+            in_transit: Vec::new(),
+            links,
+            retry_pending: Vec::new(),
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of devices in the context.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// A device's configuration.
+    pub fn device_config(&self, dev: usize) -> Result<&DeviceConfig, HmcError> {
+        Ok(self.device(dev)?.config())
+    }
+
+    fn device(&self, dev: usize) -> Result<&Device, HmcError> {
+        self.devices.get(dev).ok_or(HmcError::InvalidDevice(dev))
+    }
+
+    fn device_mut(&mut self, dev: usize) -> Result<&mut Device, HmcError> {
+        self.devices.get_mut(dev).ok_or(HmcError::InvalidDevice(dev))
+    }
+
+    /// Attaches a tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Adjusts the trace level of the attached tracer.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.tracer.set_level(level);
+    }
+
+    // ------------------------------------------------------------------
+    // packet API
+    // ------------------------------------------------------------------
+
+    /// Injects a raw request on a device link (`hmc_send_packet`).
+    /// Returns [`HmcError::Stall`] when the link's crossbar queue is
+    /// full — retry next cycle.
+    pub fn send(&mut self, dev: usize, link: usize, req: Request) -> Result<(), HmcError> {
+        if req.head.cub.value() as usize >= self.devices.len() {
+            return Err(HmcError::InvalidCube(req.head.cub.value()));
+        }
+        if matches!(self.config.topology, LinkTopology::HostOnly)
+            && req.head.cub.value() as usize != dev
+        {
+            return Err(HmcError::InvalidCube(req.head.cub.value()));
+        }
+        let cycle = self.cycle;
+        if dev >= self.devices.len() {
+            return Err(HmcError::InvalidDevice(dev));
+        }
+        if link >= self.devices[dev].config().links {
+            return Err(HmcError::InvalidLink(link));
+        }
+        // Link layer first: the crossbar input buffer must have room
+        // and the transmitter must hold enough tokens.
+        if !self.devices[dev].link_can_accept(link) {
+            self.devices[dev].count_send_stall();
+            return Err(HmcError::Stall);
+        }
+        let flits = req.flits() as u32;
+        let item = TrackedRequest {
+            req,
+            entry_device: dev,
+            entry_link: link,
+            issue_cycle: cycle,
+            hops: 0,
+            ready_cycle: 0,
+        };
+        match self.links[dev][link].send(flits) {
+            Err(()) => {
+                self.devices[dev].count_send_stall();
+                Err(HmcError::Stall)
+            }
+            Ok(true) => {
+                // Injected transmission error: the packet sits in the
+                // retry buffer and replays after the retry exchange.
+                let ready = cycle + self.links[dev][link].retry_latency();
+                self.tracer.event(
+                    TraceLevel::STALL,
+                    cycle,
+                    "RETRY",
+                    format_args!("link error injected: dev={dev} link={link}, replay at {ready}"),
+                );
+                self.retry_pending.push(RetryEntry { dev, link, item, ready });
+                Ok(())
+            }
+            Ok(false) => self.devices[dev].send(link, item).map_err(|(_, e)| e),
+        }
+    }
+
+    /// Link-layer protocol statistics for one link.
+    pub fn link_stats(&self, dev: usize, link: usize) -> Result<LinkStats, HmcError> {
+        self.links
+            .get(dev)
+            .and_then(|d| d.get(link))
+            .map(|l| l.stats)
+            .ok_or(HmcError::InvalidLink(link))
+    }
+
+    /// Pops the next delivered response on a host link
+    /// (`hmc_recv_packet`).
+    pub fn recv(&mut self, dev: usize, link: usize) -> Option<TrackedResponse> {
+        let rsp = self.host_rx.get_mut(dev)?.get_mut(link)?.pop_front()?;
+        self.release_pool_tag(dev, link, rsp.rsp.head.tag);
+        Some(rsp)
+    }
+
+    /// Pops the delivered response carrying `tag`, if present,
+    /// leaving other responses queued.
+    pub fn recv_tag(&mut self, dev: usize, link: usize, tag: Tag) -> Option<TrackedResponse> {
+        let queue = self.host_rx.get_mut(dev)?.get_mut(link)?;
+        let idx = queue.iter().position(|r| r.rsp.head.tag == tag)?;
+        let rsp = queue.remove(idx)?;
+        self.release_pool_tag(dev, link, tag);
+        Some(rsp)
+    }
+
+    /// Number of responses waiting on a host link.
+    pub fn pending_responses(&self, dev: usize, link: usize) -> usize {
+        self.host_rx
+            .get(dev)
+            .and_then(|d| d.get(link))
+            .map_or(0, |q| q.len())
+    }
+
+    fn release_pool_tag(&mut self, dev: usize, link: usize, tag: Tag) {
+        if let Some(set) = self.pool_tags.get_mut(dev).and_then(|d| d.get_mut(link)) {
+            if set.remove(&tag.value()) {
+                let _ = self.tag_pools[dev][link].release(tag);
+            }
+        }
+    }
+
+    /// Builds and sends a request through the link's tag pool:
+    /// acquires a tag for response-bearing commands, rolls it back on
+    /// any failure, and registers it for automatic release at `recv`.
+    fn send_with_pool(
+        &mut self,
+        dev: usize,
+        link: usize,
+        posted: bool,
+        build: impl FnOnce(Tag, Cub) -> Result<Request, HmcError>,
+    ) -> Result<Option<Tag>, HmcError> {
+        let tag = if posted {
+            Tag::new(0).expect("tag 0")
+        } else {
+            self.tag_pools
+                .get_mut(dev)
+                .and_then(|d| d.get_mut(link))
+                .ok_or(HmcError::InvalidLink(link))?
+                .acquire()?
+        };
+        let cub = Cub::new((dev % 8) as u8).expect("dev < 8");
+        let result = build(tag, cub).and_then(|req| self.send(dev, link, req));
+        match result {
+            Ok(()) => {
+                if posted {
+                    Ok(None)
+                } else {
+                    self.pool_tags[dev][link].insert(tag.value());
+                    Ok(Some(tag))
+                }
+            }
+            Err(e) => {
+                if !posted {
+                    let _ = self.tag_pools[dev][link].release(tag);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds and sends a standard-command request, allocating a tag
+    /// from the link's pool. Returns the tag for non-posted commands,
+    /// `None` for posted commands and flow packets (which never
+    /// generate a response).
+    pub fn send_simple(
+        &mut self,
+        dev: usize,
+        link: usize,
+        cmd: HmcRqst,
+        addr: u64,
+        payload: Vec<u64>,
+    ) -> Result<Option<Tag>, HmcError> {
+        // Flow packets are absorbed by the link layer and answer
+        // nothing, so they must not hold a tag.
+        let posted = cmd.is_posted() || cmd.kind() == hmc_types::CmdKind::Flow;
+        self.send_with_pool(dev, link, posted, |tag, cub| {
+            Request::new(cmd, tag, addr, cub, payload)
+        })
+    }
+
+    /// Builds and sends a CMC request, reading the registered request
+    /// length from the device's CMC table. Returns the tag for
+    /// non-posted operations.
+    pub fn send_cmc(
+        &mut self,
+        dev: usize,
+        link: usize,
+        code: u8,
+        addr: u64,
+        payload: Vec<u64>,
+    ) -> Result<Option<Tag>, HmcError> {
+        let reg = self.device(dev)?.cmc().lookup(code)?.registration().clone();
+        self.send_with_pool(dev, link, reg.is_posted(), |tag, cub| {
+            Request::new_cmc(code, reg.rqst_len, tag, addr, cub, payload)
+        })
+    }
+
+    /// Clocks the simulation until the response for `tag` arrives on
+    /// the given link, up to `max_cycles`. Convenience wrapper for
+    /// simple hosts.
+    pub fn run_until_response(
+        &mut self,
+        dev: usize,
+        link: usize,
+        tag: Tag,
+        max_cycles: u64,
+    ) -> Result<TrackedResponse, HmcError> {
+        for _ in 0..max_cycles {
+            if let Some(rsp) = self.recv_tag(dev, link, tag) {
+                return Ok(rsp);
+            }
+            self.clock();
+        }
+        self.recv_tag(dev, link, tag)
+            .ok_or(HmcError::InvalidTag(tag.value() as u32))
+    }
+
+    // ------------------------------------------------------------------
+    // clock
+    // ------------------------------------------------------------------
+
+    /// Advances the simulation by one device cycle (`hmcsim_clock`).
+    pub fn clock(&mut self) -> u64 {
+        let cycle = self.cycle;
+
+        // Link-layer retries whose retry exchange completed.
+        let pending = std::mem::take(&mut self.retry_pending);
+        for entry in pending {
+            if entry.ready <= cycle && self.devices[entry.dev].link_can_accept(entry.link) {
+                let RetryEntry { dev, link, item, .. } = entry;
+                self.devices[dev]
+                    .send(link, item)
+                    .unwrap_or_else(|_| unreachable!("accept checked"));
+            } else {
+                self.retry_pending.push(entry);
+            }
+        }
+
+        // Inter-device transits whose hop latency elapsed.
+        let pending = std::mem::take(&mut self.in_transit);
+        for t in pending {
+            match t {
+                Transit::Rqst { to_dev, link, item, ready } if ready <= cycle => {
+                    if let Err((item, _)) = self.devices[to_dev].accept_forward(link, item) {
+                        // Destination queue full: retry next cycle.
+                        self.in_transit.push(Transit::Rqst { to_dev, link, item, ready });
+                    }
+                }
+                Transit::Rsp { to_dev, link, item, ready } if ready <= cycle => {
+                    if let Err((item, _)) = self.devices[to_dev].accept_return(link, item) {
+                        self.in_transit.push(Transit::Rsp { to_dev, link, item, ready });
+                    }
+                }
+                not_ready => self.in_transit.push(not_ready),
+            }
+        }
+
+        // Stage 1: vault responses -> crossbar response queues.
+        for dev in &mut self.devices {
+            dev.route_responses(cycle, &mut self.tracer);
+        }
+
+        // Stage 2: crossbar response queues -> host / chained return.
+        for d in 0..self.devices.len() {
+            for egress in self.devices[d].drain_responses(cycle) {
+                match egress {
+                    Egress::Deliver(mut rsp) => {
+                        rsp.complete_cycle = cycle + 1;
+                        rsp.latency = (cycle + 1).saturating_sub(rsp.issue_cycle);
+                        self.devices[d].stats_latency(rsp.latency);
+                        self.tracer.event(
+                            TraceLevel::LATENCY,
+                            cycle,
+                            "LATENCY",
+                            format_args!(
+                                "tag={} lat={} link={}",
+                                rsp.rsp.head.tag.value(),
+                                rsp.latency,
+                                rsp.entry_link
+                            ),
+                        );
+                        self.host_rx[d][rsp.entry_link].push_back(rsp);
+                    }
+                    Egress::Forward(rsp) => {
+                        let to_dev = toward(d, rsp.entry_device);
+                        let hop = self.devices[d].config().hop_latency;
+                        self.in_transit.push(Transit::Rsp {
+                            to_dev,
+                            link: rsp.entry_link,
+                            item: rsp,
+                            ready: cycle + hop,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Stage 3: vault execution.
+        for dev in &mut self.devices {
+            dev.execute_vaults(cycle, &mut self.tracer);
+        }
+
+        // Stage 4: crossbar request routing (+ chained forwarding).
+        for d in 0..self.devices.len() {
+            let outcome = self.devices[d].route_requests(cycle, &mut self.tracer);
+            // Token return: FLITs freed from the input buffers.
+            for (link, &flits) in outcome.freed_flits.iter().enumerate() {
+                if flits > 0 {
+                    self.links[d][link].return_tokens(flits as u32);
+                }
+            }
+            for fwd in outcome.forwards {
+                let target = fwd.item.req.head.cub.value() as usize;
+                let to_dev = toward(d, target);
+                let hop = self.devices[d].config().hop_latency;
+                let mut item = fwd.item;
+                item.hops += 1;
+                self.in_transit.push(Transit::Rqst {
+                    to_dev,
+                    link: fwd.from_link,
+                    item,
+                    ready: cycle + hop,
+                });
+            }
+        }
+
+        for dev in &mut self.devices {
+            dev.tick_power();
+        }
+
+        self.cycle += 1;
+        self.cycle
+    }
+
+    /// Clocks the simulation `n` times.
+    pub fn clock_n(&mut self, n: u64) -> u64 {
+        for _ in 0..n {
+            self.clock();
+        }
+        self.cycle
+    }
+
+    /// True when no packet is resident in any device queue,
+    /// inter-device transit or link-layer retry buffer (delivered
+    /// host responses may still be waiting in the receive buffers).
+    pub fn is_quiescent(&self) -> bool {
+        self.in_transit.is_empty()
+            && self.retry_pending.is_empty()
+            && self.devices.iter().all(|d| d.pending_work() == 0)
+    }
+
+    /// Clocks until the fabric is quiescent (posted traffic fully
+    /// retired), up to `max_cycles` extra cycles.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let mut spent = 0;
+        while !self.is_quiescent() && spent < max_cycles {
+            self.clock();
+            spent += 1;
+        }
+        spent
+    }
+
+    // ------------------------------------------------------------------
+    // CMC API
+    // ------------------------------------------------------------------
+
+    /// Registers a CMC operation object on a device (`hmc_load_cmc`
+    /// with an in-process operation). Returns the command code.
+    pub fn load_cmc(&mut self, dev: usize, op: Box<dyn CmcOp>) -> Result<u8, HmcError> {
+        self.device_mut(dev)?.cmc_mut().register(op)
+    }
+
+    /// Loads every operation from a CMC shared library by path
+    /// (`hmc_load_cmc`): the library is resolved through the simulated
+    /// dynamic loader, its entry points bound, and each operation
+    /// registered. Returns the registered command codes.
+    pub fn load_cmc_library(&mut self, dev: usize, path: &str) -> Result<Vec<u8>, HmcError> {
+        let ops = hmc_cmc::open_library(path)?;
+        let device = self.device_mut(dev)?;
+        let mut codes = Vec::with_capacity(ops.len());
+        for op in ops {
+            match device.cmc_mut().register(op) {
+                Ok(code) => codes.push(code),
+                Err(e) => {
+                    // Atomic load: roll back the operations this call
+                    // registered so a failed library leaves no
+                    // partial state.
+                    for &code in &codes {
+                        let _ = device.cmc_mut().unregister(code);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(codes)
+    }
+
+    /// Unregisters the CMC operation on `code`.
+    pub fn unload_cmc(&mut self, dev: usize, code: u8) -> Result<(), HmcError> {
+        self.device_mut(dev)?.cmc_mut().unregister(code)
+    }
+
+    /// Active CMC registrations on a device.
+    pub fn cmc_registrations(&self, dev: usize) -> Result<Vec<CmcRegistration>, HmcError> {
+        Ok(self.device(dev)?.cmc().active().cloned().collect())
+    }
+
+    // ------------------------------------------------------------------
+    // JTAG + memory backdoor
+    // ------------------------------------------------------------------
+
+    /// Reads a device register over the simulated JTAG interface.
+    pub fn jtag_reg_read(&self, dev: usize, reg: u32) -> Result<u64, HmcError> {
+        self.device(dev)?.regs().read(reg)
+    }
+
+    /// Writes a device register over the simulated JTAG interface.
+    pub fn jtag_reg_write(&mut self, dev: usize, reg: u32, value: u64) -> Result<(), HmcError> {
+        self.device_mut(dev)?.regs_mut().write(reg, value)
+    }
+
+    /// Host backdoor: reads device memory directly (simulation setup
+    /// and verification).
+    pub fn mem_read(&self, dev: usize, addr: u64, buf: &mut [u8]) -> Result<(), HmcError> {
+        self.device(dev)?.mem().read(addr, buf)
+    }
+
+    /// Host backdoor: writes device memory directly.
+    pub fn mem_write(&mut self, dev: usize, addr: u64, buf: &[u8]) -> Result<(), HmcError> {
+        self.device_mut(dev)?.mem_mut().write(addr, buf)
+    }
+
+    /// Host backdoor: reads one 64-bit word.
+    pub fn mem_read_u64(&self, dev: usize, addr: u64) -> Result<u64, HmcError> {
+        self.device(dev)?.mem().read_u64(addr)
+    }
+
+    /// Host backdoor: writes one 64-bit word.
+    pub fn mem_write_u64(&mut self, dev: usize, addr: u64, value: u64) -> Result<(), HmcError> {
+        self.device_mut(dev)?.mem_mut().write_u64(addr, value)
+    }
+
+    // ------------------------------------------------------------------
+    // statistics
+    // ------------------------------------------------------------------
+
+    /// A device's statistics.
+    pub fn stats(&self, dev: usize) -> Result<&DeviceStats, HmcError> {
+        Ok(self.device(dev)?.stats())
+    }
+
+    /// A device's power report.
+    pub fn power_report(&self, dev: usize) -> Result<PowerReport, HmcError> {
+        Ok(self.device(dev)?.power().report())
+    }
+
+    /// Highest vault request-queue occupancy observed on a device.
+    pub fn vault_queue_high_water(&self, dev: usize) -> Result<usize, HmcError> {
+        Ok(self.device(dev)?.vault_queue_high_water())
+    }
+
+    /// Aggregate DRAM row-buffer statistics for a device:
+    /// `(row_hits, row_misses)`.
+    pub fn row_buffer_stats(&self, dev: usize) -> Result<(u64, u64), HmcError> {
+        Ok(self.device(dev)?.row_buffer_stats())
+    }
+}
+
+/// The next device on the chain from `from` toward `target`.
+fn toward(from: usize, target: usize) -> usize {
+    use std::cmp::Ordering;
+    match target.cmp(&from) {
+        Ordering::Greater => from + 1,
+        Ordering::Less => from - 1,
+        Ordering::Equal => from,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::HmcResponse;
+
+    #[test]
+    fn uncontended_round_trip_is_three_cycles() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.mem_write_u64(0, 0x40, 0x1234).unwrap();
+        let tag = sim
+            .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 0, tag, 100).unwrap();
+        assert_eq!(rsp.latency, 3, "uncontended RT is 3 cycles");
+        assert_eq!(rsp.rsp.payload[0], 0x1234);
+        assert_eq!(rsp.rsp.head.cmd, HmcResponse::RdRs);
+    }
+
+    #[test]
+    fn write_then_read_through_pipeline() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let tag = sim
+            .send_simple(0, 1, HmcRqst::Wr16, 0x100, vec![0xAA, 0xBB])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 1, tag, 100).unwrap();
+        assert_eq!(rsp.rsp.head.cmd, HmcResponse::WrRs);
+        let tag = sim
+            .send_simple(0, 1, HmcRqst::Rd16, 0x100, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 1, tag, 100).unwrap();
+        assert_eq!(rsp.rsp.payload, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn posted_sends_return_no_tag_and_complete_silently() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let tag = sim
+            .send_simple(0, 0, HmcRqst::PWr16, 0x200, vec![1, 2])
+            .unwrap();
+        assert!(tag.is_none());
+        sim.clock_n(10);
+        assert_eq!(sim.pending_responses(0, 0), 0);
+        assert_eq!(sim.mem_read_u64(0, 0x200).unwrap(), 1);
+    }
+
+    #[test]
+    fn atomic_inc_through_pipeline() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.mem_write_u64(0, 0x40, 41).unwrap();
+        let tag = sim
+            .send_simple(0, 0, HmcRqst::Inc8, 0x40, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 0, tag, 100).unwrap();
+        assert_eq!(rsp.rsp.head.cmd, HmcResponse::WrRs);
+        assert_eq!(sim.mem_read_u64(0, 0x40).unwrap(), 42);
+        assert_eq!(sim.stats(0).unwrap().atomics, 1);
+    }
+
+    #[test]
+    fn cub_validation_in_host_only_topology() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(0).unwrap(),
+            0,
+            Cub::new(1).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert!(matches!(sim.send(0, 0, req), Err(HmcError::InvalidCube(1))));
+    }
+
+    #[test]
+    fn chained_device_round_trip() {
+        let mut sim =
+            HmcSim::with_config(SimConfig::chain(DeviceConfig::gen2_4link_4gb(), 3)).unwrap();
+        sim.mem_write_u64(2, 0x40, 0x77).unwrap();
+        // Host attaches at device 0, target is cube 2 (two hops away).
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(11).unwrap(),
+            0x40,
+            Cub::new(2).unwrap(),
+            vec![],
+        )
+        .unwrap();
+        sim.send(0, 0, req).unwrap();
+        let mut got = None;
+        for _ in 0..200 {
+            sim.clock();
+            if let Some(rsp) = sim.recv(0, 0) {
+                got = Some(rsp);
+                break;
+            }
+        }
+        let rsp = got.expect("chained response arrives");
+        assert_eq!(rsp.rsp.payload[0], 0x77);
+        assert!(rsp.latency > 3, "chained access is slower than local");
+        assert_eq!(sim.stats(0).unwrap().forwarded, 1);
+    }
+
+    #[test]
+    fn jtag_and_mode_paths_agree() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_8link_8gb()).unwrap();
+        assert_eq!(sim.jtag_reg_read(0, crate::regs::REG_FEAT).unwrap(), 0x88);
+        sim.jtag_reg_write(0, crate::regs::REG_EDR0, 0xCAFE).unwrap();
+        let tag = sim
+            .send_simple(0, 0, HmcRqst::MdRd, crate::regs::REG_EDR0 as u64, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 0, tag, 100).unwrap();
+        assert_eq!(rsp.rsp.payload[0], 0xCAFE);
+    }
+
+    #[test]
+    fn tag_pool_recycles_through_recv() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        for _ in 0..3000 {
+            // More iterations than the 2048-tag space: only recycling
+            // makes this pass.
+            let tag = sim
+                .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+                .unwrap()
+                .unwrap();
+            let _ = sim.run_until_response(0, 0, tag, 100).unwrap();
+        }
+    }
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        for _ in 0..4 {
+            let tag = sim
+                .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+                .unwrap()
+                .unwrap();
+            sim.run_until_response(0, 0, tag, 100).unwrap();
+        }
+        let stats = sim.stats(0).unwrap();
+        assert_eq!(stats.latency.count, 4);
+        assert_eq!(stats.latency.min, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-device simulation statistics.
+
+use hmc_types::{CmdKind, FLIT_BYTES};
+
+/// Running latency aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Completed (non-posted) requests observed.
+    pub count: u64,
+    /// Sum of round-trip latencies in cycles.
+    pub total: u64,
+    /// Minimum observed latency.
+    pub min: u64,
+    /// Maximum observed latency.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Records one completed request latency.
+    pub fn record(&mut self, latency: u64) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.total += latency;
+    }
+
+    /// Mean latency in cycles (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// Counters for one device.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// Requests executed, by operational class.
+    pub reads: u64,
+    /// Writes executed (acknowledged).
+    pub writes: u64,
+    /// Posted writes executed.
+    pub posted_writes: u64,
+    /// Atomics executed (including posted atomics).
+    pub atomics: u64,
+    /// CMC operations executed.
+    pub cmc_ops: u64,
+    /// Mode (register) commands executed.
+    pub mode_ops: u64,
+    /// Flow packets absorbed.
+    pub flow_packets: u64,
+    /// Responses generated.
+    pub responses: u64,
+    /// Error responses generated.
+    pub error_responses: u64,
+    /// Requests forwarded to a chained neighbour.
+    pub forwarded: u64,
+    /// Requests that crossed into a remote quad (nonzero only with a
+    /// configured `remote_quad_penalty`).
+    pub remote_quad_requests: u64,
+    /// Send-side stalls surfaced to the host.
+    pub send_stalls: u64,
+    /// Crossbar → vault routing stalls.
+    pub xbar_stalls: u64,
+    /// Vault execution stalls (full response queue or busy bank).
+    pub vault_stalls: u64,
+    /// Request FLITs that entered the device over its links.
+    pub rqst_flits: u64,
+    /// Response FLITs that left the device over its links.
+    pub rsp_flits: u64,
+    /// Round-trip latency aggregate (entry to response delivery).
+    pub latency: LatencyStats,
+}
+
+impl DeviceStats {
+    /// Tallies one executed request of the given class.
+    pub fn count_kind(&mut self, kind: CmdKind) {
+        match kind {
+            CmdKind::Read => self.reads += 1,
+            CmdKind::Write => self.writes += 1,
+            CmdKind::PostedWrite => self.posted_writes += 1,
+            CmdKind::Atomic | CmdKind::PostedAtomic => self.atomics += 1,
+            CmdKind::Cmc => self.cmc_ops += 1,
+            CmdKind::ModeRead | CmdKind::ModeWrite => self.mode_ops += 1,
+            CmdKind::Flow => self.flow_packets += 1,
+        }
+    }
+
+    /// Total requests executed.
+    pub fn total_requests(&self) -> u64 {
+        self.reads
+            + self.writes
+            + self.posted_writes
+            + self.atomics
+            + self.cmc_ops
+            + self.mode_ops
+            + self.flow_packets
+    }
+
+    /// Total link traffic in bytes (requests in + responses out).
+    pub fn link_bytes(&self) -> u64 {
+        (self.rqst_flits + self.rsp_flits) * FLIT_BYTES as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_aggregation() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), 0.0);
+        l.record(6);
+        l.record(10);
+        l.record(2);
+        assert_eq!(l.min, 2);
+        assert_eq!(l.max, 10);
+        assert_eq!(l.count, 3);
+        assert!((l.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_counting() {
+        let mut s = DeviceStats::default();
+        s.count_kind(CmdKind::Read);
+        s.count_kind(CmdKind::Atomic);
+        s.count_kind(CmdKind::PostedAtomic);
+        s.count_kind(CmdKind::Cmc);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.atomics, 2);
+        assert_eq!(s.cmc_ops, 1);
+        assert_eq!(s.total_requests(), 4);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let s = DeviceStats { rqst_flits: 1, rsp_flits: 1, ..Default::default() };
+        assert_eq!(s.link_bytes(), 32);
+    }
+}

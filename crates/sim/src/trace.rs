@@ -1,0 +1,231 @@
+//! The trace subsystem.
+//!
+//! HMC-Sim's tracing lets users "see exactly how and where memory
+//! operations progressed through the device" (paper §IV-A). Trace
+//! output is line-oriented text, one event per line, gated by a
+//! bitmask of [`TraceLevel`]s. CMC operations trace under their
+//! registered `cmc_str` name exactly like standard commands — the
+//! paper's *Discrete Tracing* requirement.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A bitmask of trace event classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceLevel(u32);
+
+impl TraceLevel {
+    /// No tracing.
+    pub const NONE: TraceLevel = TraceLevel(0);
+    /// Bank-level activity (conflicts, busy cycles).
+    pub const BANK: TraceLevel = TraceLevel(1 << 0);
+    /// Queue occupancy transitions.
+    pub const QUEUE: TraceLevel = TraceLevel(1 << 1);
+    /// Command execution (including CMC operations by name).
+    pub const CMD: TraceLevel = TraceLevel(1 << 2);
+    /// Stall events (full queues, busy banks).
+    pub const STALL: TraceLevel = TraceLevel(1 << 3);
+    /// End-to-end request latencies.
+    pub const LATENCY: TraceLevel = TraceLevel(1 << 4);
+    /// CMC registration and execution detail.
+    pub const CMC: TraceLevel = TraceLevel(1 << 5);
+    /// Power accounting events.
+    pub const POWER: TraceLevel = TraceLevel(1 << 6);
+    /// Everything.
+    pub const ALL: TraceLevel = TraceLevel(u32::MAX);
+
+    /// Union of two masks.
+    #[inline]
+    pub const fn with(self, other: TraceLevel) -> TraceLevel {
+        TraceLevel(self.0 | other.0)
+    }
+
+    /// True when any bit of `class` is enabled.
+    #[inline]
+    pub const fn contains(self, class: TraceLevel) -> bool {
+        self.0 & class.0 != 0
+    }
+}
+
+impl std::ops::BitOr for TraceLevel {
+    type Output = TraceLevel;
+    fn bitor(self, rhs: TraceLevel) -> TraceLevel {
+        self.with(rhs)
+    }
+}
+
+/// A shared in-memory trace sink, handy for tests and analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all recorded lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("trace buffer lock").clone()
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("trace buffer lock").len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines containing `needle`.
+    pub fn grep(&self, needle: &str) -> Vec<String> {
+        self.lines()
+            .into_iter()
+            .filter(|l| l.contains(needle))
+            .collect()
+    }
+
+    fn record(&self, line: String) {
+        self.lines.lock().expect("trace buffer lock").push(line);
+    }
+}
+
+enum Sink {
+    Null,
+    Buffer(TraceBuffer),
+    Writer(Box<dyn Write + Send>),
+}
+
+impl fmt::Debug for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::Null => f.write_str("Sink::Null"),
+            Sink::Buffer(_) => f.write_str("Sink::Buffer"),
+            Sink::Writer(_) => f.write_str("Sink::Writer"),
+        }
+    }
+}
+
+/// The trace recorder attached to a simulation context.
+#[derive(Debug)]
+pub struct Tracer {
+    level: TraceLevel,
+    sink: Sink,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer { level: TraceLevel::NONE, sink: Sink::Null }
+    }
+
+    /// Traces into a shared in-memory buffer.
+    pub fn to_buffer(level: TraceLevel, buffer: TraceBuffer) -> Self {
+        Tracer { level, sink: Sink::Buffer(buffer) }
+    }
+
+    /// Traces into any writer (e.g. a file), one line per event.
+    pub fn to_writer(level: TraceLevel, writer: Box<dyn Write + Send>) -> Self {
+        Tracer { level, sink: Sink::Writer(writer) }
+    }
+
+    /// The active level mask.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Replaces the level mask.
+    pub fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// True when events of `class` would be recorded.
+    #[inline]
+    pub fn enabled(&self, class: TraceLevel) -> bool {
+        self.level.contains(class) && !matches!(self.sink, Sink::Null)
+    }
+
+    /// Records one event line in HMC-Sim's trace format:
+    /// `HMCSIM_TRACE : <cycle> : <CLASS> : <detail>`.
+    pub fn event(&mut self, class: TraceLevel, cycle: u64, tag: &str, detail: fmt::Arguments<'_>) {
+        if !self.enabled(class) {
+            return;
+        }
+        let line = format!("HMCSIM_TRACE : {cycle} : {tag} : {detail}");
+        match &mut self.sink {
+            Sink::Null => {}
+            Sink::Buffer(buf) => buf.record(line),
+            Sink::Writer(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_mask_algebra() {
+        let m = TraceLevel::CMD | TraceLevel::STALL;
+        assert!(m.contains(TraceLevel::CMD));
+        assert!(m.contains(TraceLevel::STALL));
+        assert!(!m.contains(TraceLevel::BANK));
+        assert!(TraceLevel::ALL.contains(TraceLevel::POWER));
+        assert!(!TraceLevel::NONE.contains(TraceLevel::CMD));
+    }
+
+    #[test]
+    fn buffer_records_enabled_events_only() {
+        let buf = TraceBuffer::new();
+        let mut t = Tracer::to_buffer(TraceLevel::CMD, buf.clone());
+        t.event(TraceLevel::CMD, 10, "RQST", format_args!("CMD=INC8 VAULT=3"));
+        t.event(TraceLevel::STALL, 11, "STALL", format_args!("xbar full"));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.lines()[0], "HMCSIM_TRACE : 10 : RQST : CMD=INC8 VAULT=3");
+        assert_eq!(buf.grep("INC8").len(), 1);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_is_silent() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled(TraceLevel::CMD));
+        t.event(TraceLevel::CMD, 0, "RQST", format_args!("dropped"));
+    }
+
+    #[test]
+    fn writer_sink_emits_lines() {
+        let cursor: Vec<u8> = Vec::new();
+        let shared = Arc::new(Mutex::new(cursor));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut t = Tracer::to_writer(
+            TraceLevel::LATENCY,
+            Box::new(SharedWriter(shared.clone())),
+        );
+        t.event(TraceLevel::LATENCY, 99, "LAT", format_args!("tag7 lat=3"));
+        let out = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        assert_eq!(out, "HMCSIM_TRACE : 99 : LAT : tag7 lat=3\n");
+    }
+}

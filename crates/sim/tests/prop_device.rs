@@ -1,0 +1,131 @@
+//! Property tests for the device model: pipeline invariants under
+//! random geometry and traffic.
+
+use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_types::{HmcError, HmcRqst};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    (
+        prop::sample::select(vec![2usize, 4, 8]),
+        prop::sample::select(vec![32usize, 64, 128, 256]),
+        1usize..=4,
+        prop::sample::select(vec![2usize, 8, 64]),
+        prop::sample::select(vec![4usize, 128]),
+    )
+        .prop_map(|(links, block, vb, vq, xq)| DeviceConfig {
+            links,
+            block_size: block,
+            vault_bandwidth: vb,
+            vault_queue_depth: vq,
+            xbar_queue_depth: xq,
+            ..DeviceConfig::gen2_4link_4gb()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever the geometry, an uncontended read round-trips in
+    /// exactly three cycles and returns the written data.
+    #[test]
+    fn uncontended_round_trip_is_geometry_independent(
+        config in arb_config(),
+        addr_block in 0u64..4096,
+        value in any::<u64>(),
+    ) {
+        let addr = addr_block * 16;
+        let mut sim = HmcSim::new(config).unwrap();
+        sim.mem_write_u64(0, addr, value).unwrap();
+        let tag = sim.send_simple(0, 0, HmcRqst::Rd16, addr, vec![]).unwrap().unwrap();
+        let rsp = sim.run_until_response(0, 0, tag, 100).unwrap();
+        prop_assert_eq!(rsp.latency, 3);
+        prop_assert_eq!(rsp.rsp.payload[0], value);
+    }
+
+    /// Conservation holds under random traffic for every geometry:
+    /// accepted non-posted requests == delivered responses.
+    #[test]
+    fn conservation_over_random_geometry(
+        config in arb_config(),
+        addrs in prop::collection::vec(0u64..512, 1..80),
+    ) {
+        let links = config.links;
+        let mut sim = HmcSim::new(config).unwrap();
+        let mut sent = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            match sim.send_simple(0, i % links, HmcRqst::Inc8, a * 8, vec![]) {
+                Ok(_) => sent += 1,
+                Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+            sim.clock();
+        }
+        sim.drain(1_000_000);
+        prop_assert!(sim.is_quiescent());
+        let mut got = 0u64;
+        for link in 0..links {
+            while sim.recv(0, link).is_some() {
+                got += 1;
+            }
+        }
+        prop_assert_eq!(got, sent);
+    }
+
+    /// Statistics identities: executed = responses + posted +
+    /// flow + error-posted adjustments; FLIT counters are nonzero iff
+    /// traffic flowed.
+    #[test]
+    fn stats_identities(
+        n_acked in 1usize..30,
+        n_posted in 0usize..30,
+    ) {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        for i in 0..n_acked {
+            let tag = sim
+                .send_simple(0, i % 4, HmcRqst::Wr16, (i as u64) * 64, vec![1, 2])
+                .unwrap().unwrap();
+            sim.run_until_response(0, i % 4, tag, 1000).unwrap();
+        }
+        for i in 0..n_posted {
+            let _ = sim.send_simple(0, i % 4, HmcRqst::PWr16, (i as u64) * 64, vec![3, 4]);
+            sim.clock();
+        }
+        sim.drain(100_000);
+        let stats = sim.stats(0).unwrap();
+        prop_assert_eq!(stats.writes, n_acked as u64);
+        prop_assert_eq!(stats.responses, n_acked as u64);
+        prop_assert_eq!(stats.latency.count, n_acked as u64);
+        // Each WR16 = 2 rqst flits; each ack = 1 rsp flit.
+        prop_assert_eq!(stats.rqst_flits, 2 * (n_acked + stats.posted_writes as usize) as u64);
+        prop_assert_eq!(stats.rsp_flits, n_acked as u64);
+    }
+
+    /// The bank row-buffer counters partition all accesses.
+    #[test]
+    fn row_buffer_counters_partition_accesses(
+        addrs in prop::collection::vec(0u64..64, 1..60),
+        hit_lat in 0u64..3,
+        miss_lat in 0u64..6,
+    ) {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.bank_timing = hmc_sim::BankTiming {
+            row_hit: hit_lat,
+            row_miss: miss_lat,
+            policy: hmc_sim::RowPolicy::OpenPage,
+        };
+        let mut sim = HmcSim::new(config).unwrap();
+        let mut accepted = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            match sim.send_simple(0, i % 4, HmcRqst::Rd16, a * 16, vec![]) {
+                Ok(_) => accepted += 1,
+                Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+            sim.clock();
+        }
+        sim.drain(1_000_000);
+        let (hits, misses) = sim.row_buffer_stats(0).unwrap();
+        prop_assert_eq!(hits + misses, accepted, "every access is a hit or a miss");
+    }
+}

@@ -1,0 +1,130 @@
+//! FLIT geometry.
+//!
+//! The HMC link protocol moves data in *FLITs* (flow units) of 128 bits.
+//! Every packet is an integral number of FLITs; the first FLIT carries
+//! the 64-bit packet header in its low half and the last FLIT carries
+//! the 64-bit packet tail in its high half. A one-FLIT packet is just
+//! `header | tail`.
+
+/// Width of one FLIT in bits.
+pub const FLIT_BITS: usize = 128;
+
+/// Width of one FLIT in bytes (16).
+pub const FLIT_BYTES: usize = FLIT_BITS / 8;
+
+/// Number of 64-bit words per FLIT (2).
+pub const FLIT_WORDS: usize = FLIT_BITS / 64;
+
+/// Maximum packet length in FLITs.
+///
+/// A 256-byte write carries 16 data FLITs plus the header/tail FLIT,
+/// so the longest legal Gen2 packet is 17 FLITs.
+pub const MAX_PACKET_FLITS: usize = 17;
+
+/// Maximum data payload in bytes (256) for Gen2 packets.
+pub const MAX_DATA_BYTES: usize = 256;
+
+/// One 128-bit FLIT, stored as two little-endian 64-bit words
+/// (`words[0]` = bits 63:0, `words[1]` = bits 127:64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flit {
+    /// The two 64-bit halves of the FLIT, least-significant first.
+    pub words: [u64; FLIT_WORDS],
+}
+
+impl Flit {
+    /// A FLIT of all-zero bits.
+    pub const ZERO: Flit = Flit { words: [0; FLIT_WORDS] };
+
+    /// Builds a FLIT from its low and high 64-bit words.
+    #[inline]
+    pub const fn new(lo: u64, hi: u64) -> Self {
+        Flit { words: [lo, hi] }
+    }
+
+    /// The low 64 bits (bits 63:0).
+    #[inline]
+    pub const fn lo(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// The high 64 bits (bits 127:64).
+    #[inline]
+    pub const fn hi(&self) -> u64 {
+        self.words[1]
+    }
+
+    /// Serializes the FLIT to 16 little-endian bytes.
+    pub fn to_bytes(&self) -> [u8; FLIT_BYTES] {
+        let mut out = [0u8; FLIT_BYTES];
+        out[..8].copy_from_slice(&self.words[0].to_le_bytes());
+        out[8..].copy_from_slice(&self.words[1].to_le_bytes());
+        out
+    }
+
+    /// Deserializes a FLIT from 16 little-endian bytes.
+    pub fn from_bytes(bytes: &[u8; FLIT_BYTES]) -> Self {
+        let lo = u64::from_le_bytes(bytes[..8].try_into().expect("flit lo"));
+        let hi = u64::from_le_bytes(bytes[8..].try_into().expect("flit hi"));
+        Flit::new(lo, hi)
+    }
+}
+
+/// Converts a data length in bytes to the number of *data* FLITs needed
+/// to carry it (excluding the header/tail FLIT), rounding up.
+#[inline]
+pub const fn data_flits_for_bytes(bytes: usize) -> usize {
+    bytes.div_ceil(FLIT_BYTES)
+}
+
+/// Total packet FLITs for a request carrying `bytes` of write data:
+/// one header/tail FLIT plus the data FLITs.
+#[inline]
+pub const fn packet_flits_for_bytes(bytes: usize) -> usize {
+    1 + data_flits_for_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_geometry_constants() {
+        assert_eq!(FLIT_BITS, 128);
+        assert_eq!(FLIT_BYTES, 16);
+        assert_eq!(FLIT_WORDS, 2);
+        assert_eq!(MAX_PACKET_FLITS, 17);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let f = Flit::new(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        assert_eq!(Flit::from_bytes(&f.to_bytes()), f);
+    }
+
+    #[test]
+    fn zero_flit_is_zero() {
+        assert_eq!(Flit::ZERO.lo(), 0);
+        assert_eq!(Flit::ZERO.hi(), 0);
+        assert_eq!(Flit::ZERO.to_bytes(), [0u8; FLIT_BYTES]);
+    }
+
+    #[test]
+    fn data_flit_math_matches_spec_examples() {
+        // 16-byte request -> 1 data FLIT -> 2 total; 256-byte -> 16 -> 17.
+        assert_eq!(data_flits_for_bytes(16), 1);
+        assert_eq!(packet_flits_for_bytes(16), 2);
+        assert_eq!(data_flits_for_bytes(128), 8);
+        assert_eq!(packet_flits_for_bytes(128), 9);
+        assert_eq!(data_flits_for_bytes(256), 16);
+        assert_eq!(packet_flits_for_bytes(256), 17);
+        assert_eq!(packet_flits_for_bytes(0), 1);
+    }
+
+    #[test]
+    fn partial_flit_rounds_up() {
+        assert_eq!(data_flits_for_bytes(1), 1);
+        assert_eq!(data_flits_for_bytes(17), 2);
+        assert_eq!(data_flits_for_bytes(255), 16);
+    }
+}

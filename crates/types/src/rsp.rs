@@ -1,0 +1,134 @@
+//! The HMC Gen2 response command set.
+//!
+//! Responses carry an 8-bit command field. Beyond the standard read,
+//! write and mode responses, HMC-Sim 2.0 adds a single [`HmcResponse::RspCmc`]
+//! class that lets a CMC library define an arbitrary non-standard
+//! response command code (paper §IV-C1).
+
+use crate::error::HmcError;
+
+/// Response command code assigned to RD_RS by the Gen2 specification.
+pub const RD_RS_CODE: u8 = 0x38;
+/// Response command code assigned to WR_RS.
+pub const WR_RS_CODE: u8 = 0x39;
+/// Response command code assigned to MD_RD_RS.
+pub const MD_RD_RS_CODE: u8 = 0x3A;
+/// Response command code assigned to MD_WR_RS.
+pub const MD_WR_RS_CODE: u8 = 0x3B;
+/// Response command code assigned to ERROR responses.
+pub const ERROR_CODE: u8 = 0x3E;
+
+/// An HMC Gen2 response command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HmcResponse {
+    /// Read response carrying data FLITs.
+    RdRs,
+    /// Write acknowledgement.
+    WrRs,
+    /// Mode (register) read response.
+    MdRdRs,
+    /// Mode (register) write acknowledgement.
+    MdWrRs,
+    /// Error response.
+    Error,
+    /// Custom response defined by a CMC library; carries the
+    /// registered `rsp_cmd_code`.
+    RspCmc(u8),
+    /// No response (posted request). Never appears on the link; used
+    /// internally to mark posted completions.
+    #[default]
+    RspNone,
+}
+
+impl HmcResponse {
+    /// The 8-bit response command code carried in the packet header.
+    ///
+    /// [`HmcResponse::RspNone`] has no wire representation and returns 0.
+    pub fn code(self) -> u8 {
+        match self {
+            HmcResponse::RdRs => RD_RS_CODE,
+            HmcResponse::WrRs => WR_RS_CODE,
+            HmcResponse::MdRdRs => MD_RD_RS_CODE,
+            HmcResponse::MdWrRs => MD_WR_RS_CODE,
+            HmcResponse::Error => ERROR_CODE,
+            HmcResponse::RspCmc(code) => code,
+            HmcResponse::RspNone => 0,
+        }
+    }
+
+    /// Decodes an 8-bit response command code.
+    ///
+    /// Standard codes map to their variant; any other nonzero code is
+    /// treated as a CMC-defined response. Code 0 is reserved (no
+    /// packet) and is rejected.
+    pub fn from_code(code: u8) -> Result<Self, HmcError> {
+        Ok(match code {
+            RD_RS_CODE => HmcResponse::RdRs,
+            WR_RS_CODE => HmcResponse::WrRs,
+            MD_RD_RS_CODE => HmcResponse::MdRdRs,
+            MD_WR_RS_CODE => HmcResponse::MdWrRs,
+            ERROR_CODE => HmcResponse::Error,
+            0 => return Err(HmcError::InvalidResponseCode(0)),
+            other => HmcResponse::RspCmc(other),
+        })
+    }
+
+    /// Canonical mnemonic, as printed in trace files.
+    pub fn mnemonic(self) -> String {
+        match self {
+            HmcResponse::RdRs => "RD_RS".into(),
+            HmcResponse::WrRs => "WR_RS".into(),
+            HmcResponse::MdRdRs => "MD_RD_RS".into(),
+            HmcResponse::MdWrRs => "MD_WR_RS".into(),
+            HmcResponse::Error => "ERROR".into(),
+            HmcResponse::RspCmc(code) => format!("RSP_CMC[{code}]"),
+            HmcResponse::RspNone => "RSP_NONE".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HmcResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_codes_round_trip() {
+        for rsp in [
+            HmcResponse::RdRs,
+            HmcResponse::WrRs,
+            HmcResponse::MdRdRs,
+            HmcResponse::MdWrRs,
+            HmcResponse::Error,
+        ] {
+            assert_eq!(HmcResponse::from_code(rsp.code()).unwrap(), rsp);
+        }
+    }
+
+    #[test]
+    fn cmc_codes_round_trip() {
+        for code in [1u8, 0x37, 0x3C, 0x7F, 0xFF] {
+            assert_eq!(
+                HmcResponse::from_code(code).unwrap(),
+                HmcResponse::RspCmc(code)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_code_rejected() {
+        assert!(HmcResponse::from_code(0).is_err());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(HmcResponse::RdRs.mnemonic(), "RD_RS");
+        assert_eq!(HmcResponse::RspCmc(0x42).mnemonic(), "RSP_CMC[66]");
+        assert_eq!(format!("{}", HmcResponse::WrRs), "WR_RS");
+    }
+}

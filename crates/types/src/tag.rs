@@ -1,0 +1,163 @@
+//! Request tag allocation.
+//!
+//! Every non-posted request carries a tag that the host uses to match
+//! the eventual response. The Gen2 header provides an 11-bit tag field,
+//! so up to 2048 requests may be in flight per requester. [`TagPool`]
+//! hands out tags in FIFO order and recycles them on response receipt,
+//! mirroring the tag management in HMC-Sim host drivers.
+
+use crate::error::HmcError;
+use std::collections::VecDeque;
+
+/// Width of the tag field in the request header.
+pub const TAG_BITS: u32 = 11;
+
+/// Number of distinct tags (2048).
+pub const TAG_SPACE: u32 = 1 << TAG_BITS;
+
+/// A validated request tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tag(u16);
+
+impl Tag {
+    /// Creates a tag, validating it against the 11-bit tag space.
+    pub fn new(value: u32) -> Result<Self, HmcError> {
+        if value < TAG_SPACE {
+            Ok(Tag(value as u16))
+        } else {
+            Err(HmcError::InvalidTag(value))
+        }
+    }
+
+    /// The raw tag value.
+    #[inline]
+    pub fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// A FIFO pool of request tags.
+///
+/// ```
+/// use hmc_types::TagPool;
+/// let mut pool = TagPool::with_capacity(4);
+/// let t0 = pool.acquire().unwrap();
+/// let t1 = pool.acquire().unwrap();
+/// assert_ne!(t0, t1);
+/// pool.release(t0).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagPool {
+    free: VecDeque<Tag>,
+    in_flight: Vec<bool>,
+    capacity: u32,
+}
+
+impl TagPool {
+    /// A pool over the full 11-bit tag space.
+    pub fn full() -> Self {
+        Self::with_capacity(TAG_SPACE)
+    }
+
+    /// A pool restricted to tags `0..capacity` (capacity clamped to
+    /// the tag space). Smaller pools model hosts with limited MSHRs.
+    pub fn with_capacity(capacity: u32) -> Self {
+        let capacity = capacity.min(TAG_SPACE);
+        TagPool {
+            free: (0..capacity).map(|v| Tag(v as u16)).collect(),
+            in_flight: vec![false; capacity as usize],
+            capacity,
+        }
+    }
+
+    /// Acquires the next free tag, or [`HmcError::TagsExhausted`] when
+    /// every tag is in flight.
+    pub fn acquire(&mut self) -> Result<Tag, HmcError> {
+        let tag = self.free.pop_front().ok_or(HmcError::TagsExhausted)?;
+        self.in_flight[tag.0 as usize] = true;
+        Ok(tag)
+    }
+
+    /// Returns a tag to the pool. Rejects tags that were not in flight
+    /// (double release or foreign tag), which would otherwise corrupt
+    /// response matching.
+    pub fn release(&mut self, tag: Tag) -> Result<(), HmcError> {
+        let idx = tag.0 as usize;
+        if idx >= self.in_flight.len() || !self.in_flight[idx] {
+            return Err(HmcError::InvalidTag(tag.0 as u32));
+        }
+        self.in_flight[idx] = false;
+        self.free.push_back(tag);
+        Ok(())
+    }
+
+    /// Number of tags currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.capacity as usize - self.free.len()
+    }
+
+    /// Number of tags available for acquisition.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for TagPool {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_validation() {
+        assert!(Tag::new(0).is_ok());
+        assert!(Tag::new(TAG_SPACE - 1).is_ok());
+        assert!(Tag::new(TAG_SPACE).is_err());
+    }
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut pool = TagPool::with_capacity(2);
+        let a = pool.acquire().unwrap();
+        let b = pool.acquire().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pool.in_flight(), 2);
+        assert!(pool.acquire().is_err());
+        pool.release(a).unwrap();
+        assert_eq!(pool.available(), 1);
+        let c = pool.acquire().unwrap();
+        assert_eq!(c, a, "FIFO recycling");
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut pool = TagPool::with_capacity(2);
+        let a = pool.acquire().unwrap();
+        pool.release(a).unwrap();
+        assert!(pool.release(a).is_err());
+    }
+
+    #[test]
+    fn foreign_tag_rejected() {
+        let mut pool = TagPool::with_capacity(2);
+        assert!(pool.release(Tag(7)).is_err());
+    }
+
+    #[test]
+    fn full_pool_spans_tag_space() {
+        let mut pool = TagPool::full();
+        assert_eq!(pool.available(), TAG_SPACE as usize);
+        let t = pool.acquire().unwrap();
+        assert_eq!(t.value(), 0);
+    }
+}

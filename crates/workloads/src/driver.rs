@@ -1,0 +1,293 @@
+//! The simulated-thread driver.
+//!
+//! The paper's evaluation drives the device with N host threads, each
+//! issuing HMC packets and waiting for responses (§V-B). This module
+//! provides the deterministic equivalent: every simulated thread is a
+//! state machine ticked once per device cycle; the driver routes
+//! delivered responses back to the thread that issued the matching
+//! tag and records per-thread completion cycles.
+
+use hmc_sim::{HmcSim, TrackedResponse};
+use hmc_types::{HmcError, HmcRqst, Tag};
+use std::collections::{HashMap, VecDeque};
+
+/// Whether a thread has finished its kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// The thread still has work.
+    Running,
+    /// The thread completed its kernel this cycle.
+    Done,
+}
+
+/// Per-tick I/O window a thread uses to talk to the device.
+pub struct ThreadIo<'a> {
+    sim: &'a mut HmcSim,
+    /// Target device index.
+    pub dev: usize,
+    /// The link this thread is pinned to.
+    pub link: usize,
+    /// Current simulation cycle.
+    pub cycle: u64,
+    inbox: VecDeque<TrackedResponse>,
+    sent: Vec<Tag>,
+}
+
+impl<'a> ThreadIo<'a> {
+    /// Takes the next response delivered to this thread, if any.
+    pub fn response(&mut self) -> Option<TrackedResponse> {
+        self.inbox.pop_front()
+    }
+
+    /// Sends a standard command on the thread's link. Stalls
+    /// ([`HmcError::Stall`]) mean "retry next cycle".
+    pub fn send(
+        &mut self,
+        cmd: HmcRqst,
+        addr: u64,
+        payload: Vec<u64>,
+    ) -> Result<Option<Tag>, HmcError> {
+        let tag = self.sim.send_simple(self.dev, self.link, cmd, addr, payload)?;
+        if let Some(tag) = tag {
+            self.sent.push(tag);
+        }
+        Ok(tag)
+    }
+
+    /// Sends a CMC command on the thread's link.
+    pub fn send_cmc(
+        &mut self,
+        code: u8,
+        addr: u64,
+        payload: Vec<u64>,
+    ) -> Result<Option<Tag>, HmcError> {
+        let tag = self.sim.send_cmc(self.dev, self.link, code, addr, payload)?;
+        if let Some(tag) = tag {
+            self.sent.push(tag);
+        }
+        Ok(tag)
+    }
+}
+
+/// A simulated host thread.
+pub trait HostThread {
+    /// The device link this thread issues on.
+    fn link(&self) -> usize;
+
+    /// Advances the thread by one cycle.
+    fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus;
+}
+
+/// Completion metrics for one driver run — the values the paper
+/// records per simulation (§V-B): MIN_CYCLE, MAX_CYCLE, AVG_CYCLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Completion cycle of each thread, indexed by thread id.
+    pub per_thread_cycles: Vec<u64>,
+    /// Cycles the whole run consumed.
+    pub total_cycles: u64,
+    /// Threads that did not finish within the cycle budget.
+    pub unfinished: usize,
+}
+
+impl RunMetrics {
+    /// MIN_CYCLE — fastest thread's completion cycle.
+    pub fn min_cycle(&self) -> u64 {
+        self.per_thread_cycles.iter().copied().min().unwrap_or(0)
+    }
+
+    /// MAX_CYCLE — slowest thread's completion cycle.
+    pub fn max_cycle(&self) -> u64 {
+        self.per_thread_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// AVG_CYCLE — mean completion cycle across threads.
+    pub fn avg_cycle(&self) -> f64 {
+        if self.per_thread_cycles.is_empty() {
+            0.0
+        } else {
+            self.per_thread_cycles.iter().sum::<u64>() as f64
+                / self.per_thread_cycles.len() as f64
+        }
+    }
+}
+
+/// Drives a set of threads against a device until every thread
+/// finishes or `max_cycles` elapses.
+pub struct ThreadDriver {
+    /// Target device.
+    pub dev: usize,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for ThreadDriver {
+    fn default() -> Self {
+        ThreadDriver { dev: 0, max_cycles: 2_000_000 }
+    }
+}
+
+impl ThreadDriver {
+    /// Runs the threads to completion, routing responses by tag.
+    pub fn run<T: HostThread>(&self, sim: &mut HmcSim, threads: &mut [T]) -> RunMetrics {
+        let links: Vec<usize> = {
+            let mut l: Vec<usize> = threads.iter().map(|t| t.link()).collect();
+            l.sort_unstable();
+            l.dedup();
+            l
+        };
+        let mut owner: HashMap<(usize, u16), usize> = HashMap::new();
+        let mut mailboxes: Vec<VecDeque<TrackedResponse>> =
+            (0..threads.len()).map(|_| VecDeque::new()).collect();
+        let mut finish: Vec<Option<u64>> = vec![None; threads.len()];
+
+        let mut cycle = 0u64;
+        while cycle < self.max_cycles {
+            // Deliver responses to their issuing threads.
+            for &link in &links {
+                while let Some(rsp) = sim.recv(self.dev, link) {
+                    let key = (link, rsp.rsp.head.tag.value());
+                    if let Some(tid) = owner.remove(&key) {
+                        mailboxes[tid].push_back(rsp);
+                    }
+                }
+            }
+
+            let mut all_done = true;
+            for (tid, thread) in threads.iter_mut().enumerate() {
+                if finish[tid].is_some() {
+                    continue;
+                }
+                all_done = false;
+                let mut io = ThreadIo {
+                    dev: self.dev,
+                    link: thread.link(),
+                    cycle,
+                    inbox: std::mem::take(&mut mailboxes[tid]),
+                    sent: Vec::new(),
+                    sim,
+                };
+                let status = thread.tick(&mut io);
+                let ThreadIo { inbox, sent, link, .. } = io;
+                mailboxes[tid] = inbox;
+                for tag in sent {
+                    owner.insert((link, tag.value()), tid);
+                }
+                if status == ThreadStatus::Done {
+                    finish[tid] = Some(cycle);
+                }
+            }
+            if all_done {
+                break;
+            }
+            sim.clock();
+            cycle += 1;
+        }
+
+        let unfinished = finish.iter().filter(|f| f.is_none()).count();
+        RunMetrics {
+            per_thread_cycles: finish
+                .into_iter()
+                .map(|f| f.unwrap_or(self.max_cycles))
+                .collect(),
+            total_cycles: cycle,
+            unfinished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_sim::DeviceConfig;
+
+    /// A thread that writes one value then reads it back.
+    struct WriteRead {
+        link: usize,
+        addr: u64,
+        state: u8,
+        tag: Option<Tag>,
+        read_value: Option<u64>,
+    }
+
+    impl HostThread for WriteRead {
+        fn link(&self) -> usize {
+            self.link
+        }
+
+        fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus {
+            match self.state {
+                0 => {
+                    if let Ok(tag) = io.send(HmcRqst::Wr16, self.addr, vec![self.addr, 0]) {
+                        self.tag = tag;
+                        self.state = 1;
+                    }
+                    ThreadStatus::Running
+                }
+                1 => {
+                    if io.response().is_some() {
+                        self.state = 2;
+                    }
+                    ThreadStatus::Running
+                }
+                2 => {
+                    if let Ok(tag) = io.send(HmcRqst::Rd16, self.addr, vec![]) {
+                        self.tag = tag;
+                        self.state = 3;
+                    }
+                    ThreadStatus::Running
+                }
+                _ => match io.response() {
+                    Some(rsp) => {
+                        self.read_value = Some(rsp.rsp.payload[0]);
+                        ThreadStatus::Done
+                    }
+                    None => ThreadStatus::Running,
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn driver_routes_responses_to_issuing_threads() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut threads: Vec<WriteRead> = (0..8)
+            .map(|i| WriteRead {
+                link: i % 4,
+                addr: 0x1000 + (i as u64) * 16,
+                state: 0,
+                tag: None,
+                read_value: None,
+            })
+            .collect();
+        let driver = ThreadDriver { dev: 0, max_cycles: 10_000 };
+        let metrics = driver.run(&mut sim, &mut threads);
+        assert_eq!(metrics.unfinished, 0);
+        for t in &threads {
+            assert_eq!(t.read_value, Some(t.addr), "thread read its own value");
+        }
+        assert!(metrics.min_cycle() >= 6, "two round trips minimum");
+        assert!(metrics.max_cycle() < 100);
+        assert!(metrics.avg_cycle() >= metrics.min_cycle() as f64);
+        assert!(metrics.avg_cycle() <= metrics.max_cycle() as f64);
+    }
+
+    #[test]
+    fn unfinished_threads_reported() {
+        /// Never finishes.
+        struct Stuck;
+        impl HostThread for Stuck {
+            fn link(&self) -> usize {
+                0
+            }
+            fn tick(&mut self, _io: &mut ThreadIo<'_>) -> ThreadStatus {
+                ThreadStatus::Running
+            }
+        }
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let driver = ThreadDriver { dev: 0, max_cycles: 50 };
+        let metrics = driver.run(&mut sim, &mut [Stuck]);
+        assert_eq!(metrics.unfinished, 1);
+        assert_eq!(metrics.per_thread_cycles[0], 50);
+    }
+}

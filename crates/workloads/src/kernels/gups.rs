@@ -1,0 +1,325 @@
+//! HPCC RandomAccess (GUPS) — the random-update kernel from the
+//! original HMC-Sim evaluations (prior work \[4\]\[5\], Luszczek et
+//! al. \[12\]).
+//!
+//! Random 16-byte table entries are updated with XOR. Two mechanisms
+//! are provided:
+//!
+//! * [`GupsMode::ReadModifyWrite`] — the conventional host-side
+//!   pattern: RD16, XOR in the core, WR16 (6 FLITs per update, two
+//!   round trips, and lost updates under concurrency).
+//! * [`GupsMode::Xor16Amo`] — the Gen2 `XOR16` atomic performs the
+//!   update in the logic layer (4 FLITs, one round trip, exact).
+
+use hmc_sim::HmcSim;
+use hmc_types::{HmcError, HmcRqst};
+use std::collections::HashMap;
+
+/// The update mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GupsMode {
+    /// RD16 + host XOR + WR16.
+    ReadModifyWrite,
+    /// One `XOR16` atomic per update.
+    Xor16Amo,
+}
+
+/// Configuration of a RandomAccess run.
+#[derive(Debug, Clone)]
+pub struct GupsConfig {
+    /// Table entries (16 bytes each); must be a power of two.
+    pub table_entries: usize,
+    /// Number of updates to perform.
+    pub updates: usize,
+    /// Outstanding-update window.
+    pub window: usize,
+    /// Update mechanism.
+    pub mode: GupsMode,
+    /// Table base address (16-byte aligned).
+    pub table_base: u64,
+    /// RNG seed for the update stream.
+    pub seed: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for GupsConfig {
+    fn default() -> Self {
+        GupsConfig {
+            table_entries: 1 << 12,
+            updates: 2048,
+            window: 64,
+            mode: GupsMode::Xor16Amo,
+            table_base: 0x0400_0000,
+            seed: 0x1234_5678_9ABC_DEF0,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+/// Outcome of a RandomAccess run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GupsResult {
+    /// Device cycles consumed.
+    pub cycles: u64,
+    /// Updates performed.
+    pub updates: u64,
+    /// Link FLITs consumed.
+    pub link_flits: u64,
+    /// Updates per cycle (the GUPS figure, per device clock).
+    pub updates_per_cycle: f64,
+    /// Table entries that disagree with the sequential oracle.
+    pub errors: usize,
+}
+
+/// The HPCC RandomAccess polynomial stream (x^63 + x^2 + x + 1 LFSR,
+/// as in the reference implementation).
+#[derive(Debug, Clone, Copy)]
+pub struct HpccStream(u64);
+
+impl HpccStream {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        HpccStream(if seed == 0 { 1 } else { seed })
+    }
+}
+
+impl Iterator for HpccStream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        let v = self.0;
+        self.0 = (v << 1) ^ (if (v as i64) < 0 { 7 } else { 0 });
+        Some(self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// Awaiting the XOR16 response.
+    Amo,
+    /// Awaiting the RD16 of an RMW update; payload value to XOR.
+    RmwRead { entry: usize, value: u64 },
+    /// Awaiting the WR16 ack of an RMW update.
+    RmwWrite,
+}
+
+/// The RandomAccess kernel runner.
+#[derive(Debug, Clone)]
+pub struct GupsKernel {
+    /// Kernel configuration.
+    pub config: GupsConfig,
+}
+
+impl GupsKernel {
+    /// Creates a runner.
+    pub fn new(config: GupsConfig) -> Self {
+        GupsKernel { config }
+    }
+
+    fn entry_addr(&self, entry: usize) -> u64 {
+        self.config.table_base + (entry as u64) * 16
+    }
+
+    /// Runs the kernel on device 0 and verifies the table against a
+    /// sequential oracle.
+    pub fn run(&self, sim: &mut HmcSim) -> Result<GupsResult, HmcError> {
+        let cfg = &self.config;
+        if !cfg.table_entries.is_power_of_two() {
+            return Err(HmcError::InvalidRequestSize(cfg.table_entries));
+        }
+        let links = sim.device_config(0)?.links;
+        let mask = (cfg.table_entries - 1) as u64;
+
+        // Zero-initialized table; build the oracle host-side.
+        let mut oracle = vec![0u64; cfg.table_entries];
+        for (i, v) in HpccStream::new(cfg.seed).take(cfg.updates).enumerate() {
+            let _ = i;
+            oracle[(v & mask) as usize] ^= v;
+        }
+
+        let flits_before = {
+            let s = sim.stats(0)?;
+            s.rqst_flits + s.rsp_flits
+        };
+        let start_cycle = sim.cycle();
+
+        let mut stream = HpccStream::new(cfg.seed);
+        let mut issued = 0usize;
+        let mut completed = 0usize;
+        // Tag pools are per link, so in-flight ops key on (link, tag).
+        let mut owner: HashMap<(usize, u16), Pending> = HashMap::new();
+        let mut write_queue: std::collections::VecDeque<(usize, [u64; 2])> =
+            std::collections::VecDeque::new();
+        let mut rr_link = 0usize;
+        let mut carry: Option<u64> = None;
+
+        while completed < cfg.updates {
+            if sim.cycle() - start_cycle > cfg.max_cycles {
+                break;
+            }
+            for link in 0..links {
+                while let Some(rsp) = sim.recv(0, link) {
+                    let Some(pending) = owner.remove(&(link, rsp.rsp.head.tag.value())) else {
+                        continue;
+                    };
+                    match pending {
+                        Pending::Amo | Pending::RmwWrite => completed += 1,
+                        Pending::RmwRead { entry, value } => {
+                            let new = [rsp.rsp.payload[0] ^ value, rsp.rsp.payload[1]];
+                            write_queue.push_back((entry, new));
+                        }
+                    }
+                }
+            }
+
+            // Flush pending RMW write-backs first (they hold window
+            // slots until acknowledged).
+            while let Some(&(entry, new)) = write_queue.front() {
+                let addr = self.entry_addr(entry);
+                let link = rr_link % links;
+                match sim.send_simple(0, link, HmcRqst::Wr16, addr, new.to_vec()) {
+                    Ok(Some(tag)) => {
+                        rr_link += 1;
+                        owner.insert((link, tag.value()), Pending::RmwWrite);
+                        write_queue.pop_front();
+                    }
+                    Ok(None) => unreachable!("WR16 is acknowledged"),
+                    Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Issue new updates while the window has room.
+            while owner.len() + write_queue.len() < cfg.window && issued < cfg.updates {
+                let v = carry.take().unwrap_or_else(|| stream.next().expect("infinite"));
+                let entry = (v & mask) as usize;
+                let addr = self.entry_addr(entry);
+                let link = rr_link % links;
+                let send = match cfg.mode {
+                    GupsMode::Xor16Amo => {
+                        sim.send_simple(0, link, HmcRqst::Xor16, addr, vec![v, 0])
+                    }
+                    GupsMode::ReadModifyWrite => {
+                        sim.send_simple(0, link, HmcRqst::Rd16, addr, vec![])
+                    }
+                };
+                match send {
+                    Ok(Some(tag)) => {
+                        rr_link += 1;
+                        let pending = match cfg.mode {
+                            GupsMode::Xor16Amo => Pending::Amo,
+                            GupsMode::ReadModifyWrite => Pending::RmwRead { entry, value: v },
+                        };
+                        owner.insert((link, tag.value()), pending);
+                        issued += 1;
+                    }
+                    Ok(None) => unreachable!("neither command is posted"),
+                    Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {
+                        carry = Some(v);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            sim.clock();
+        }
+
+        // Verify against the oracle.
+        let mut errors = 0usize;
+        for (entry, &want) in oracle.iter().enumerate() {
+            if sim.mem_read_u64(0, self.entry_addr(entry))? != want {
+                errors += 1;
+            }
+        }
+
+        let cycles = sim.cycle() - start_cycle;
+        let flits_after = {
+            let s = sim.stats(0)?;
+            s.rqst_flits + s.rsp_flits
+        };
+        Ok(GupsResult {
+            cycles,
+            updates: completed as u64,
+            link_flits: flits_after - flits_before,
+            updates_per_cycle: completed as f64 / cycles.max(1) as f64,
+            errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_sim::DeviceConfig;
+
+    #[test]
+    fn hpcc_stream_is_deterministic_and_nonrepeating_shortterm() {
+        let a: Vec<u64> = HpccStream::new(42).take(16).collect();
+        let b: Vec<u64> = HpccStream::new(42).take(16).collect();
+        assert_eq!(a, b);
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn amo_mode_matches_oracle_exactly() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = GupsKernel::new(GupsConfig {
+            table_entries: 1 << 8,
+            updates: 512,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.updates, 512);
+        assert_eq!(result.errors, 0, "XOR16 atomics commute: exact result");
+        assert!(result.updates_per_cycle > 0.0);
+    }
+
+    #[test]
+    fn rmw_mode_completes_and_counts_traffic() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = GupsKernel::new(GupsConfig {
+            table_entries: 1 << 8,
+            updates: 256,
+            mode: GupsMode::ReadModifyWrite,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.updates, 256);
+        // RMW moves RD16 (1+2) + WR16 (2+1) = 6 FLITs per update vs
+        // XOR16's (2+2) = 4.
+        assert!(result.link_flits >= 6 * 256);
+    }
+
+    #[test]
+    fn amo_uses_fewer_flits_than_rmw() {
+        let run = |mode: GupsMode| {
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            GupsKernel::new(GupsConfig {
+                table_entries: 1 << 8,
+                updates: 256,
+                mode,
+                ..Default::default()
+            })
+            .run(&mut sim)
+            .unwrap()
+        };
+        let amo = run(GupsMode::Xor16Amo);
+        let rmw = run(GupsMode::ReadModifyWrite);
+        assert!(
+            amo.link_flits < rmw.link_flits,
+            "AMO offload saves link bandwidth: {} vs {}",
+            amo.link_flits,
+            rmw.link_flits
+        );
+        assert!(amo.cycles <= rmw.cycles, "one round trip beats two");
+    }
+
+    #[test]
+    fn non_power_of_two_table_rejected() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = GupsKernel::new(GupsConfig { table_entries: 1000, ..Default::default() });
+        assert!(kernel.run(&mut sim).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Workload kernels.
+//!
+//! * [`mutex`] — the paper's CMC mutex kernel (Algorithm 1).
+//! * [`rwlock`] — readers/writers over the CMC rwlock suite.
+//! * [`counter`] — shared-counter increments: HMC `INC8` vs the
+//!   cache-based read-modify-write baseline (Table II's workload).
+//! * [`triad`] — STREAM Triad (prior-work kernel \[11\]).
+//! * [`gups`] — HPCC RandomAccess / GUPS (prior-work kernel \[12\]).
+//! * [`bfs`] — BFS check-and-update with CAS offload (related work
+//!   \[10\]).
+//! * [`histogram`] — posted vs acked vs RMW increments.
+//! * [`pchase`] — dependent-load pointer chasing (latency probe).
+
+pub mod bfs;
+pub mod counter;
+pub mod gups;
+pub mod histogram;
+pub mod mutex;
+pub mod pchase;
+pub mod rwlock;
+pub mod triad;

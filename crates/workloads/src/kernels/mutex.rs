@@ -1,0 +1,515 @@
+//! The CMC mutex kernel — Algorithm 1 of the paper.
+//!
+//! Every thread executes:
+//!
+//! ```text
+//! HMC_LOCK(ADDR)
+//! if LOCK_SUCCESS then
+//!     HMC_UNLOCK(ADDR)
+//! else
+//!     HMC_TRYLOCK(ADDR)
+//!     while LOCK_FAILED do
+//!         HMC_TRYLOCK(ADDR)
+//!     end while
+//!     HMC_UNLOCK(ADDR)
+//! end if
+//! ```
+//!
+//! All threads target the same lock structure, deliberately inducing
+//! a memory hot spot to exercise the device queueing (§V-B).
+//!
+//! The `while LOCK_FAILED` spin is governed by a [`SpinPolicy`]:
+//!
+//! * [`SpinPolicy::UntilOwned`] — the literal semantics: a thread
+//!   retries `hmc_trylock` (with truncated exponential backoff so the
+//!   hot vault queue is not saturated by stale spin traffic) until the
+//!   returned owner id is its own. Every thread holds the lock exactly
+//!   once; mutual exclusion is exercised end to end.
+//! * [`SpinPolicy::PaperBounded`] — the behaviour the paper's
+//!   reported magnitudes imply (max 392 cycles ≈ 4 cycles/thread at
+//!   99 threads, which is below the floor of a strict 99-handoff
+//!   serialization at a 3-cycle round trip): the spin exits after the
+//!   first `hmc_trylock` response and the final `hmc_unlock` is
+//!   issued unconditionally (it no-ops in the device unless the
+//!   caller owns the lock). Each thread thus issues a bounded ~3
+//!   requests. See EXPERIMENTS.md for the calibration discussion.
+
+use crate::driver::{HostThread, RunMetrics, ThreadDriver, ThreadIo, ThreadStatus};
+use hmc_cmc::ops::mutex::{LOCK_CMD, TRYLOCK_CMD, UNLOCK_CMD};
+use hmc_cmc::ops::ticket::{TICKET_POLL_CMD, TICKET_RELEASE_CMD, TICKET_TAKE_CMD};
+use hmc_sim::HmcSim;
+use hmc_types::HmcError;
+
+/// How the trylock spin loop terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpinPolicy {
+    /// Spin (with truncated exponential backoff) until this thread
+    /// owns the lock — the literal Algorithm 1.
+    UntilOwned {
+        /// Initial backoff after a failed trylock, in cycles.
+        initial_backoff: u64,
+        /// Backoff cap in cycles.
+        max_backoff: u64,
+    },
+    /// Exit the spin after the first trylock response (the bounded
+    /// per-thread behaviour matching the paper's reported numbers).
+    PaperBounded,
+}
+
+impl SpinPolicy {
+    /// The literal-semantics default (16..256-cycle backoff).
+    pub fn until_owned() -> Self {
+        SpinPolicy::UntilOwned { initial_backoff: 16, max_backoff: 256 }
+    }
+}
+
+/// Which device operations implement the mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutexMechanism {
+    /// The paper's CMC operations (CMC125/126/127); requires
+    /// `libhmc_mutex.so` loaded on the device.
+    Cmc,
+    /// A mutex built from the stock Gen2 `CASEQ8` atomic: acquire =
+    /// `CASEQ8(swap=tid, cmp=0)`, release = `CASEQ8(swap=0, cmp=tid)`.
+    /// The ablation baseline showing CMC ops ride the same packet
+    /// economics as standard atomics.
+    CasEq8,
+    /// The fair CMC ticket lock (`libhmc_ticket.so`). A ticket holder
+    /// must be served before it may finish, so this mechanism always
+    /// spins until owned regardless of the configured [`SpinPolicy`].
+    Ticket,
+}
+
+/// Configuration of one mutex-kernel run.
+#[derive(Debug, Clone)]
+pub struct MutexKernelConfig {
+    /// Number of simulated threads (the paper sweeps 2..=100).
+    pub threads: usize,
+    /// Address of the 16-byte lock structure.
+    pub lock_addr: u64,
+    /// Spin policy.
+    pub spin: SpinPolicy,
+    /// Lock implementation.
+    pub mechanism: MutexMechanism,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for MutexKernelConfig {
+    fn default() -> Self {
+        MutexKernelConfig {
+            threads: 2,
+            lock_addr: 0x4000,
+            spin: SpinPolicy::PaperBounded,
+            mechanism: MutexMechanism::Cmc,
+            max_cycles: 2_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    SendLock,
+    WaitLock,
+    SendTrylock,
+    WaitTrylock,
+    Backoff { until: u64 },
+    SendUnlock,
+    WaitUnlock,
+}
+
+/// One thread of Algorithm 1.
+struct MutexThread {
+    tid: u64,
+    link: usize,
+    lock_addr: u64,
+    spin: SpinPolicy,
+    mechanism: MutexMechanism,
+    state: State,
+    backoff: u64,
+    acquisitions: u32,
+    my_ticket: Option<u64>,
+}
+
+impl MutexThread {
+    /// The wire thread id: paper threads carry a nonzero TID so an
+    /// owner id of zero always means "free".
+    fn wire_tid(&self) -> u64 {
+        self.tid + 1
+    }
+
+    /// Issues the acquire operation for the configured mechanism.
+    fn send_acquire(
+        &self,
+        io: &mut ThreadIo<'_>,
+        op: u8,
+    ) -> Result<(), HmcError> {
+        match self.mechanism {
+            MutexMechanism::Cmc => io
+                .send_cmc(op, self.lock_addr, vec![self.wire_tid(), 0])
+                .map(|_| ()),
+            MutexMechanism::CasEq8 => io
+                .send(
+                    hmc_types::HmcRqst::CasEq8,
+                    self.lock_addr,
+                    vec![self.wire_tid(), 0], // swap = tid, compare = 0
+                )
+                .map(|_| ()),
+            MutexMechanism::Ticket => {
+                if op == LOCK_CMD {
+                    io.send_cmc(TICKET_TAKE_CMD, self.lock_addr, vec![]).map(|_| ())
+                } else {
+                    let ticket = self.my_ticket.expect("ticket drawn before polling");
+                    io.send_cmc(TICKET_POLL_CMD, self.lock_addr, vec![ticket, 0])
+                        .map(|_| ())
+                }
+            }
+        }
+    }
+
+    /// Issues the release operation for the configured mechanism.
+    fn send_release(&self, io: &mut ThreadIo<'_>) -> Result<(), HmcError> {
+        match self.mechanism {
+            MutexMechanism::Cmc => io
+                .send_cmc(UNLOCK_CMD, self.lock_addr, vec![self.wire_tid(), 0])
+                .map(|_| ()),
+            MutexMechanism::CasEq8 => io
+                .send(
+                    hmc_types::HmcRqst::CasEq8,
+                    self.lock_addr,
+                    vec![0, self.wire_tid()], // swap = 0, compare = tid
+                )
+                .map(|_| ()),
+            MutexMechanism::Ticket => io
+                .send_cmc(TICKET_RELEASE_CMD, self.lock_addr, vec![])
+                .map(|_| ()),
+        }
+    }
+
+}
+
+impl HostThread for MutexThread {
+    fn link(&self) -> usize {
+        self.link
+    }
+
+    fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus {
+        // A wait-state that consumes a response falls through to the
+        // next send in the same tick, so a lock+unlock pair completes
+        // in exactly two round trips (the paper's 6-cycle minimum).
+        loop {
+            match self.state {
+                State::SendLock => {
+                    match self.send_acquire(io, LOCK_CMD) {
+                        Ok(()) => self.state = State::WaitLock,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("mutex kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitLock => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    let acquired = match self.mechanism {
+                        MutexMechanism::Cmc => rsp.rsp.payload[0] == 1,
+                        MutexMechanism::CasEq8 => rsp.rsp.head.af,
+                        MutexMechanism::Ticket => {
+                            self.my_ticket = Some(rsp.rsp.payload[0]);
+                            rsp.rsp.head.af
+                        }
+                    };
+                    if acquired {
+                        self.acquisitions += 1;
+                        self.state = State::SendUnlock;
+                    } else {
+                        self.state = State::SendTrylock;
+                    }
+                }
+                State::SendTrylock => {
+                    match self.send_acquire(io, TRYLOCK_CMD) {
+                        Ok(()) => self.state = State::WaitTrylock,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("mutex kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitTrylock => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    let acquired = match self.mechanism {
+                        MutexMechanism::Cmc => rsp.rsp.payload[0] == self.wire_tid(),
+                        MutexMechanism::CasEq8 | MutexMechanism::Ticket => rsp.rsp.head.af,
+                    };
+                    if acquired {
+                        self.acquisitions += 1;
+                        self.state = State::SendUnlock;
+                    } else {
+                        // A drawn ticket must be served (skipping
+                        // would deadlock every later ticket), so the
+                        // ticket mechanism always keeps spinning.
+                        let spin = if self.mechanism == MutexMechanism::Ticket {
+                            SpinPolicy::until_owned()
+                        } else {
+                            self.spin
+                        };
+                        match spin {
+                            SpinPolicy::PaperBounded => self.state = State::SendUnlock,
+                            SpinPolicy::UntilOwned { initial_backoff, max_backoff } => {
+                                let wait = self.backoff.max(initial_backoff);
+                                self.backoff = (wait * 2).min(max_backoff);
+                                self.state = State::Backoff { until: io.cycle + wait };
+                            }
+                        }
+                    }
+                }
+                State::Backoff { until } => {
+                    if io.cycle < until {
+                        return ThreadStatus::Running;
+                    }
+                    self.state = State::SendTrylock;
+                }
+                State::SendUnlock => {
+                    match self.send_release(io) {
+                        Ok(()) => self.state = State::WaitUnlock,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("mutex kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitUnlock => {
+                    if io.response().is_some() {
+                        return ThreadStatus::Done;
+                    }
+                    return ThreadStatus::Running;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one mutex-kernel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutexKernelResult {
+    /// Driver metrics (MIN/MAX/AVG cycle data).
+    pub metrics: RunMetrics,
+    /// Total lock acquisitions observed across threads.
+    pub acquisitions: u32,
+    /// Final lock word (must be zero: released).
+    pub final_lock_word: u64,
+}
+
+/// The mutex kernel runner.
+#[derive(Debug, Clone)]
+pub struct MutexKernel {
+    /// Kernel configuration.
+    pub config: MutexKernelConfig,
+}
+
+impl MutexKernel {
+    /// Creates a runner.
+    pub fn new(config: MutexKernelConfig) -> Self {
+        MutexKernel { config }
+    }
+
+    /// Runs Algorithm 1 on the given simulation context. The CMC
+    /// mutex library must already be loaded on device 0.
+    pub fn run(&self, sim: &mut HmcSim) -> Result<MutexKernelResult, HmcError> {
+        let links = sim.device_config(0)?.links;
+        // Fail fast when the needed CMC library is not loaded rather
+        // than flooding the device with inactive-command errors.
+        let needed: &[u8] = match self.config.mechanism {
+            MutexMechanism::Cmc => &[LOCK_CMD, TRYLOCK_CMD, UNLOCK_CMD],
+            MutexMechanism::Ticket => &[TICKET_TAKE_CMD, TICKET_POLL_CMD, TICKET_RELEASE_CMD],
+            MutexMechanism::CasEq8 => &[],
+        };
+        let active: Vec<u8> = sim.cmc_registrations(0)?.iter().map(|r| r.cmd).collect();
+        for &code in needed {
+            if !active.contains(&code) {
+                return Err(HmcError::CmcNotActive(code));
+            }
+        }
+        // The lock structure starts in the known-free state (§V-A
+        // "Initial State").
+        sim.mem_write_u64(0, self.config.lock_addr, 0)?;
+        sim.mem_write_u64(0, self.config.lock_addr + 8, 0)?;
+
+        let mut threads: Vec<MutexThread> = (0..self.config.threads)
+            .map(|tid| MutexThread {
+                tid: tid as u64,
+                link: tid % links,
+                lock_addr: self.config.lock_addr,
+                spin: self.config.spin,
+                mechanism: self.config.mechanism,
+                state: State::SendLock,
+                backoff: 0,
+                acquisitions: 0,
+                my_ticket: None,
+            })
+            .collect();
+
+        let driver = ThreadDriver { dev: 0, max_cycles: self.config.max_cycles };
+        let metrics = driver.run(sim, &mut threads);
+        Ok(MutexKernelResult {
+            metrics,
+            acquisitions: threads.iter().map(|t| t.acquisitions).sum(),
+            final_lock_word: sim.mem_read_u64(0, self.config.lock_addr)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_sim::DeviceConfig;
+
+    fn sim_with_mutex(config: DeviceConfig) -> HmcSim {
+        hmc_cmc::ops::register_builtin_libraries();
+        let mut sim = HmcSim::new(config).unwrap();
+        sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY).unwrap();
+        sim
+    }
+
+    #[test]
+    fn two_threads_min_is_six_cycles() {
+        let mut sim = sim_with_mutex(DeviceConfig::gen2_4link_4gb());
+        let kernel = MutexKernel::new(MutexKernelConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        // Paper Table VI: minimum cycle count is 6 (lock RT + unlock RT).
+        assert_eq!(result.metrics.min_cycle(), 6);
+        assert_eq!(result.final_lock_word, 0, "lock released at end");
+        assert!(result.acquisitions >= 1);
+    }
+
+    #[test]
+    fn until_owned_gives_every_thread_the_lock_once() {
+        let mut sim = sim_with_mutex(DeviceConfig::gen2_4link_4gb());
+        let kernel = MutexKernel::new(MutexKernelConfig {
+            threads: 10,
+            spin: SpinPolicy::until_owned(),
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.acquisitions, 10, "each thread acquired exactly once");
+        assert_eq!(result.final_lock_word, 0);
+    }
+
+    #[test]
+    fn paper_bounded_mode_is_linear_in_threads() {
+        let mut sim = sim_with_mutex(DeviceConfig::gen2_4link_4gb());
+        let kernel = MutexKernel::new(MutexKernelConfig {
+            threads: 50,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        let max = result.metrics.max_cycle();
+        assert!(max < 50 * 12, "bounded mode stays roughly linear, got {max}");
+        assert!(result.metrics.min_cycle() >= 6);
+    }
+
+    #[test]
+    fn four_and_eight_link_agree_at_low_thread_counts() {
+        // Paper §V-C: identical cycle counts for 2..=50 threads.
+        let run = |cfg: DeviceConfig| {
+            let mut sim = sim_with_mutex(cfg);
+            MutexKernel::new(MutexKernelConfig { threads: 8, ..Default::default() })
+                .run(&mut sim)
+                .unwrap()
+        };
+        let four = run(DeviceConfig::gen2_4link_4gb());
+        let eight = run(DeviceConfig::gen2_8link_8gb());
+        assert_eq!(four.metrics.min_cycle(), eight.metrics.min_cycle());
+    }
+
+    #[test]
+    fn cas_mechanism_needs_no_cmc_library() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = MutexKernel::new(MutexKernelConfig {
+            threads: 10,
+            spin: SpinPolicy::until_owned(),
+            mechanism: MutexMechanism::CasEq8,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.acquisitions, 10);
+        assert_eq!(result.final_lock_word, 0);
+        // With two uncontended threads the CAS lock+unlock pair is
+        // also exactly two round trips.
+        let mut sim2 = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let two = MutexKernel::new(MutexKernelConfig {
+            threads: 2,
+            mechanism: MutexMechanism::CasEq8,
+            ..Default::default()
+        })
+        .run(&mut sim2)
+        .unwrap();
+        assert_eq!(two.metrics.min_cycle(), 6);
+    }
+
+    #[test]
+    fn cmc_and_cas_mechanisms_cost_the_same_cycles() {
+        // The ablation claim: CMC mutex ops ride the same packet
+        // economics as the stock CASEQ8 atomic (2-FLIT rqst, 2-FLIT
+        // rsp, one vault operation).
+        let mut cmc_sim = sim_with_mutex(DeviceConfig::gen2_4link_4gb());
+        let cmc = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut cmc_sim)
+            .unwrap();
+        let mut cas_sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let cas = MutexKernel::new(MutexKernelConfig {
+            threads: 16,
+            mechanism: MutexMechanism::CasEq8,
+            ..Default::default()
+        })
+        .run(&mut cas_sim)
+        .unwrap();
+        assert_eq!(cmc.metrics.min_cycle(), cas.metrics.min_cycle());
+        assert_eq!(cmc.metrics.max_cycle(), cas.metrics.max_cycle());
+    }
+
+    #[test]
+    fn ticket_mechanism_is_fair_and_live() {
+        hmc_cmc::ops::register_builtin_libraries();
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.load_cmc_library(0, hmc_cmc::ops::TICKET_LIBRARY).unwrap();
+        let threads = 12;
+        let result = MutexKernel::new(MutexKernelConfig {
+            threads,
+            mechanism: MutexMechanism::Ticket,
+            ..Default::default()
+        })
+        .run(&mut sim)
+        .unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.acquisitions, threads as u32, "every ticket served");
+        // next_ticket == now_serving == threads: the lock is clean.
+        assert_eq!(sim.mem_read_u64(0, 0x4000).unwrap(), threads as u64);
+        assert_eq!(sim.mem_read_u64(0, 0x4008).unwrap(), threads as u64);
+    }
+
+    #[test]
+    fn ticket_mechanism_requires_its_library() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = MutexKernel::new(MutexKernelConfig {
+            threads: 2,
+            mechanism: MutexMechanism::Ticket,
+            ..Default::default()
+        });
+        assert!(matches!(kernel.run(&mut sim), Err(HmcError::CmcNotActive(_))));
+    }
+
+    #[test]
+    fn kernel_requires_loaded_cmc_library() {
+        // Without loading the library the device returns error
+        // responses; the kernel still terminates (threads observe
+        // responses) but acquires nothing.
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = MutexKernel::new(MutexKernelConfig { threads: 2, ..Default::default() });
+        // send_cmc fails to resolve the registration up front.
+        assert!(kernel.run(&mut sim).is_err());
+    }
+}

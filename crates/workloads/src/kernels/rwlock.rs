@@ -1,0 +1,284 @@
+//! A reader-writer workload over the CMC rwlock suite
+//! (`libhmc_rwlock.so`).
+//!
+//! Writers increment a two-word protected value (both words must stay
+//! equal) under the exclusive lock with plain RD16 + WR16 — so any
+//! exclusion failure shows up as a lost update or a torn read.
+//! Readers take the shared lock and check the two words match.
+//! Because the rwlock serializes writers, the final counter must
+//! equal exactly `writers × sections`, unlike the unprotected RMW of
+//! the counter kernel.
+
+use crate::driver::{HostThread, RunMetrics, ThreadDriver, ThreadIo, ThreadStatus};
+use hmc_cmc::ops::rwlock::{RDLOCK_CMD, RDUNLOCK_CMD, WRLOCK_CMD, WRUNLOCK_CMD};
+use hmc_sim::HmcSim;
+use hmc_types::{HmcError, HmcRqst};
+
+/// Configuration of one reader-writer run.
+#[derive(Debug, Clone)]
+pub struct RwLockKernelConfig {
+    /// Reader thread count.
+    pub readers: usize,
+    /// Writer thread count.
+    pub writers: usize,
+    /// Critical sections each thread performs.
+    pub sections: usize,
+    /// Address of the 16-byte lock structure.
+    pub lock_addr: u64,
+    /// Address of the 16-byte protected data block.
+    pub data_addr: u64,
+    /// Backoff after a failed acquisition, in cycles.
+    pub backoff: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for RwLockKernelConfig {
+    fn default() -> Self {
+        RwLockKernelConfig {
+            readers: 6,
+            writers: 2,
+            sections: 8,
+            lock_addr: 0x6000,
+            data_addr: 0x6010,
+            backoff: 8,
+            max_cycles: 4_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    SendAcquire,
+    WaitAcquire,
+    Backoff { until: u64 },
+    SendData,
+    WaitData,
+    SendWriteBack { value: u64 },
+    WaitWriteBack,
+    SendRelease,
+    WaitRelease,
+}
+
+struct RwThread {
+    tid: u64,
+    link: usize,
+    writer: bool,
+    remaining: usize,
+    state: State,
+    torn_reads: u32,
+    cfg: RwLockKernelConfig,
+}
+
+impl HostThread for RwThread {
+    fn link(&self) -> usize {
+        self.link
+    }
+
+    fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus {
+        if self.remaining == 0 {
+            return ThreadStatus::Done;
+        }
+        loop {
+            match self.state {
+                State::SendAcquire => {
+                    let cmd = if self.writer { WRLOCK_CMD } else { RDLOCK_CMD };
+                    match io.send_cmc(cmd, self.cfg.lock_addr, vec![self.tid + 1, 0]) {
+                        Ok(_) => self.state = State::WaitAcquire,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("rwlock kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitAcquire => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if rsp.rsp.payload[0] == 1 {
+                        self.state = State::SendData;
+                    } else {
+                        self.state = State::Backoff { until: io.cycle + self.cfg.backoff };
+                    }
+                }
+                State::Backoff { until } => {
+                    if io.cycle < until {
+                        return ThreadStatus::Running;
+                    }
+                    self.state = State::SendAcquire;
+                }
+                State::SendData => {
+                    match io.send(HmcRqst::Rd16, self.cfg.data_addr, vec![]) {
+                        Ok(_) => self.state = State::WaitData,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("rwlock kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitData => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    let (a, b) = (rsp.rsp.payload[0], rsp.rsp.payload[1]);
+                    if a != b {
+                        self.torn_reads += 1;
+                    }
+                    if self.writer {
+                        self.state = State::SendWriteBack { value: a + 1 };
+                    } else {
+                        self.state = State::SendRelease;
+                    }
+                }
+                State::SendWriteBack { value } => {
+                    match io.send(HmcRqst::Wr16, self.cfg.data_addr, vec![value, value]) {
+                        Ok(_) => self.state = State::WaitWriteBack,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("rwlock kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitWriteBack => {
+                    if io.response().is_none() {
+                        return ThreadStatus::Running;
+                    }
+                    self.state = State::SendRelease;
+                }
+                State::SendRelease => {
+                    let cmd = if self.writer { WRUNLOCK_CMD } else { RDUNLOCK_CMD };
+                    match io.send_cmc(cmd, self.cfg.lock_addr, vec![self.tid + 1, 0]) {
+                        Ok(_) => self.state = State::WaitRelease,
+                        Err(HmcError::Stall) => {}
+                        Err(e) => panic!("rwlock kernel send failed: {e}"),
+                    }
+                    return ThreadStatus::Running;
+                }
+                State::WaitRelease => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    assert_eq!(rsp.rsp.payload[0], 1, "release of a held lock succeeds");
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        return ThreadStatus::Done;
+                    }
+                    self.state = State::SendAcquire;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a reader-writer run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RwLockKernelResult {
+    /// Driver metrics.
+    pub metrics: RunMetrics,
+    /// Final protected counter value.
+    pub final_value: u64,
+    /// Increments the writers performed (`writers × sections`).
+    pub expected_value: u64,
+    /// Torn reads observed (must be zero under correct exclusion).
+    pub torn_reads: u32,
+    /// Final lock state word (must be zero: fully released).
+    pub final_lock_state: u64,
+}
+
+/// The reader-writer kernel runner.
+#[derive(Debug, Clone)]
+pub struct RwLockKernel {
+    /// Kernel configuration.
+    pub config: RwLockKernelConfig,
+}
+
+impl RwLockKernel {
+    /// Creates a runner.
+    pub fn new(config: RwLockKernelConfig) -> Self {
+        RwLockKernel { config }
+    }
+
+    /// Runs the kernel; `libhmc_rwlock.so` must be loaded on device 0.
+    pub fn run(&self, sim: &mut HmcSim) -> Result<RwLockKernelResult, HmcError> {
+        let links = sim.device_config(0)?.links;
+        let active: Vec<u8> = sim.cmc_registrations(0)?.iter().map(|r| r.cmd).collect();
+        for code in [RDLOCK_CMD, RDUNLOCK_CMD, WRLOCK_CMD, WRUNLOCK_CMD] {
+            if !active.contains(&code) {
+                return Err(HmcError::CmcNotActive(code));
+            }
+        }
+        sim.mem_write_u64(0, self.config.lock_addr, 0)?;
+        sim.mem_write_u64(0, self.config.lock_addr + 8, 0)?;
+        sim.mem_write_u64(0, self.config.data_addr, 0)?;
+        sim.mem_write_u64(0, self.config.data_addr + 8, 0)?;
+
+        let total = self.config.readers + self.config.writers;
+        let mut threads: Vec<RwThread> = (0..total)
+            .map(|tid| RwThread {
+                tid: tid as u64,
+                link: tid % links,
+                writer: tid < self.config.writers,
+                remaining: self.config.sections,
+                state: State::SendAcquire,
+                torn_reads: 0,
+                cfg: self.config.clone(),
+            })
+            .collect();
+        let driver = ThreadDriver { dev: 0, max_cycles: self.config.max_cycles };
+        let metrics = driver.run(sim, &mut threads);
+        Ok(RwLockKernelResult {
+            metrics,
+            final_value: sim.mem_read_u64(0, self.config.data_addr)?,
+            expected_value: (self.config.writers * self.config.sections) as u64,
+            torn_reads: threads.iter().map(|t| t.torn_reads).sum(),
+            final_lock_state: sim.mem_read_u64(0, self.config.lock_addr)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_sim::DeviceConfig;
+
+    fn sim_with_rwlock() -> HmcSim {
+        hmc_cmc::ops::register_builtin_libraries();
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.load_cmc_library(0, hmc_cmc::ops::RWLOCK_LIBRARY).unwrap();
+        sim
+    }
+
+    #[test]
+    fn writers_never_lose_updates() {
+        let mut sim = sim_with_rwlock();
+        let result = RwLockKernel::new(RwLockKernelConfig {
+            readers: 8,
+            writers: 4,
+            sections: 6,
+            ..Default::default()
+        })
+        .run(&mut sim)
+        .unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.final_value, result.expected_value, "exclusion holds");
+        assert_eq!(result.torn_reads, 0);
+        assert_eq!(result.final_lock_state, 0, "all holds released");
+    }
+
+    #[test]
+    fn read_only_run_completes_quickly() {
+        let mut sim = sim_with_rwlock();
+        let result = RwLockKernel::new(RwLockKernelConfig {
+            readers: 16,
+            writers: 0,
+            sections: 4,
+            ..Default::default()
+        })
+        .run(&mut sim)
+        .unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.final_value, 0);
+        // Readers share: no acquisition ever fails, so the makespan
+        // stays near the uncontended floor (3 ops x 3 cycles x 4
+        // sections plus queueing).
+        assert!(result.metrics.max_cycle() < 600, "got {}", result.metrics.max_cycle());
+    }
+
+    #[test]
+    fn kernel_requires_rwlock_library() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let kernel = RwLockKernel::new(RwLockKernelConfig::default());
+        assert!(matches!(kernel.run(&mut sim), Err(HmcError::CmcNotActive(_))));
+    }
+}

@@ -1,0 +1,19 @@
+//! # hmc-workloads
+//!
+//! Host-side workload drivers for hmcsim-rs: deterministic simulated
+//! threads that issue HMC packets over the device links, plus the
+//! kernels evaluated in the HMC-Sim papers — the CMC mutex kernel
+//! (Algorithm 1), STREAM Triad, HPCC RandomAccess (GUPS) and a
+//! BFS check-and-update kernel using Gen2 CAS offload.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod kernels;
+pub mod runtime;
+pub mod tracefile;
+
+pub use driver::{RunMetrics, ThreadDriver};
+pub use runtime::HostRuntime;
+pub use kernels::mutex::{MutexKernel, MutexKernelConfig, MutexMechanism, SpinPolicy};

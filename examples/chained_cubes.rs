@@ -1,0 +1,79 @@
+//! Multi-cube chaining: a host driving a chain of HMC devices via
+//! CUB routing (the topology support carried forward from HMC-Sim
+//! 1.0), plus trace analysis of the run.
+//!
+//! ```text
+//! cargo run --release --example chained_cubes -- [cubes]
+//! ```
+
+use hmcsim::prelude::*;
+use hmcsim::sim::trace_analysis::TraceSummary;
+use hmcsim::sim::{SimConfig, TraceBuffer, TraceLevel, Tracer};
+
+fn main() -> Result<(), HmcError> {
+    let cubes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+        .clamp(2, 8);
+
+    let mut sim = HmcSim::with_config(SimConfig::chain(
+        DeviceConfig::gen2_4link_4gb(),
+        cubes,
+    ))?;
+    let buf = TraceBuffer::new();
+    sim.set_tracer(Tracer::to_buffer(TraceLevel::CMD | TraceLevel::LATENCY, buf.clone()));
+    println!("chain of {cubes} cubes, host attached to cube 0\n");
+
+    // Scatter a value onto every cube, then gather and time each hop.
+    for cub in 0..cubes as u8 {
+        let req = Request::new(
+            HmcRqst::Wr16,
+            Tag::new(cub as u32).unwrap(),
+            0x100,
+            Cub::new(cub).unwrap(),
+            vec![0xC0DE + cub as u64, 0],
+        )?;
+        sim.send(0, (cub % 4) as usize, req)?;
+    }
+    sim.drain(10_000);
+    for link in 0..4 {
+        while sim.recv(0, link).is_some() {}
+    }
+
+    println!("cube  hops  read latency (cycles)");
+    for cub in 0..cubes as u8 {
+        let req = Request::new(
+            HmcRqst::Rd16,
+            Tag::new(100 + cub as u32).unwrap(),
+            0x100,
+            Cub::new(cub).unwrap(),
+            vec![],
+        )?;
+        sim.send(0, 0, req)?;
+        let rsp = loop {
+            sim.clock();
+            if let Some(rsp) = sim.recv(0, 0) {
+                break rsp;
+            }
+        };
+        assert_eq!(rsp.rsp.payload[0], 0xC0DE + cub as u64, "cube {cub} data");
+        println!("  {cub}     {cub:>2}    {:>3}", rsp.latency);
+    }
+
+    // Per-device load.
+    println!("\nper-cube requests executed / forwarded:");
+    for dev in 0..cubes {
+        let stats = sim.stats(dev)?;
+        println!(
+            "  cube {dev}: {:>2} executed, {:>2} forwarded",
+            stats.total_requests(),
+            stats.forwarded
+        );
+    }
+
+    // Trace analysis of the whole run.
+    let summary = TraceSummary::from_lines(buf.lines().iter().map(String::as_str));
+    println!("\ntrace summary:\n{}", summary.render());
+    Ok(())
+}

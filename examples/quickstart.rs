@@ -1,0 +1,90 @@
+//! Quickstart: bring up a Gen2 device, move data through the full
+//! packet pipeline, run an atomic, and peek at registers and
+//! statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hmcsim::prelude::*;
+use hmcsim::sim::regs;
+
+fn main() -> Result<(), HmcError> {
+    // The paper's 4Link-4GB evaluation part: 4 links, 32 vaults,
+    // 64-slot vault queues, 128-slot crossbar queues.
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb())?;
+    println!("device 0: {}", sim.device_config(0)?.label());
+
+    // Write 16 bytes, read them back through the pipeline.
+    let tag = sim
+        .send_simple(0, 0, HmcRqst::Wr16, 0x1000, vec![0xdead_beef, 0x0123_4567])?
+        .expect("WR16 is acknowledged");
+    let rsp = sim.run_until_response(0, 0, tag, 1000)?;
+    println!("WR16  -> {} after {} cycles", rsp.rsp.head.cmd, rsp.latency);
+
+    let tag = sim
+        .send_simple(0, 0, HmcRqst::Rd16, 0x1000, vec![])?
+        .expect("RD16 responds");
+    let rsp = sim.run_until_response(0, 0, tag, 1000)?;
+    println!(
+        "RD16  -> {} payload={:#x},{:#x} after {} cycles",
+        rsp.rsp.head.cmd, rsp.rsp.payload[0], rsp.rsp.payload[1], rsp.latency
+    );
+
+    // A Gen2 atomic: increment an 8-byte counter in the logic layer.
+    sim.mem_write_u64(0, 0x2000, 41)?;
+    let tag = sim
+        .send_simple(0, 0, HmcRqst::Inc8, 0x2000, vec![])?
+        .expect("INC8 responds");
+    sim.run_until_response(0, 0, tag, 1000)?;
+    println!("INC8  -> counter now {}", sim.mem_read_u64(0, 0x2000)?);
+
+    // A compare-and-swap: succeeds because the counter is 42.
+    let tag = sim
+        .send_simple(0, 0, HmcRqst::CasEq8, 0x2000, vec![100, 42])?
+        .expect("CASEQ8 responds");
+    let rsp = sim.run_until_response(0, 0, tag, 1000)?;
+    println!(
+        "CASEQ8 -> swapped={} old={} new={}",
+        rsp.rsp.head.af,
+        rsp.rsp.payload[0],
+        sim.mem_read_u64(0, 0x2000)?
+    );
+
+    // The register file, over the simulated JTAG interface and over
+    // the in-band MD_RD mode command.
+    let feat = sim.jtag_reg_read(0, regs::REG_FEAT)?;
+    println!(
+        "FEAT register: {:#x} (capacity {} GB, {} links)",
+        feat,
+        feat & 0xF,
+        (feat >> 4) & 0xF
+    );
+    let tag = sim
+        .send_simple(0, 1, HmcRqst::MdRd, regs::REG_RVID as u64, vec![])?
+        .expect("MD_RD responds");
+    let rsp = sim.run_until_response(0, 1, tag, 1000)?;
+    println!("MD_RD(RVID) -> {:#x}", rsp.rsp.payload[0]);
+
+    // Statistics.
+    let stats = sim.stats(0)?;
+    println!(
+        "\nstats: {} reads, {} writes, {} atomics, {} mode ops; \
+         {} rqst FLITs in, {} rsp FLITs out; mean latency {:.1} cycles",
+        stats.reads,
+        stats.writes,
+        stats.atomics,
+        stats.mode_ops,
+        stats.rqst_flits,
+        stats.rsp_flits,
+        stats.latency.mean()
+    );
+    let power = sim.power_report(0)?;
+    println!(
+        "power: {:.1} nJ total over {} cycles ({:.2} mW at 1.25 GHz)",
+        power.total_pj / 1000.0,
+        power.cycles,
+        power.avg_watts * 1000.0
+    );
+    Ok(())
+}

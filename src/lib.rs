@@ -1,0 +1,56 @@
+//! # hmcsim
+//!
+//! A Rust reproduction of **HMC-Sim 2.0** — a cycle-based simulator for
+//! Hybrid Memory Cube (HMC) Gen2 devices with support for user-defined
+//! **Custom Memory Cube (CMC)** operations (Leidel & Chen, 2016).
+//!
+//! This umbrella crate re-exports the workspace crates:
+//!
+//! * [`types`] — FLITs, commands, packets, CRC, tags, errors
+//! * [`mem`] — backing store and atomic-memory-operation semantics
+//! * [`sim`] — the device model (links, crossbar, vaults, banks, clock,
+//!   tracing, registers, power)
+//! * [`cmc`] — the CMC plugin framework and the builtin operation suite
+//!   (including the paper's `hmc_lock` / `hmc_trylock` / `hmc_unlock`)
+//! * [`workloads`] — simulated-thread drivers and kernels (mutex
+//!   Algorithm 1, STREAM Triad, RandomAccess/GUPS, BFS)
+//! * [`cachesim`] — the cache-based read-modify-write traffic baseline
+//!   used for the paper's Table II comparison
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hmcsim::prelude::*;
+//!
+//! // A 4-link, 4 GiB Gen2 device, as in the paper's evaluation.
+//! let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+//!
+//! // Load the CMC mutex library (paper Table V).
+//! hmcsim::cmc::ops::register_builtin_libraries();
+//! sim.load_cmc_library(0, "libhmc_mutex.so").unwrap();
+//!
+//! // Issue a write and clock the device until the response returns.
+//! let payload: Vec<u64> = vec![0xdead_beef, 0x0123_4567];
+//! let tag = sim
+//!     .send_simple(0, 0, HmcRqst::Wr16, 0x1000, payload)
+//!     .unwrap()
+//!     .expect("WR16 is acknowledged");
+//! let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+//! assert_eq!(rsp.rsp.head.cmd, HmcResponse::WrRs);
+//! ```
+
+pub use hmc_cachesim as cachesim;
+pub use hmc_cmc as cmc;
+pub use hmc_mem as mem;
+pub use hmc_sim as sim;
+pub use hmc_types as types;
+pub use hmc_workloads as workloads;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use hmc_cmc::{CmcContext, CmcOp, CmcRegistration};
+    pub use hmc_sim::{DeviceConfig, HmcSim, LinkTopology, TraceLevel};
+    pub use hmc_types::{
+        Cub, Flit, HmcError, HmcResponse, HmcRqst, Request, Response, Slid, Tag,
+    };
+}

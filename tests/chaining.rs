@@ -1,0 +1,144 @@
+//! Multi-device chaining: CUB-routed requests across a chain of
+//! cubes (the topology support carried forward from HMC-Sim 1.0).
+
+use hmcsim::prelude::*;
+use hmcsim::sim::SimConfig;
+
+fn chain(n: usize) -> HmcSim {
+    HmcSim::with_config(SimConfig::chain(DeviceConfig::gen2_4link_4gb(), n)).expect("valid chain")
+}
+
+fn read_via_chain(sim: &mut HmcSim, cub: u8, addr: u64) -> hmcsim::sim::TrackedResponse {
+    let req = Request::new(
+        HmcRqst::Rd16,
+        Tag::new(cub as u32).unwrap(),
+        addr,
+        Cub::new(cub).unwrap(),
+        vec![],
+    )
+    .unwrap();
+    sim.send(0, 0, req).unwrap();
+    for _ in 0..500 {
+        sim.clock();
+        if let Some(rsp) = sim.recv(0, 0) {
+            return rsp;
+        }
+    }
+    panic!("no response from cube {cub}");
+}
+
+#[test]
+fn every_cube_in_an_eight_chain_is_reachable() {
+    let mut sim = chain(8);
+    for cub in 0..8u8 {
+        sim.mem_write_u64(cub as usize, 0x40, 0x100 + cub as u64).unwrap();
+        let rsp = read_via_chain(&mut sim, cub, 0x40);
+        assert_eq!(rsp.rsp.payload[0], 0x100 + cub as u64, "cube {cub}");
+        assert_eq!(rsp.rsp.head.cub.value(), cub, "response carries origin cube");
+    }
+}
+
+#[test]
+fn latency_grows_with_hop_count() {
+    let mut sim = chain(4);
+    for cub in 0..4usize {
+        sim.mem_write_u64(cub, 0x40, 1).unwrap();
+    }
+    let latencies: Vec<u64> = (0..4u8)
+        .map(|cub| read_via_chain(&mut sim, cub, 0x40).latency)
+        .collect();
+    assert_eq!(latencies[0], 3, "local access is the 3-cycle round trip");
+    for hop in 1..4 {
+        assert!(
+            latencies[hop] > latencies[hop - 1],
+            "cube {hop} slower than cube {}: {latencies:?}",
+            hop - 1
+        );
+    }
+}
+
+#[test]
+fn writes_land_on_the_target_cube_only() {
+    let mut sim = chain(3);
+    let req = Request::new(
+        HmcRqst::Wr16,
+        Tag::new(5).unwrap(),
+        0x80,
+        Cub::new(2).unwrap(),
+        vec![0xAA, 0xBB],
+    )
+    .unwrap();
+    sim.send(0, 0, req).unwrap();
+    for _ in 0..200 {
+        sim.clock();
+        if sim.recv(0, 0).is_some() {
+            break;
+        }
+    }
+    assert_eq!(sim.mem_read_u64(2, 0x80).unwrap(), 0xAA, "target cube written");
+    assert_eq!(sim.mem_read_u64(0, 0x80).unwrap(), 0, "intermediate cubes untouched");
+    assert_eq!(sim.mem_read_u64(1, 0x80).unwrap(), 0);
+    assert_eq!(sim.stats(0).unwrap().forwarded, 1);
+    assert_eq!(sim.stats(1).unwrap().forwarded, 1);
+}
+
+#[test]
+fn out_of_topology_cube_rejected_at_send() {
+    let mut sim = chain(2);
+    let req = Request::new(
+        HmcRqst::Rd16,
+        Tag::new(0).unwrap(),
+        0,
+        Cub::new(5).unwrap(),
+        vec![],
+    )
+    .unwrap();
+    assert!(matches!(sim.send(0, 0, req), Err(HmcError::InvalidCube(5))));
+}
+
+#[test]
+fn host_only_topology_rejects_foreign_cubs() {
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    assert_eq!(sim.device_count(), 1);
+    let req = Request::new(
+        HmcRqst::Rd16,
+        Tag::new(0).unwrap(),
+        0,
+        Cub::new(1).unwrap(),
+        vec![],
+    )
+    .unwrap();
+    assert!(sim.send(0, 0, req).is_err());
+}
+
+#[test]
+fn cmc_ops_execute_on_remote_cubes() {
+    hmcsim::cmc::ops::register_builtin_libraries();
+    let mut sim = chain(2);
+    // Load the mutex suite on the REMOTE cube only.
+    sim.load_cmc_library(1, hmcsim::cmc::ops::MUTEX_LIBRARY).unwrap();
+    let req = Request::new_cmc(
+        125,
+        2,
+        Tag::new(1).unwrap(),
+        0x4000,
+        Cub::new(1).unwrap(),
+        vec![42, 0],
+    )
+    .unwrap();
+    sim.send(0, 0, req).unwrap();
+    let mut got = None;
+    for _ in 0..300 {
+        sim.clock();
+        if let Some(rsp) = sim.recv(0, 0) {
+            got = Some(rsp);
+            break;
+        }
+    }
+    let rsp = got.expect("remote CMC response");
+    assert_eq!(rsp.rsp.payload[0], 1, "lock acquired on cube 1");
+    assert_eq!(sim.mem_read_u64(1, 0x4000).unwrap(), 1);
+    assert_eq!(sim.mem_read_u64(1, 0x4008).unwrap(), 42);
+    assert_eq!(sim.stats(1).unwrap().cmc_ops, 1);
+    assert_eq!(sim.stats(0).unwrap().cmc_ops, 0);
+}

@@ -1,0 +1,153 @@
+//! Property tests spanning the whole stack: random command mixes
+//! against a shadow memory model, conservation, and determinism.
+
+use hmcsim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: u8, value: u64 },
+    Read { slot: u8 },
+    Inc { slot: u8 },
+    Xor { slot: u8, value: u64 },
+    Swap { slot: u8, value: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Op::Write { slot, value }),
+        any::<u8>().prop_map(|slot| Op::Read { slot }),
+        any::<u8>().prop_map(|slot| Op::Inc { slot }),
+        (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Op::Xor { slot, value }),
+        (any::<u8>(), any::<u64>()).prop_map(|(slot, value)| Op::Swap { slot, value }),
+    ]
+}
+
+fn slot_addr(slot: u8) -> u64 {
+    0x10_0000 + (slot as u64) * 16
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A sequential stream of randomly chosen operations through the
+    /// full pipeline behaves exactly like a flat shadow array.
+    #[test]
+    fn random_op_stream_matches_shadow_model(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut shadow = std::collections::HashMap::<u8, u128>::new();
+        for (i, op) in ops.iter().enumerate() {
+            let link = i % 4;
+            match *op {
+                Op::Write { slot, value } => {
+                    let tag = sim
+                        .send_simple(0, link, HmcRqst::Wr16, slot_addr(slot), vec![value, 0])
+                        .unwrap().unwrap();
+                    sim.run_until_response(0, link, tag, 1000).unwrap();
+                    shadow.insert(slot, value as u128);
+                }
+                Op::Read { slot } => {
+                    let tag = sim
+                        .send_simple(0, link, HmcRqst::Rd16, slot_addr(slot), vec![])
+                        .unwrap().unwrap();
+                    let rsp = sim.run_until_response(0, link, tag, 1000).unwrap();
+                    let want = shadow.get(&slot).copied().unwrap_or(0);
+                    prop_assert_eq!(rsp.rsp.payload[0], want as u64);
+                    prop_assert_eq!(rsp.rsp.payload[1], (want >> 64) as u64);
+                }
+                Op::Inc { slot } => {
+                    let tag = sim
+                        .send_simple(0, link, HmcRqst::Inc8, slot_addr(slot), vec![])
+                        .unwrap().unwrap();
+                    sim.run_until_response(0, link, tag, 1000).unwrap();
+                    let v = shadow.entry(slot).or_insert(0);
+                    let lo = (*v as u64).wrapping_add(1);
+                    *v = (*v & !0xFFFF_FFFF_FFFF_FFFFu128) | lo as u128;
+                }
+                Op::Xor { slot, value } => {
+                    let tag = sim
+                        .send_simple(0, link, HmcRqst::Xor16, slot_addr(slot), vec![value, 0])
+                        .unwrap().unwrap();
+                    sim.run_until_response(0, link, tag, 1000).unwrap();
+                    *shadow.entry(slot).or_insert(0) ^= value as u128;
+                }
+                Op::Swap { slot, value } => {
+                    let tag = sim
+                        .send_simple(0, link, HmcRqst::Swap16, slot_addr(slot), vec![value, 0])
+                        .unwrap().unwrap();
+                    let rsp = sim.run_until_response(0, link, tag, 1000).unwrap();
+                    let old = shadow.insert(slot, value as u128).unwrap_or(0);
+                    prop_assert_eq!(rsp.rsp.payload[0], old as u64);
+                }
+            }
+        }
+        // Final memory agrees with the shadow for every touched slot.
+        for (&slot, &want) in &shadow {
+            let got = sim.mem_read_u64(0, slot_addr(slot)).unwrap() as u128
+                | ((sim.mem_read_u64(0, slot_addr(slot) + 8).unwrap() as u128) << 64);
+            prop_assert_eq!(got, want, "slot {}", slot);
+        }
+    }
+
+    /// Pipelined (windowed) issue never loses or duplicates responses
+    /// regardless of the traffic pattern.
+    #[test]
+    fn windowed_issue_conserves_packets(
+        addrs in prop::collection::vec(0u64..256, 1..200),
+    ) {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut sent = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            match sim.send_simple(0, i % 4, HmcRqst::Rd16, a * 16, vec![]) {
+                Ok(Some(_)) => sent += 1,
+                Ok(None) => unreachable!("reads respond"),
+                Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            }
+            sim.clock();
+        }
+        sim.drain(1_000_000);
+        let mut got = 0u64;
+        for link in 0..4 {
+            while sim.recv(0, link).is_some() {
+                got += 1;
+            }
+        }
+        prop_assert_eq!(got, sent);
+        prop_assert!(sim.is_quiescent());
+    }
+
+    /// The simulator is deterministic: identical command streams give
+    /// identical latencies and identical final statistics.
+    #[test]
+    fn simulation_is_deterministic(addrs in prop::collection::vec(0u64..64, 1..40)) {
+        let run = || {
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            let mut lat = Vec::new();
+            for (i, &a) in addrs.iter().enumerate() {
+                let tag = sim
+                    .send_simple(0, i % 4, HmcRqst::Inc8, a * 8, vec![])
+                    .unwrap().unwrap();
+                let rsp = sim.run_until_response(0, i % 4, tag, 10_000).unwrap();
+                lat.push(rsp.latency);
+            }
+            (lat, sim.stats(0).unwrap().clone())
+        };
+        let (lat_a, stats_a) = run();
+        let (lat_b, stats_b) = run();
+        prop_assert_eq!(lat_a, lat_b);
+        prop_assert_eq!(stats_a.atomics, stats_b.atomics);
+        prop_assert_eq!(stats_a.rqst_flits, stats_b.rqst_flits);
+    }
+
+    /// Address decomposition is a bijection over random addresses.
+    #[test]
+    fn address_map_bijection(addr in 0u64..(4 << 30)) {
+        let map = hmcsim::sim::AddressMap::new(&DeviceConfig::gen2_4link_4gb());
+        let loc = map.decompose(addr).unwrap();
+        prop_assert_eq!(map.recompose(&loc), addr);
+        prop_assert!(loc.vault < 32);
+        prop_assert!(loc.bank < 16);
+        prop_assert!(loc.quad < 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Quad-affinity modeling: requests that cross from a link's local
+//! quad into a remote quad pay the configured crossing penalty.
+
+use hmcsim::prelude::*;
+
+/// Address of a block in the given vault (block-interleaved map:
+/// vault = addr[10:6] with 64-byte blocks).
+fn vault_addr(vault: u64) -> u64 {
+    vault * 64
+}
+
+fn sim_with_penalty(penalty: u64) -> HmcSim {
+    let mut cfg = DeviceConfig::gen2_4link_4gb();
+    cfg.remote_quad_penalty = penalty;
+    HmcSim::new(cfg).unwrap()
+}
+
+fn read_latency(sim: &mut HmcSim, link: usize, addr: u64) -> u64 {
+    let tag = sim.send_simple(0, link, HmcRqst::Rd16, addr, vec![]).unwrap().unwrap();
+    sim.run_until_response(0, link, tag, 1000).unwrap().latency
+}
+
+#[test]
+fn default_model_is_uniform() {
+    let mut sim = sim_with_penalty(0);
+    // Link 0's local quad is 0 (vaults 0..8); vault 31 is quad 3.
+    assert_eq!(read_latency(&mut sim, 0, vault_addr(0)), 3);
+    assert_eq!(read_latency(&mut sim, 0, vault_addr(31)), 3);
+    assert_eq!(sim.stats(0).unwrap().remote_quad_requests, 0);
+}
+
+#[test]
+fn remote_quad_pays_the_penalty() {
+    let mut sim = sim_with_penalty(2);
+    let local = read_latency(&mut sim, 0, vault_addr(0));
+    let remote = read_latency(&mut sim, 0, vault_addr(31));
+    assert_eq!(local, 3, "local quad unchanged");
+    assert_eq!(remote, 5, "remote quad adds the crossing penalty");
+    assert_eq!(sim.stats(0).unwrap().remote_quad_requests, 1);
+}
+
+#[test]
+fn every_link_has_its_own_local_quad() {
+    let mut sim = sim_with_penalty(2);
+    for link in 0..4usize {
+        // Vault 8*link is the first vault of link's local quad.
+        let local_vault = (8 * link) as u64;
+        assert_eq!(
+            read_latency(&mut sim, link, vault_addr(local_vault)),
+            3,
+            "link {link} local quad"
+        );
+        let remote_vault = (8 * ((link + 1) % 4)) as u64;
+        assert_eq!(
+            read_latency(&mut sim, link, vault_addr(remote_vault)),
+            5,
+            "link {link} remote quad"
+        );
+    }
+}
+
+#[test]
+fn penalty_shifts_mutex_hot_spot_results() {
+    use hmcsim::workloads::{MutexKernel, MutexKernelConfig};
+    hmcsim::cmc::ops::register_builtin_libraries();
+    let run = |penalty: u64| {
+        let mut cfg = DeviceConfig::gen2_4link_4gb();
+        cfg.remote_quad_penalty = penalty;
+        let mut sim = HmcSim::new(cfg).unwrap();
+        sim.load_cmc_library(0, hmcsim::cmc::ops::MUTEX_LIBRARY).unwrap();
+        MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics
+    };
+    let uniform = run(0);
+    let affine = run(4);
+    // The lock lives in one quad; with a penalty, 3 of 4 links pay
+    // extra on every operation, so the sweep slows down.
+    assert!(affine.max_cycle() > uniform.max_cycle());
+    assert!(affine.avg_cycle() > uniform.avg_cycle());
+}

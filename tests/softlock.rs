@@ -1,0 +1,95 @@
+//! Soft-lock (leased lock) integration: lease expiry driven by real
+//! device cycles through the full pipeline.
+
+use hmcsim::cmc::ops::softlock::{
+    SOFTLOCK_ACQUIRE_CMD, SOFTLOCK_RELEASE_CMD, SOFTLOCK_RENEW_CMD,
+};
+use hmcsim::prelude::*;
+
+const LOCK: u64 = 0x4000;
+
+fn sim_with_softlock() -> HmcSim {
+    hmcsim::cmc::ops::register_builtin_libraries();
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    sim.load_cmc_library(0, hmcsim::cmc::ops::SOFTLOCK_LIBRARY).unwrap();
+    sim
+}
+
+fn acquire(sim: &mut HmcSim, tid: u64, lease: u64) -> (bool, u64, u64) {
+    let tag = sim
+        .send_cmc(0, 0, SOFTLOCK_ACQUIRE_CMD, LOCK, vec![tid, lease])
+        .unwrap()
+        .unwrap();
+    let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+    (rsp.rsp.head.af, rsp.rsp.payload[0], rsp.rsp.payload[1])
+}
+
+#[test]
+fn lease_expiry_through_the_pipeline() {
+    let mut sim = sim_with_softlock();
+    let (ok, owner, expiry) = acquire(&mut sim, 7, 40);
+    assert!(ok);
+    assert_eq!(owner, 7);
+    assert!(expiry >= 40, "expiry is an absolute device cycle");
+
+    // Immediately: the lease is live, a second claimant fails.
+    let (ok, owner, _) = acquire(&mut sim, 9, 40);
+    assert!(!ok);
+    assert_eq!(owner, 7);
+
+    // After the lease lapses, the claimant steals the lock.
+    sim.clock_n(expiry + 1 - sim.cycle());
+    let (ok, owner, _) = acquire(&mut sim, 9, 40);
+    assert!(ok, "expired lease is stealable");
+    assert_eq!(owner, 9);
+}
+
+#[test]
+fn renew_keeps_the_claim_alive() {
+    let mut sim = sim_with_softlock();
+    let (_, _, first_expiry) = acquire(&mut sim, 7, 30);
+    // Renew before expiry.
+    let tag = sim
+        .send_cmc(0, 0, SOFTLOCK_RENEW_CMD, LOCK, vec![7, 100])
+        .unwrap()
+        .unwrap();
+    let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+    assert!(rsp.rsp.head.af);
+    let new_expiry = rsp.rsp.payload[1];
+    assert!(new_expiry > first_expiry);
+
+    // The other claimant still fails after the original expiry.
+    sim.clock_n(first_expiry + 1 - sim.cycle());
+    let (ok, owner, _) = acquire(&mut sim, 9, 10);
+    assert!(!ok, "renewed lease survives the original window");
+    assert_eq!(owner, 7);
+}
+
+#[test]
+fn release_frees_immediately() {
+    let mut sim = sim_with_softlock();
+    acquire(&mut sim, 7, 10_000);
+    let tag = sim
+        .send_cmc(0, 0, SOFTLOCK_RELEASE_CMD, LOCK, vec![7, 0])
+        .unwrap()
+        .unwrap();
+    let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+    assert!(rsp.rsp.head.af);
+    let (ok, owner, _) = acquire(&mut sim, 9, 10);
+    assert!(ok);
+    assert_eq!(owner, 9);
+}
+
+#[test]
+fn non_owner_release_is_refused() {
+    let mut sim = sim_with_softlock();
+    acquire(&mut sim, 7, 10_000);
+    let tag = sim
+        .send_cmc(0, 0, SOFTLOCK_RELEASE_CMD, LOCK, vec![9, 0])
+        .unwrap()
+        .unwrap();
+    let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+    assert!(!rsp.rsp.head.af);
+    let (ok, _, _) = acquire(&mut sim, 9, 10);
+    assert!(!ok, "the lock is still held by 7");
+}

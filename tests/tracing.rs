@@ -1,0 +1,110 @@
+//! Trace-subsystem integration: trace file content for standard
+//! commands, CMC discrete tracing, stall and latency records.
+
+use hmcsim::prelude::*;
+use hmcsim::sim::{TraceBuffer, TraceLevel, Tracer};
+
+fn traced_sim(level: TraceLevel) -> (HmcSim, TraceBuffer) {
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    let buf = TraceBuffer::new();
+    sim.set_tracer(Tracer::to_buffer(level, buf.clone()));
+    (sim, buf)
+}
+
+#[test]
+fn standard_commands_trace_by_mnemonic() {
+    let (mut sim, buf) = traced_sim(TraceLevel::CMD);
+    for (cmd, payload) in [
+        (HmcRqst::Wr16, vec![1u64, 2]),
+        (HmcRqst::Rd16, vec![]),
+        (HmcRqst::Inc8, vec![]),
+        (HmcRqst::CasEq8, vec![1, 0]),
+    ] {
+        let tag = sim.send_simple(0, 0, cmd, 0x1000, payload).unwrap().unwrap();
+        sim.run_until_response(0, 0, tag, 100).unwrap();
+    }
+    for name in ["CMD=WR16", "CMD=RD16", "CMD=INC8", "CMD=CASEQ8"] {
+        assert_eq!(buf.grep(name).len(), 1, "{name}");
+    }
+    // Every CMD line carries the physical location.
+    for line in buf.lines() {
+        assert!(line.contains("VAULT="), "{line}");
+        assert!(line.contains("ADDR=0x1000"), "{line}");
+    }
+}
+
+#[test]
+fn cmc_ops_trace_under_their_cmc_str_name() {
+    hmcsim::cmc::ops::register_builtin_libraries();
+    let (mut sim, buf) = traced_sim(TraceLevel::CMD | TraceLevel::CMC);
+    sim.load_cmc_library(0, hmcsim::cmc::ops::MUTEX_LIBRARY).unwrap();
+    let tag = sim.send_cmc(0, 0, 125, 0x4000, vec![7, 0]).unwrap().unwrap();
+    sim.run_until_response(0, 0, tag, 100).unwrap();
+    let tag = sim.send_cmc(0, 0, 127, 0x4000, vec![7, 0]).unwrap().unwrap();
+    sim.run_until_response(0, 0, tag, 100).unwrap();
+
+    // Discrete tracing (paper §IV-A): CMC ops resolve by name, not as
+    // opaque command codes.
+    assert_eq!(buf.grep("CMD=hmc_lock").len(), 1);
+    assert_eq!(buf.grep("CMD=hmc_unlock").len(), 1);
+    assert_eq!(buf.grep("op=hmc_lock").len(), 1, "CMC detail line");
+    assert!(buf.grep("CMD=CMC125").is_empty(), "no opaque code tracing");
+}
+
+#[test]
+fn latency_traces_record_round_trips() {
+    let (mut sim, buf) = traced_sim(TraceLevel::LATENCY);
+    let tag = sim.send_simple(0, 2, HmcRqst::Rd16, 0x40, vec![]).unwrap().unwrap();
+    sim.run_until_response(0, 2, tag, 100).unwrap();
+    let lines = buf.grep("LATENCY");
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains("lat=3"), "{}", lines[0]);
+    assert!(lines[0].contains("link=2"), "{}", lines[0]);
+}
+
+#[test]
+fn stall_traces_appear_under_pressure() {
+    let mut cfg = DeviceConfig::gen2_4link_4gb();
+    cfg.vault_queue_depth = 1;
+    // A slow bank keeps the vault from draining, so the depth-1
+    // request queue backs up into the crossbar.
+    cfg.bank_latency = 8;
+    let mut sim = HmcSim::new(cfg).unwrap();
+    let buf = TraceBuffer::new();
+    sim.set_tracer(Tracer::to_buffer(
+        TraceLevel::STALL | TraceLevel::BANK,
+        buf.clone(),
+    ));
+    for _ in 0..16 {
+        let _ = sim.send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![]);
+        sim.clock();
+    }
+    sim.drain(1000);
+    assert!(!buf.grep("vault rqst queue full").is_empty());
+    assert!(!buf.grep("bank busy").is_empty());
+}
+
+#[test]
+fn disabled_levels_record_nothing() {
+    let (mut sim, buf) = traced_sim(TraceLevel::BANK);
+    let tag = sim.send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![]).unwrap().unwrap();
+    sim.run_until_response(0, 0, tag, 100).unwrap();
+    assert!(buf.is_empty(), "no CMD/LATENCY events at BANK-only level");
+}
+
+#[test]
+fn trace_to_file_writes_lines() {
+    let path = std::env::temp_dir().join("hmcsim_trace_test.log");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let file = std::fs::File::create(&path).unwrap();
+        sim.set_tracer(Tracer::to_writer(TraceLevel::CMD, Box::new(file)));
+        let tag = sim.send_simple(0, 0, HmcRqst::Inc8, 0x40, vec![]).unwrap().unwrap();
+        sim.run_until_response(0, 0, tag, 100).unwrap();
+    }
+    let content = std::fs::read_to_string(&path).unwrap();
+    assert!(content.contains("HMCSIM_TRACE"));
+    assert!(content.contains("CMD=INC8"));
+    let _ = std::fs::remove_file(&path);
+}
