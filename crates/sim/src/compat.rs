@@ -175,8 +175,18 @@ pub struct DecodedResponse {
     pub af: bool,
     /// Error status from the tail.
     pub errstat: u8,
+    /// Data-invalid (poison) bit from the tail.
+    pub dinv: bool,
     /// Data payload words.
     pub payload: Vec<u64>,
+}
+
+impl DecodedResponse {
+    /// True when the response reports a failed request: an ERROR
+    /// packet, a nonzero `ERRSTAT`, or poisoned (DINV) data.
+    pub fn failed(&self) -> bool {
+        matches!(self.rsp_cmd, hmc_types::HmcResponse::Error) || self.errstat != 0 || self.dinv
+    }
 }
 
 /// `hmcsim_decode_memresponse` — decodes a flat response buffer.
@@ -198,8 +208,30 @@ pub fn hmcsim_decode_memresponse(packet: &[u64]) -> Result<DecodedResponse, HmcE
         cub: head.cub.value(),
         af: head.af,
         errstat: tail.errstat,
+        dinv: tail.dinv,
         payload: packet[1..1 + words].to_vec(),
     })
+}
+
+/// `hmcsim_util_get_errstat` — extracts the 7-bit `ERRSTAT` field and
+/// the DINV poison bit from a flat response buffer so C-style callers
+/// can detect failed requests without a full decode. Returns
+/// [`HMC_OK`] or [`HMC_ERROR`] (malformed buffer).
+pub fn hmcsim_util_get_errstat(packet: &[u64], errstat: &mut u8, dinv: &mut bool) -> i32 {
+    if packet.len() < 2 {
+        return HMC_ERROR;
+    }
+    let Ok(head) = hmc_types::RspHead::decode(packet[0]) else {
+        return HMC_ERROR;
+    };
+    let words = payload_words(head.lng);
+    if packet.len() < words + 2 {
+        return HMC_ERROR;
+    }
+    let tail = hmc_types::RspTail::decode(packet[words + 1]);
+    *errstat = tail.errstat;
+    *dinv = tail.dinv;
+    HMC_OK
 }
 
 /// `hmcsim_clock` — advances the context one cycle.
@@ -379,6 +411,58 @@ mod tests {
         );
         assert!(hmcsim_util_is_legal_blocksize(64));
         assert!(!hmcsim_util_is_legal_blocksize(48));
+    }
+
+    #[test]
+    fn errstat_round_trip_through_flat_buffers() {
+        // A device whose every vault access faults: the ERRSTAT set
+        // by the device must survive encode → flat buffer → accessor.
+        let mut config = crate::config::DeviceConfig::gen2_4link_4gb();
+        config.fault = crate::fault::FaultPlan::seeded(3).with_vault_errors(1_000_000);
+        let mut hmc = HmcSim::new(config).unwrap();
+        let mut packet = [0u64; 34];
+        let len =
+            hmcsim_build_memrequest(0, 0x40, 1, HmcRqst::Rd16, 0, &[], &mut packet).unwrap();
+        assert_eq!(hmcsim_send(&mut hmc, 0, 0, &packet[..len]), HMC_OK);
+        for _ in 0..10 {
+            hmcsim_clock(&mut hmc);
+        }
+        let mut out = [0u64; 34];
+        let mut out_len = 0usize;
+        assert_eq!(hmcsim_recv(&mut hmc, 0, 0, &mut out, &mut out_len), HMC_OK);
+
+        let (mut errstat, mut dinv) = (0u8, true);
+        assert_eq!(
+            hmcsim_util_get_errstat(&out[..out_len], &mut errstat, &mut dinv),
+            HMC_OK
+        );
+        assert_eq!(errstat, crate::fault::ERRSTAT_VAULT_FAULT);
+        assert!(!dinv);
+        let decoded = hmcsim_decode_memresponse(&out[..out_len]).unwrap();
+        assert_eq!(decoded.errstat, errstat);
+        assert_eq!(decoded.rsp_cmd, HmcResponse::Error);
+        assert!(decoded.failed());
+
+        // A fault-free device reports a clean response.
+        let mut hmc = hmcsim_init(1, 4, 32, 64, 16, 4, 128).unwrap();
+        let len =
+            hmcsim_build_memrequest(0, 0x40, 2, HmcRqst::Rd16, 0, &[], &mut packet).unwrap();
+        assert_eq!(hmcsim_send(&mut hmc, 0, 0, &packet[..len]), HMC_OK);
+        for _ in 0..10 {
+            hmcsim_clock(&mut hmc);
+        }
+        assert_eq!(hmcsim_recv(&mut hmc, 0, 0, &mut out, &mut out_len), HMC_OK);
+        let (mut errstat, mut dinv) = (0xFFu8, true);
+        assert_eq!(
+            hmcsim_util_get_errstat(&out[..out_len], &mut errstat, &mut dinv),
+            HMC_OK
+        );
+        assert_eq!(errstat, 0);
+        assert!(!dinv);
+        assert!(!hmcsim_decode_memresponse(&out[..out_len]).unwrap().failed());
+        // Malformed buffers are rejected.
+        assert_eq!(hmcsim_util_get_errstat(&[], &mut errstat, &mut dinv), HMC_ERROR);
+        assert_eq!(hmcsim_util_get_errstat(&[0, 0], &mut errstat, &mut dinv), HMC_ERROR);
     }
 
     #[test]

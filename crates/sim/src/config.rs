@@ -6,6 +6,7 @@
 //! queues and 128-slot crossbar queues.
 
 use crate::dram::{BankTiming, RefreshConfig};
+use crate::fault::FaultPlan;
 use crate::link::LinkConfig;
 use hmc_types::{CmdKind, HmcError, HmcRqst};
 
@@ -102,6 +103,9 @@ pub struct DeviceConfig {
     /// Optional DRAM refresh model (None = no refresh, the paper's
     /// timing-agnostic configuration).
     pub refresh: Option<RefreshConfig>,
+    /// Seeded fault-injection plan ([`FaultPlan::none`] by default —
+    /// guaranteed zero perturbation when empty).
+    pub fault: FaultPlan,
 }
 
 impl DeviceConfig {
@@ -128,6 +132,7 @@ impl DeviceConfig {
             arbitration: Arbitration::FixedPriority,
             remote_quad_penalty: 0,
             refresh: None,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -200,6 +205,7 @@ impl DeviceConfig {
         if self.capacity < (self.total_vaults() * self.banks_per_vault * self.block_size) as u64 {
             return bad("capacity smaller than one block per bank".into());
         }
+        self.fault.validate(self.links)?;
         Ok(())
     }
 
@@ -309,6 +315,10 @@ mod tests {
         let mut c = DeviceConfig::gen2_4link_4gb();
         c.capacity = 3 << 30;
         assert!(c.validate().is_err());
+
+        let mut c = DeviceConfig::gen2_4link_4gb();
+        c.fault = FaultPlan::seeded(1).with_link_event(0, 9, false);
+        assert!(c.validate().is_err(), "fault plan validated with the device");
     }
 
     #[test]

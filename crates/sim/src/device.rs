@@ -22,6 +22,7 @@
 use crate::addr::AddressMap;
 use crate::config::DeviceConfig;
 use crate::dram::{Bank, BankTiming};
+use crate::fault::{FaultRng, ERRSTAT_VAULT_FAULT};
 use crate::power::{PowerConfig, PowerModel};
 use crate::queue::BoundedQueue;
 use crate::regs::RegisterFile;
@@ -107,10 +108,12 @@ pub(crate) struct RouteOutcome {
 }
 
 /// A response leaving the device: either for the local host or for a
-/// chained neighbour.
+/// chained neighbour. Delivery carries the physical egress link,
+/// which differs from `entry_link` when link failover re-routed the
+/// response through a surviving link.
 #[derive(Debug)]
 pub(crate) enum Egress {
-    Deliver(TrackedResponse),
+    Deliver(TrackedResponse, usize),
     Forward(TrackedResponse),
 }
 
@@ -130,6 +133,12 @@ pub struct Device {
     power: PowerModel,
     /// Row-buffer timing with the flat `bank_latency` folded in.
     bank_timing: BankTiming,
+    /// Seeded PRNG for the fault plan's probabilistic draws.
+    fault_rng: FaultRng,
+    /// Current link state driven by the fault plan's schedule.
+    link_up: Vec<bool>,
+    /// Next unapplied index into the fault plan's link schedule.
+    fault_idx: usize,
 }
 
 impl Device {
@@ -157,6 +166,9 @@ impl Device {
             stats: DeviceStats::default(),
             power: PowerModel::new(PowerConfig::default()),
             bank_timing,
+            fault_rng: FaultRng::new(config.fault.seed.wrapping_add(id as u64)),
+            link_up: vec![true; config.links],
+            fault_idx: 0,
             config,
         })
     }
@@ -223,6 +235,48 @@ impl Device {
         self.stats.send_stalls += 1;
     }
 
+    /// True when `link` is currently operational (not taken down by
+    /// the fault plan's schedule).
+    pub fn link_is_up(&self, link: usize) -> bool {
+        self.link_up.get(link).copied().unwrap_or(false)
+    }
+
+    /// The fault plan's PRNG (transmission-error draws happen at the
+    /// context layer where the link machinery lives).
+    pub(crate) fn fault_rng_mut(&mut self) -> &mut FaultRng {
+        &mut self.fault_rng
+    }
+
+    /// Counts a response dropped at delivery because the host
+    /// abandoned its tag.
+    pub(crate) fn count_abandoned(&mut self) {
+        self.stats.abandoned_responses += 1;
+    }
+
+    /// Applies all fault-plan link events scheduled at or before
+    /// `cycle`. Called once at the top of every clock.
+    pub(crate) fn apply_fault_schedule(&mut self, cycle: u64, tracer: &mut Tracer) {
+        while let Some(ev) = self.config.fault.link_schedule.get(self.fault_idx) {
+            if ev.cycle > cycle {
+                break;
+            }
+            if self.link_up[ev.link] != ev.up {
+                self.link_up[ev.link] = ev.up;
+                tracer.event(
+                    TraceLevel::FAULT,
+                    cycle,
+                    "FAULT",
+                    format_args!(
+                        "kind={} link={}",
+                        if ev.up { "LINKUP" } else { "LINKDOWN" },
+                        ev.link
+                    ),
+                );
+            }
+            self.fault_idx += 1;
+        }
+    }
+
     /// True when `link`'s crossbar request queue can accept a packet.
     pub(crate) fn link_can_accept(&self, link: usize) -> bool {
         link < self.config.links && !self.xbar_rqst[link].is_full()
@@ -277,11 +331,24 @@ impl Device {
     }
 
     /// Stage 1: vault response queues → crossbar response queues.
+    /// Responses whose entry link is down fail over to the first
+    /// surviving up link.
     pub(crate) fn route_responses(&mut self, cycle: u64, tracer: &mut Tracer) {
         for (v, vault) in self.vaults.iter_mut().enumerate() {
             for _ in 0..self.config.vault_bandwidth {
                 let Some(rsp) = vault.rsp.peek() else { break };
-                let link = rsp.entry_link % self.config.links;
+                let preferred = rsp.entry_link % self.config.links;
+                let link = if self.link_up[preferred] {
+                    preferred
+                } else {
+                    // Crossbar failover: first up link after the
+                    // preferred one (wrapping); if every link is down
+                    // the response keeps its lane and waits there.
+                    (1..self.config.links)
+                        .map(|i| (preferred + i) % self.config.links)
+                        .find(|&l| self.link_up[l])
+                        .unwrap_or(preferred)
+                };
                 if self.xbar_rsp[link].is_full() {
                     self.stats.vault_stalls += 1;
                     tracer.event(
@@ -291,6 +358,18 @@ impl Device {
                         format_args!("xbar rsp queue full: vault={v} link={link}"),
                     );
                     break;
+                }
+                if link != preferred {
+                    self.stats.failover_responses += 1;
+                    tracer.event(
+                        TraceLevel::FAULT,
+                        cycle,
+                        "FAULT",
+                        format_args!(
+                            "kind=FAILOVER vault={v} from={preferred} to={link} tag={}",
+                            rsp.rsp.head.tag.value()
+                        ),
+                    );
                 }
                 let rsp = vault.rsp.pop().expect("peeked");
                 self.xbar_rsp[link]
@@ -305,13 +384,18 @@ impl Device {
     pub(crate) fn drain_responses(&mut self, _cycle: u64) -> Vec<Egress> {
         let mut out = Vec::new();
         for link in 0..self.config.links {
+            if !self.link_up[link] {
+                // A downed link transmits nothing; queued responses
+                // wait for link-up (or for failover of new traffic).
+                continue;
+            }
             for _ in 0..self.config.link_bandwidth {
                 let Some(rsp) = self.xbar_rsp[link].pop() else { break };
                 let flits = rsp.rsp.flits() as u64;
                 if rsp.entry_device == self.id {
                     self.stats.rsp_flits += flits;
                     self.power.add_link_flits(flits);
-                    out.push(Egress::Deliver(rsp));
+                    out.push(Egress::Deliver(rsp, link));
                 } else {
                     out.push(Egress::Forward(rsp));
                 }
@@ -334,6 +418,7 @@ impl Device {
             stats,
             power,
             bank_timing,
+            fault_rng,
             ..
         } = self;
         for (vidx, vault) in vaults.iter_mut().enumerate() {
@@ -390,12 +475,62 @@ impl Device {
                     break;
                 }
                 let item = vault.rqst.pop().expect("peeked");
+                // Injected vault internal error: the controller
+                // answers with ERRSTAT before touching DRAM, so the
+                // request has no side effects and a host retry is
+                // always safe.
+                if fault_rng.chance(config.fault.vault_error_per_million) {
+                    stats.vault_faults += 1;
+                    stats.error_responses += 1;
+                    tracer.event(
+                        TraceLevel::FAULT,
+                        cycle,
+                        "FAULT",
+                        format_args!(
+                            "kind=VAULT vault={vidx} tag={} errstat={ERRSTAT_VAULT_FAULT:#x}",
+                            item.req.head.tag.value()
+                        ),
+                    );
+                    if !posted {
+                        stats.responses += 1;
+                        vault
+                            .rsp
+                            .try_push(TrackedResponse {
+                                rsp: error_response(*id, &item, ERRSTAT_VAULT_FAULT),
+                                issue_cycle: item.issue_cycle,
+                                complete_cycle: 0,
+                                latency: 0,
+                                entry_device: item.entry_device,
+                                entry_link: item.entry_link,
+                            })
+                            .expect("rsp queue checked above");
+                    }
+                    continue;
+                }
                 vault.banks[bank].access(cycle, loc.row, bank_timing);
                 power.add_dram_access();
                 let rsp = execute_request(
                     *id, config, &item, &loc, mem, cmc, regs, stats, power, cycle, tracer,
                 );
-                if let Some(rsp) = rsp {
+                if let Some(mut rsp) = rsp {
+                    // Poison: a read response may be delivered with
+                    // the data-invalid bit set. Reads are idempotent,
+                    // so the host can safely re-issue.
+                    if matches!(rsp.head.cmd, HmcResponse::RdRs | HmcResponse::MdRdRs)
+                        && fault_rng.chance(config.fault.poison_per_million)
+                    {
+                        rsp.tail.dinv = true;
+                        stats.poisoned_responses += 1;
+                        tracer.event(
+                            TraceLevel::FAULT,
+                            cycle,
+                            "FAULT",
+                            format_args!(
+                                "kind=POISON vault={vidx} tag={}",
+                                item.req.head.tag.value()
+                            ),
+                        );
+                    }
                     stats.responses += 1;
                     vault
                         .rsp
@@ -850,7 +985,7 @@ mod tests {
         let egress = dev.drain_responses(2);
         assert_eq!(egress.len(), 1);
         match &egress[0] {
-            Egress::Deliver(rsp) => {
+            Egress::Deliver(rsp, _) => {
                 assert_eq!(rsp.rsp.head.cmd, HmcResponse::RdRs);
                 assert_eq!(rsp.rsp.head.tag.value(), 5);
                 assert_eq!(rsp.rsp.payload[0], 0xABCD);
@@ -903,7 +1038,7 @@ mod tests {
         dev.route_responses(2, &mut tracer);
         let egress = dev.drain_responses(2);
         match &egress[0] {
-            Egress::Deliver(rsp) => {
+            Egress::Deliver(rsp, _) => {
                 assert_eq!(rsp.rsp.head.cmd, HmcResponse::Error);
                 assert_eq!(rsp.rsp.tail.errstat, 0x10);
             }
@@ -949,7 +1084,7 @@ mod tests {
         dev.execute_vaults(1, &mut tracer);
         dev.route_responses(2, &mut tracer);
         match &dev.drain_responses(2)[0] {
-            Egress::Deliver(rsp) => {
+            Egress::Deliver(rsp, _) => {
                 assert_eq!(rsp.rsp.head.cmd, HmcResponse::MdRdRs);
                 assert_eq!(rsp.rsp.payload[0], 0x44);
             }

@@ -34,6 +34,7 @@ pub mod compat;
 pub mod config;
 pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod link;
 pub mod power;
 pub mod queue;
@@ -48,6 +49,7 @@ pub use addr::AddressMap;
 pub use config::{Arbitration, DeviceConfig, LinkTopology, SimConfig, SpecRevision};
 pub use device::{TrackedRequest, TrackedResponse};
 pub use dram::{BankTiming, RefreshConfig, RowPolicy};
+pub use fault::{FaultPlan, FaultRng, LinkErrorMode, LinkEvent};
 pub use link::{LinkConfig, LinkStats};
 pub use power::{PowerConfig, PowerReport};
 pub use sim::HmcSim;

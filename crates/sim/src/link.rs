@@ -47,6 +47,8 @@ pub struct LinkStats {
     pub token_stalls: u64,
     /// Transmission errors injected (and recovered).
     pub retries: u64,
+    /// Corrupted packets caught by the receive-path CRC-32K check.
+    pub crc_errors: u64,
 }
 
 /// The transmitter-side state of one link.

@@ -59,12 +59,31 @@ pub fn text_report(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
             100.0 * row_hits as f64 / (row_hits + row_misses) as f64
         );
     }
+    let faults = stats.vault_faults
+        + stats.poisoned_responses
+        + stats.failover_responses
+        + stats.abandoned_responses;
+    if faults > 0 {
+        let _ = writeln!(
+            out,
+            "faults   : {} vault, {} poisoned, {} failover, {} abandoned",
+            stats.vault_faults,
+            stats.poisoned_responses,
+            stats.failover_responses,
+            stats.abandoned_responses
+        );
+    }
     let mut link_lines = Vec::new();
     for link in 0..config.links {
         let ls = sim.link_stats(dev, link)?;
         if ls.packets_sent > 0 || ls.token_stalls > 0 || ls.retries > 0 {
+            let crc = if ls.crc_errors > 0 {
+                format!(", {} crc errors", ls.crc_errors)
+            } else {
+                String::new()
+            };
             link_lines.push(format!(
-                "  link {link}: {} packets, {} token stalls, {} retries",
+                "  link {link}: {} packets, {} token stalls, {} retries{crc}",
                 ls.packets_sent, ls.token_stalls, ls.retries
             ));
         }

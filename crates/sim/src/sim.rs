@@ -7,12 +7,14 @@
 
 use crate::config::{DeviceConfig, LinkTopology, SimConfig};
 use crate::device::{Device, Egress, TrackedRequest, TrackedResponse};
-use crate::link::{LinkControl, LinkStats};
+use crate::fault::LinkErrorMode;
+use crate::link::{LinkConfig, LinkControl, LinkStats};
 use crate::power::PowerReport;
+use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
 use crate::trace::{TraceLevel, Tracer};
 use hmc_cmc::{CmcOp, CmcRegistration};
-use hmc_types::{Cub, HmcError, HmcRqst, Request, Tag, TagPool};
+use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Tag, TagPool};
 use std::collections::{HashSet, VecDeque};
 
 /// A packet crossing between chained devices.
@@ -44,6 +46,11 @@ pub struct HmcSim {
     in_transit: Vec<Transit>,
     links: Vec<Vec<LinkControl>>,
     retry_pending: Vec<RetryEntry>,
+    /// Tags the host abandoned (timeout reclamation), keyed per
+    /// device by `(entry_link, tag)`. The tag returns to its pool
+    /// only when the stale response finally arrives, so a reused tag
+    /// can never match a zombie response.
+    zombie_tags: Vec<HashSet<(usize, u16)>>,
     tracer: Tracer,
 }
 
@@ -80,8 +87,20 @@ impl HmcSim {
         let links = config
             .devices
             .iter()
-            .map(|c| (0..c.links).map(|_| LinkControl::new(c.link_config)).collect())
+            .map(|c| {
+                // The fault plan's deterministic mode absorbs the
+                // legacy `error_period` knob: an explicit EveryNth
+                // plan overrides the link configuration.
+                let link_config = match c.fault.link_error {
+                    LinkErrorMode::EveryNth(n) => {
+                        LinkConfig { error_period: Some(n), ..c.link_config }
+                    }
+                    _ => c.link_config,
+                };
+                (0..c.links).map(|_| LinkControl::new(link_config)).collect()
+            })
             .collect();
+        let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
         Ok(HmcSim {
             config,
             devices,
@@ -92,6 +111,7 @@ impl HmcSim {
             in_transit: Vec::new(),
             links,
             retry_pending: Vec::new(),
+            zombie_tags,
             tracer: Tracer::disabled(),
         })
     }
@@ -152,6 +172,9 @@ impl HmcSim {
         if link >= self.devices[dev].config().links {
             return Err(HmcError::InvalidLink(link));
         }
+        if !self.devices[dev].link_is_up(link) {
+            return Err(HmcError::LinkDown(link));
+        }
         // Link layer first: the crossbar input buffer must have room
         // and the transmitter must hold enough tokens.
         if !self.devices[dev].link_can_accept(link) {
@@ -182,10 +205,102 @@ impl HmcSim {
                     "RETRY",
                     format_args!("link error injected: dev={dev} link={link}, replay at {ready}"),
                 );
+                self.update_retry_regs(dev, link);
                 self.retry_pending.push(RetryEntry { dev, link, item, ready });
                 Ok(())
             }
-            Ok(false) => self.devices[dev].send(link, item).map_err(|(_, e)| e),
+            Ok(false) => {
+                if let LinkErrorMode::Random { per_million } =
+                    self.devices[dev].config().fault.link_error
+                {
+                    if self.devices[dev].fault_rng_mut().chance(per_million) {
+                        return self.transmit_corrupted(dev, link, item);
+                    }
+                }
+                self.devices[dev].send(link, item).map_err(|(_, e)| e)
+            }
+        }
+    }
+
+    /// Models a random transmission error: one wire bit of the packet
+    /// flips and the receive path verifies the CRC. A detected
+    /// corruption keeps the original packet in the transmitter's
+    /// retry buffer for replay after the retry exchange; in the
+    /// (impossible-for-single-bit-flips) case CRC-32K misses, the
+    /// corrupted packet is delivered as decoded.
+    fn transmit_corrupted(
+        &mut self,
+        dev: usize,
+        link: usize,
+        item: TrackedRequest,
+    ) -> Result<(), HmcError> {
+        let cycle = self.cycle;
+        let mut flits = item.req.pack();
+        let bits = (flits.len() * 128) as u64;
+        let bit = self.devices[dev].fault_rng_mut().below(bits) as usize;
+        flits[bit / 128].words[(bit / 64) % 2] ^= 1u64 << (bit % 64);
+        match Request::unpack(&flits) {
+            Err(e) => {
+                self.links[dev][link].stats.crc_errors += 1;
+                self.links[dev][link].stats.retries += 1;
+                let ready = cycle + self.links[dev][link].retry_latency();
+                self.tracer.event(
+                    TraceLevel::FAULT,
+                    cycle,
+                    "FAULT",
+                    format_args!(
+                        "kind=CRC dev={dev} link={link} bit={bit} replay at {ready} ({e})"
+                    ),
+                );
+                self.update_retry_regs(dev, link);
+                self.retry_pending.push(RetryEntry { dev, link, item, ready });
+                Ok(())
+            }
+            Ok(req) => {
+                let mut item = item;
+                item.req = req;
+                self.devices[dev].send(link, item).map_err(|(_, e)| e)
+            }
+        }
+    }
+
+    /// Surfaces link retry counters through the register file:
+    /// `REG_LRLL` holds the retry count of the last erroring link,
+    /// `REG_GRLL` the device-wide total.
+    fn update_retry_regs(&mut self, dev: usize, link: usize) {
+        let local = self.links[dev][link].stats.retries;
+        let global: u64 = self.links[dev].iter().map(|l| l.stats.retries).sum();
+        let regs = self.devices[dev].regs_mut();
+        let _ = regs.write(REG_LRLL, local);
+        let _ = regs.write(REG_GRLL, global);
+    }
+
+    /// Injects a raw FLIT stream on a device link — the receive-path
+    /// ingress used by hosts that serialize packets themselves. The
+    /// stream is decoded and its CRC-32K verified; corrupted packets
+    /// are rejected with [`HmcError::CrcMismatch`] and counted in the
+    /// link statistics.
+    pub fn send_flits(&mut self, dev: usize, link: usize, flits: &[Flit]) -> Result<(), HmcError> {
+        if dev >= self.devices.len() {
+            return Err(HmcError::InvalidDevice(dev));
+        }
+        if link >= self.devices[dev].config().links {
+            return Err(HmcError::InvalidLink(link));
+        }
+        match Request::unpack(flits) {
+            Ok(req) => self.send(dev, link, req),
+            Err(e) => {
+                if matches!(e, HmcError::CrcMismatch { .. }) {
+                    self.links[dev][link].stats.crc_errors += 1;
+                }
+                self.tracer.event(
+                    TraceLevel::FAULT,
+                    self.cycle,
+                    "FAULT",
+                    format_args!("kind=CRC dev={dev} link={link} rejected at ingress ({e})"),
+                );
+                Err(e)
+            }
         }
     }
 
@@ -202,7 +317,9 @@ impl HmcSim {
     /// (`hmc_recv_packet`).
     pub fn recv(&mut self, dev: usize, link: usize) -> Option<TrackedResponse> {
         let rsp = self.host_rx.get_mut(dev)?.get_mut(link)?.pop_front()?;
-        self.release_pool_tag(dev, link, rsp.rsp.head.tag);
+        // Failover may deliver on a different physical link than the
+        // request entered on; the tag belongs to the entry link's pool.
+        self.release_pool_tag(dev, rsp.entry_link, rsp.rsp.head.tag);
         Some(rsp)
     }
 
@@ -212,8 +329,45 @@ impl HmcSim {
         let queue = self.host_rx.get_mut(dev)?.get_mut(link)?;
         let idx = queue.iter().position(|r| r.rsp.head.tag == tag)?;
         let rsp = queue.remove(idx)?;
-        self.release_pool_tag(dev, link, tag);
+        self.release_pool_tag(dev, rsp.entry_link, tag);
         Some(rsp)
+    }
+
+    /// Abandons an in-flight request (host-side timeout reclamation).
+    ///
+    /// If the response is already waiting in a receive buffer it is
+    /// dropped and the tag released immediately; otherwise the tag is
+    /// marked as a zombie and released only when the stale response
+    /// finally arrives — so the tag can never be reallocated while a
+    /// response bearing it is still in flight (no ABA hazard).
+    pub fn abandon_tag(&mut self, dev: usize, link: usize, tag: Tag) -> Result<(), HmcError> {
+        if dev >= self.devices.len() {
+            return Err(HmcError::InvalidDevice(dev));
+        }
+        if link >= self.devices[dev].config().links {
+            return Err(HmcError::InvalidLink(link));
+        }
+        // Already delivered (possibly failed over to another physical
+        // link): drop it from whichever receive buffer holds it.
+        for queue in self.host_rx[dev].iter_mut() {
+            if let Some(idx) = queue
+                .iter()
+                .position(|r| r.entry_link == link && r.rsp.head.tag == tag)
+            {
+                queue.remove(idx);
+                self.devices[dev].count_abandoned();
+                self.release_pool_tag(dev, link, tag);
+                return Ok(());
+            }
+        }
+        self.zombie_tags[dev].insert((link, tag.value()));
+        Ok(())
+    }
+
+    /// True when a device link is currently operational (not taken
+    /// down by its fault plan's schedule).
+    pub fn link_is_up(&self, dev: usize, link: usize) -> bool {
+        self.devices.get(dev).is_some_and(|d| d.link_is_up(link))
     }
 
     /// Number of responses waiting on a host link.
@@ -336,10 +490,19 @@ impl HmcSim {
     pub fn clock(&mut self) -> u64 {
         let cycle = self.cycle;
 
-        // Link-layer retries whose retry exchange completed.
+        // Fault-plan link schedule (no-op for empty schedules).
+        for dev in &mut self.devices {
+            dev.apply_fault_schedule(cycle, &mut self.tracer);
+        }
+
+        // Link-layer retries whose retry exchange completed (a retry
+        // on a downed link waits for the scheduled link-up).
         let pending = std::mem::take(&mut self.retry_pending);
         for entry in pending {
-            if entry.ready <= cycle && self.devices[entry.dev].link_can_accept(entry.link) {
+            if entry.ready <= cycle
+                && self.devices[entry.dev].link_is_up(entry.link)
+                && self.devices[entry.dev].link_can_accept(entry.link)
+            {
                 let RetryEntry { dev, link, item, .. } = entry;
                 self.devices[dev]
                     .send(link, item)
@@ -377,7 +540,26 @@ impl HmcSim {
         for d in 0..self.devices.len() {
             for egress in self.devices[d].drain_responses(cycle) {
                 match egress {
-                    Egress::Deliver(mut rsp) => {
+                    Egress::Deliver(mut rsp, egress_link) => {
+                        let key = (rsp.entry_link, rsp.rsp.head.tag.value());
+                        if self.zombie_tags[d].remove(&key) {
+                            // The host abandoned this tag; the stale
+                            // response dies here and the tag finally
+                            // returns to its pool.
+                            self.devices[d].count_abandoned();
+                            self.release_pool_tag(d, rsp.entry_link, rsp.rsp.head.tag);
+                            self.tracer.event(
+                                TraceLevel::FAULT,
+                                cycle,
+                                "FAULT",
+                                format_args!(
+                                    "kind=ZOMBIE tag={} link={}",
+                                    rsp.rsp.head.tag.value(),
+                                    rsp.entry_link
+                                ),
+                            );
+                            continue;
+                        }
                         rsp.complete_cycle = cycle + 1;
                         rsp.latency = (cycle + 1).saturating_sub(rsp.issue_cycle);
                         self.devices[d].stats_latency(rsp.latency);
@@ -392,7 +574,7 @@ impl HmcSim {
                                 rsp.entry_link
                             ),
                         );
-                        self.host_rx[d][rsp.entry_link].push_back(rsp);
+                        self.host_rx[d][egress_link].push_back(rsp);
                     }
                     Egress::Forward(rsp) => {
                         let to_dev = toward(d, rsp.entry_device);

@@ -75,6 +75,17 @@ pub struct DeviceStats {
     pub rqst_flits: u64,
     /// Response FLITs that left the device over its links.
     pub rsp_flits: u64,
+    /// Injected vault internal errors (ERROR responses with
+    /// `ERRSTAT` = `ERRSTAT_VAULT_FAULT` that replaced execution).
+    pub vault_faults: u64,
+    /// Read responses delivered with the poison (`DINV`) bit set.
+    pub poisoned_responses: u64,
+    /// Responses re-routed through a surviving link because their
+    /// entry link was down.
+    pub failover_responses: u64,
+    /// Responses dropped at delivery because the host had abandoned
+    /// the tag (timeout reclamation).
+    pub abandoned_responses: u64,
     /// Round-trip latency aggregate (entry to response delivery).
     pub latency: LatencyStats,
 }

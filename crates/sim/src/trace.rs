@@ -32,6 +32,9 @@ impl TraceLevel {
     pub const CMC: TraceLevel = TraceLevel(1 << 5);
     /// Power accounting events.
     pub const POWER: TraceLevel = TraceLevel(1 << 6);
+    /// Fault injection and recovery events (CRC errors, vault
+    /// faults, poisoned responses, link state changes, failover).
+    pub const FAULT: TraceLevel = TraceLevel(1 << 7);
     /// Everything.
     pub const ALL: TraceLevel = TraceLevel(u32::MAX);
 

@@ -62,6 +62,9 @@ pub struct TraceSummary {
     pub vault_load: BTreeMap<u64, u64>,
     /// Stall events per stall reason text.
     pub stalls: BTreeMap<String, u64>,
+    /// Fault events per kind (`CRC`, `VAULT`, `POISON`, `LINKDOWN`,
+    /// `LINKUP`, `FAILOVER`, `ZOMBIE`).
+    pub faults: BTreeMap<String, u64>,
     /// Completed-request latencies (from LATENCY events).
     pub latencies: Vec<u64>,
     /// First and last event cycles seen.
@@ -96,6 +99,10 @@ impl TraceSummary {
                 }
                 "STALL" | "BANK" | "RETRY" => {
                     *summary.stalls.entry(event.detail.clone()).or_default() += 1;
+                }
+                "FAULT" => {
+                    let kind = event.field("kind").unwrap_or("UNKNOWN").to_string();
+                    *summary.faults.entry(kind).or_default() += 1;
                 }
                 "LATENCY" => {
                     if let Some(lat) = event.field_u64("lat") {
@@ -162,6 +169,12 @@ impl TraceSummary {
             let total: u64 = self.stalls.values().sum();
             let _ = writeln!(out, "stalls: {total}");
         }
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "faults:");
+            for (kind, n) in &self.faults {
+                let _ = writeln!(out, "  {kind:<16} {n}");
+            }
+        }
         out
     }
 }
@@ -200,6 +213,9 @@ mod tests {
             "HMCSIM_TRACE : 4 : LATENCY : tag=0 lat=3 link=0",
             "HMCSIM_TRACE : 6 : LATENCY : tag=2 lat=5 link=1",
             "HMCSIM_TRACE : 7 : STALL : vault rqst queue full: link=0 vault=4",
+            "HMCSIM_TRACE : 8 : FAULT : kind=CRC dev=0 link=1 bit=17 replay at 16 (CRC mismatch)",
+            "HMCSIM_TRACE : 9 : FAULT : kind=VAULT vault=3 tag=9 errstat=0x30",
+            "HMCSIM_TRACE : 10 : FAULT : kind=VAULT vault=5 tag=2 errstat=0x30",
             "garbage line",
         ];
         let s = TraceSummary::from_lines(lines);
@@ -210,10 +226,14 @@ mod tests {
         assert_eq!(s.latencies, vec![3, 5]);
         assert_eq!(s.mean_latency(), 4.0);
         assert_eq!(s.skipped_lines, 1);
-        assert_eq!(s.cycle_span, Some((1, 7)));
+        assert_eq!(s.cycle_span, Some((1, 10)));
+        assert_eq!(s.faults["CRC"], 1);
+        assert_eq!(s.faults["VAULT"], 2);
         let report = s.render();
         assert!(report.contains("hottest vault: 4"));
         assert!(report.contains("hmc_lock"));
+        assert!(report.contains("faults:"));
+        assert!(report.contains("VAULT"));
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub enum HmcError {
     NotInitialized,
     /// A device register that does not exist.
     InvalidRegister(u32),
+    /// The target link is down (fault-plan schedule); retry on a
+    /// surviving link or after the scheduled link-up.
+    LinkDown(usize),
     /// Malformed packet contents (payload/declared-length mismatch...).
     MalformedPacket(String),
     /// Trace subsystem I/O failure.
@@ -109,6 +112,7 @@ impl fmt::Display for HmcError {
             }
             HmcError::NotInitialized => write!(f, "simulation context not initialized"),
             HmcError::InvalidRegister(r) => write!(f, "no device register at {r:#x}"),
+            HmcError::LinkDown(l) => write!(f, "link {l} is down"),
             HmcError::MalformedPacket(why) => write!(f, "malformed packet: {why}"),
             HmcError::TraceIo(why) => write!(f, "trace I/O failure: {why}"),
         }

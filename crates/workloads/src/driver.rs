@@ -6,10 +6,22 @@
 //! state machine ticked once per device cycle; the driver routes
 //! delivered responses back to the thread that issued the matching
 //! tag and records per-thread completion cycles.
+//!
+//! With a [`ResilienceConfig`] installed the driver also plays the
+//! role of a fault-tolerant host controller: it records every tracked
+//! request, re-sends requests whose responses time out or come back
+//! with a nonzero `ERRSTAT` (bounded retries with exponential
+//! backoff), reclaims tags abandoned to the device via
+//! `HmcSim::abandon_tag`, redirects sends away from downed links, and
+//! reports what happened per thread in [`ThreadFaultStats`]. Threads
+//! stay oblivious: a request either eventually succeeds or surfaces
+//! as a synthesized error response carrying
+//! [`ERRSTAT_HOST_GIVEUP`](hmc_sim::fault::ERRSTAT_HOST_GIVEUP).
 
+use hmc_sim::fault::ERRSTAT_HOST_GIVEUP;
 use hmc_sim::{HmcSim, TrackedResponse};
-use hmc_types::{HmcError, HmcRqst, Tag};
-use std::collections::{HashMap, VecDeque};
+use hmc_types::{Cub, HmcError, HmcResponse, HmcRqst, Response, RspHead, RspTail, Slid, Tag};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Whether a thread has finished its kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +30,24 @@ pub enum ThreadStatus {
     Running,
     /// The thread completed its kernel this cycle.
     Done,
+}
+
+/// The body of a tracked request, kept so the driver can replay it.
+#[derive(Debug, Clone)]
+enum SentKind {
+    Std { cmd: HmcRqst, addr: u64, payload: Vec<u64> },
+    Cmc { code: u8, addr: u64, payload: Vec<u64> },
+}
+
+/// One tagged request issued through a [`ThreadIo`] this tick.
+struct SentRequest {
+    /// The link the request actually went out on (differs from the
+    /// thread's pinned link after a failover).
+    link: usize,
+    tag: Tag,
+    /// Recorded body for replay; `None` when no resilience policy is
+    /// installed (nothing will ever be replayed).
+    kind: Option<SentKind>,
 }
 
 /// Per-tick I/O window a thread uses to talk to the device.
@@ -30,13 +60,30 @@ pub struct ThreadIo<'a> {
     /// Current simulation cycle.
     pub cycle: u64,
     inbox: VecDeque<TrackedResponse>,
-    sent: Vec<Tag>,
+    sent: Vec<SentRequest>,
+    /// True when the driver runs with a resilience policy: sends fail
+    /// over to surviving links and request bodies are recorded.
+    resilient: bool,
+    link_failovers: u64,
 }
 
 impl<'a> ThreadIo<'a> {
     /// Takes the next response delivered to this thread, if any.
     pub fn response(&mut self) -> Option<TrackedResponse> {
         self.inbox.pop_front()
+    }
+
+    /// The link to issue on: the pinned link, or (under a resilience
+    /// policy) the nearest surviving link when the pinned one is down.
+    fn pick_link(&self) -> Result<usize, HmcError> {
+        if !self.resilient || self.sim.link_is_up(self.dev, self.link) {
+            return Ok(self.link);
+        }
+        let links = self.sim.device_config(self.dev)?.links;
+        (0..links)
+            .map(|i| (self.link + i) % links)
+            .find(|&l| self.sim.link_is_up(self.dev, l))
+            .ok_or(HmcError::LinkDown(self.link))
     }
 
     /// Sends a standard command on the thread's link. Stalls
@@ -47,9 +94,16 @@ impl<'a> ThreadIo<'a> {
         addr: u64,
         payload: Vec<u64>,
     ) -> Result<Option<Tag>, HmcError> {
-        let tag = self.sim.send_simple(self.dev, self.link, cmd, addr, payload)?;
+        let link = self.pick_link()?;
+        let kind = self
+            .resilient
+            .then(|| SentKind::Std { cmd, addr, payload: payload.clone() });
+        let tag = self.sim.send_simple(self.dev, link, cmd, addr, payload)?;
+        if link != self.link {
+            self.link_failovers += 1;
+        }
         if let Some(tag) = tag {
-            self.sent.push(tag);
+            self.sent.push(SentRequest { link, tag, kind });
         }
         Ok(tag)
     }
@@ -61,9 +115,16 @@ impl<'a> ThreadIo<'a> {
         addr: u64,
         payload: Vec<u64>,
     ) -> Result<Option<Tag>, HmcError> {
-        let tag = self.sim.send_cmc(self.dev, self.link, code, addr, payload)?;
+        let link = self.pick_link()?;
+        let kind = self
+            .resilient
+            .then(|| SentKind::Cmc { code, addr, payload: payload.clone() });
+        let tag = self.sim.send_cmc(self.dev, link, code, addr, payload)?;
+        if link != self.link {
+            self.link_failovers += 1;
+        }
         if let Some(tag) = tag {
-            self.sent.push(tag);
+            self.sent.push(SentRequest { link, tag, kind });
         }
         Ok(tag)
     }
@@ -78,6 +139,52 @@ pub trait HostThread {
     fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus;
 }
 
+/// Host-side fault-tolerance policy for [`ThreadDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Cycles to wait for a response before abandoning the tag and
+    /// retrying. Must comfortably exceed the worst-case round trip or
+    /// retries will double-execute requests that merely ran late.
+    pub request_timeout: u64,
+    /// Transparent re-sends per request before giving up.
+    pub max_retries: u32,
+    /// Base backoff: the i-th retry waits `backoff_base << i` cycles.
+    pub backoff_base: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig { request_timeout: 200, max_retries: 3, backoff_base: 4 }
+    }
+}
+
+/// What the driver's resilience layer did on behalf of one thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadFaultStats {
+    /// Requests abandoned after `request_timeout` cycles in flight.
+    pub timeouts: u64,
+    /// Transparent re-sends issued on the thread's behalf.
+    pub retries: u64,
+    /// Nonzero-`ERRSTAT` error responses intercepted by the driver.
+    pub error_responses: u64,
+    /// Poisoned (DINV) read responses intercepted by the driver.
+    pub poisoned: u64,
+    /// Sends redirected to a surviving link because the target link
+    /// was down.
+    pub link_failovers: u64,
+    /// Requests surrendered after exhausting retries; the thread saw
+    /// an error response (synthesized with `ERRSTAT_HOST_GIVEUP` when
+    /// the last attempt timed out).
+    pub give_ups: u64,
+}
+
+impl ThreadFaultStats {
+    /// True when the resilience layer never had to intervene.
+    pub fn is_clean(&self) -> bool {
+        *self == ThreadFaultStats::default()
+    }
+}
+
 /// Completion metrics for one driver run — the values the paper
 /// records per simulation (§V-B): MIN_CYCLE, MAX_CYCLE, AVG_CYCLE.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +195,9 @@ pub struct RunMetrics {
     pub total_cycles: u64,
     /// Threads that did not finish within the cycle budget.
     pub unfinished: usize,
+    /// Per-thread fault/recovery accounting (all-zero entries when no
+    /// resilience policy was installed or no faults occurred).
+    pub fault_stats: Vec<ThreadFaultStats>,
 }
 
 impl RunMetrics {
@@ -110,6 +220,36 @@ impl RunMetrics {
                 / self.per_thread_cycles.len() as f64
         }
     }
+
+    /// Fault counters summed across all threads.
+    pub fn total_faults(&self) -> ThreadFaultStats {
+        let mut t = ThreadFaultStats::default();
+        for s in &self.fault_stats {
+            t.timeouts += s.timeouts;
+            t.retries += s.retries;
+            t.error_responses += s.error_responses;
+            t.poisoned += s.poisoned;
+            t.link_failovers += s.link_failovers;
+            t.give_ups += s.give_ups;
+        }
+        t
+    }
+}
+
+/// A tracked request awaiting its response.
+struct Inflight {
+    tid: usize,
+    issued: u64,
+    attempts: u32,
+    kind: SentKind,
+}
+
+/// A request scheduled for re-send after backoff.
+struct PendingRetry {
+    tid: usize,
+    ready: u64,
+    attempts: u32,
+    kind: SentKind,
 }
 
 /// Drives a set of threads against a device until every thread
@@ -119,38 +259,172 @@ pub struct ThreadDriver {
     pub dev: usize,
     /// Cycle budget.
     pub max_cycles: u64,
+    /// Optional host-side timeout/retry policy. `None` preserves the
+    /// classic fire-and-wait behavior exactly.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for ThreadDriver {
     fn default() -> Self {
-        ThreadDriver { dev: 0, max_cycles: 2_000_000 }
+        ThreadDriver { dev: 0, max_cycles: 2_000_000, resilience: None }
     }
 }
 
 impl ThreadDriver {
+    /// True when a delivered response reports a fault the resilience
+    /// layer should hide from the thread: an ERROR packet, a nonzero
+    /// `ERRSTAT`, or poisoned (DINV) data.
+    fn response_faulty(rsp: &TrackedResponse) -> bool {
+        matches!(rsp.rsp.head.cmd, HmcResponse::Error)
+            || rsp.rsp.tail.errstat != 0
+            || rsp.rsp.tail.dinv
+    }
+
+    /// Synthesizes the error response a thread sees when the driver
+    /// gives up on a request (all retries timed out).
+    fn give_up_response(dev: usize, key: (usize, u16)) -> TrackedResponse {
+        let (link, tag) = key;
+        TrackedResponse {
+            rsp: Response {
+                head: RspHead {
+                    cmd: HmcResponse::Error,
+                    lng: 1,
+                    tag: Tag::new(tag as u32).expect("tag came from a valid request"),
+                    af: false,
+                    slid: Slid::new((link % 8) as u8).expect("link < 8"),
+                    cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
+                },
+                payload: vec![],
+                tail: RspTail { errstat: ERRSTAT_HOST_GIVEUP, ..RspTail::default() },
+            },
+            issue_cycle: 0,
+            complete_cycle: 0,
+            latency: 0,
+            entry_device: dev,
+            entry_link: link,
+        }
+    }
+
     /// Runs the threads to completion, routing responses by tag.
     pub fn run<T: HostThread>(&self, sim: &mut HmcSim, threads: &mut [T]) -> RunMetrics {
-        let links: Vec<usize> = {
-            let mut l: Vec<usize> = threads.iter().map(|t| t.link()).collect();
-            l.sort_unstable();
-            l.dedup();
-            l
-        };
+        let total_links = sim.device_config(self.dev).map(|c| c.links).unwrap_or(1);
         let mut owner: HashMap<(usize, u16), usize> = HashMap::new();
+        // BTreeMap so the timeout scan is deterministic across runs.
+        let mut inflight: BTreeMap<(usize, u16), Inflight> = BTreeMap::new();
+        let mut retries: VecDeque<PendingRetry> = VecDeque::new();
         let mut mailboxes: Vec<VecDeque<TrackedResponse>> =
             (0..threads.len()).map(|_| VecDeque::new()).collect();
         let mut finish: Vec<Option<u64>> = vec![None; threads.len()];
+        let mut fault_stats: Vec<ThreadFaultStats> =
+            vec![ThreadFaultStats::default(); threads.len()];
 
         let mut cycle = 0u64;
         while cycle < self.max_cycles {
-            // Deliver responses to their issuing threads.
-            for &link in &links {
+            // Deliver responses to their issuing threads. After a link
+            // failover a response can surface on any link, so scan all
+            // of them and route by the link the request entered on.
+            for link in 0..total_links {
                 while let Some(rsp) = sim.recv(self.dev, link) {
-                    let key = (link, rsp.rsp.head.tag.value());
-                    if let Some(tid) = owner.remove(&key) {
-                        mailboxes[tid].push_back(rsp);
+                    let key = (rsp.entry_link, rsp.rsp.head.tag.value());
+                    let Some(tid) = owner.remove(&key) else { continue };
+                    let entry = inflight.remove(&key);
+                    if let (Some(cfg), Some(entry)) = (self.resilience, entry) {
+                        if Self::response_faulty(&rsp) {
+                            if rsp.rsp.tail.dinv {
+                                fault_stats[tid].poisoned += 1;
+                            } else {
+                                fault_stats[tid].error_responses += 1;
+                            }
+                            if entry.attempts < cfg.max_retries {
+                                fault_stats[tid].retries += 1;
+                                retries.push_back(PendingRetry {
+                                    tid,
+                                    ready: cycle + (cfg.backoff_base << entry.attempts),
+                                    attempts: entry.attempts + 1,
+                                    kind: entry.kind,
+                                });
+                                continue; // hidden from the thread
+                            }
+                            fault_stats[tid].give_ups += 1;
+                        }
+                    }
+                    mailboxes[tid].push_back(rsp);
+                }
+            }
+
+            if let Some(cfg) = self.resilience {
+                // Abandon requests that have been in flight too long.
+                let expired: Vec<(usize, u16)> = inflight
+                    .iter()
+                    .filter(|(_, e)| cycle.saturating_sub(e.issued) >= cfg.request_timeout)
+                    .map(|(&k, _)| k)
+                    .collect();
+                for key in expired {
+                    let entry = inflight.remove(&key).expect("key from scan");
+                    owner.remove(&key);
+                    if let Ok(tag) = Tag::new(key.1 as u32) {
+                        let _ = sim.abandon_tag(self.dev, key.0, tag);
+                    }
+                    fault_stats[entry.tid].timeouts += 1;
+                    if entry.attempts < cfg.max_retries {
+                        fault_stats[entry.tid].retries += 1;
+                        retries.push_back(PendingRetry {
+                            tid: entry.tid,
+                            ready: cycle + (cfg.backoff_base << entry.attempts),
+                            attempts: entry.attempts + 1,
+                            kind: entry.kind,
+                        });
+                    } else {
+                        fault_stats[entry.tid].give_ups += 1;
+                        mailboxes[entry.tid].push_back(Self::give_up_response(self.dev, key));
                     }
                 }
+
+                // Replay due retries, falling over to a surviving link
+                // when the thread's pinned link is down.
+                let mut deferred = VecDeque::new();
+                while let Some(r) = retries.pop_front() {
+                    if r.ready > cycle {
+                        deferred.push_back(r);
+                        continue;
+                    }
+                    let pinned = threads[r.tid].link();
+                    let link = (0..total_links)
+                        .map(|i| (pinned + i) % total_links)
+                        .find(|&l| sim.link_is_up(self.dev, l));
+                    let Some(link) = link else {
+                        deferred.push_back(r); // all links down: wait
+                        continue;
+                    };
+                    let sent = match &r.kind {
+                        SentKind::Std { cmd, addr, payload } => {
+                            sim.send_simple(self.dev, link, *cmd, *addr, payload.clone())
+                        }
+                        SentKind::Cmc { code, addr, payload } => {
+                            sim.send_cmc(self.dev, link, *code, *addr, payload.clone())
+                        }
+                    };
+                    match sent {
+                        Ok(Some(tag)) => {
+                            if link != pinned {
+                                fault_stats[r.tid].link_failovers += 1;
+                            }
+                            owner.insert((link, tag.value()), r.tid);
+                            inflight.insert(
+                                (link, tag.value()),
+                                Inflight {
+                                    tid: r.tid,
+                                    issued: cycle,
+                                    attempts: r.attempts,
+                                    kind: r.kind,
+                                },
+                            );
+                        }
+                        Ok(None) => {} // posted: nothing to track
+                        Err(_) => deferred.push_back(r), // stall: next cycle
+                    }
+                }
+                retries = deferred;
             }
 
             let mut all_done = true;
@@ -165,13 +439,22 @@ impl ThreadDriver {
                     cycle,
                     inbox: std::mem::take(&mut mailboxes[tid]),
                     sent: Vec::new(),
+                    resilient: self.resilience.is_some(),
+                    link_failovers: 0,
                     sim,
                 };
                 let status = thread.tick(&mut io);
-                let ThreadIo { inbox, sent, link, .. } = io;
+                let ThreadIo { inbox, sent, link_failovers, .. } = io;
                 mailboxes[tid] = inbox;
-                for tag in sent {
-                    owner.insert((link, tag.value()), tid);
+                fault_stats[tid].link_failovers += link_failovers;
+                for s in sent {
+                    owner.insert((s.link, s.tag.value()), tid);
+                    if let Some(kind) = s.kind {
+                        inflight.insert(
+                            (s.link, s.tag.value()),
+                            Inflight { tid, issued: cycle, attempts: 0, kind },
+                        );
+                    }
                 }
                 if status == ThreadStatus::Done {
                     finish[tid] = Some(cycle);
@@ -192,6 +475,7 @@ impl ThreadDriver {
                 .collect(),
             total_cycles: cycle,
             unfinished,
+            fault_stats,
         }
     }
 }
@@ -199,7 +483,7 @@ impl ThreadDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hmc_sim::DeviceConfig;
+    use hmc_sim::{DeviceConfig, FaultPlan};
 
     /// A thread that writes one value then reads it back.
     struct WriteRead {
@@ -248,10 +532,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn driver_routes_responses_to_issuing_threads() {
-        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
-        let mut threads: Vec<WriteRead> = (0..8)
+    fn write_read_threads(n: usize) -> Vec<WriteRead> {
+        (0..n)
             .map(|i| WriteRead {
                 link: i % 4,
                 addr: 0x1000 + (i as u64) * 16,
@@ -259,8 +541,14 @@ mod tests {
                 tag: None,
                 read_value: None,
             })
-            .collect();
-        let driver = ThreadDriver { dev: 0, max_cycles: 10_000 };
+            .collect()
+    }
+
+    #[test]
+    fn driver_routes_responses_to_issuing_threads() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut threads = write_read_threads(8);
+        let driver = ThreadDriver { dev: 0, max_cycles: 10_000, resilience: None };
         let metrics = driver.run(&mut sim, &mut threads);
         assert_eq!(metrics.unfinished, 0);
         for t in &threads {
@@ -270,6 +558,7 @@ mod tests {
         assert!(metrics.max_cycle() < 100);
         assert!(metrics.avg_cycle() >= metrics.min_cycle() as f64);
         assert!(metrics.avg_cycle() <= metrics.max_cycle() as f64);
+        assert!(metrics.total_faults().is_clean());
     }
 
     #[test]
@@ -285,9 +574,69 @@ mod tests {
             }
         }
         let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
-        let driver = ThreadDriver { dev: 0, max_cycles: 50 };
+        let driver = ThreadDriver { dev: 0, max_cycles: 50, resilience: None };
         let metrics = driver.run(&mut sim, &mut [Stuck]);
         assert_eq!(metrics.unfinished, 1);
         assert_eq!(metrics.per_thread_cycles[0], 50);
+    }
+
+    #[test]
+    fn resilience_is_invisible_without_faults() {
+        let baseline = {
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            let mut threads = write_read_threads(8);
+            ThreadDriver { dev: 0, max_cycles: 10_000, resilience: None }
+                .run(&mut sim, &mut threads)
+        };
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut threads = write_read_threads(8);
+        let resilient = ThreadDriver {
+            dev: 0,
+            max_cycles: 10_000,
+            resilience: Some(ResilienceConfig::default()),
+        }
+        .run(&mut sim, &mut threads);
+        assert_eq!(baseline.per_thread_cycles, resilient.per_thread_cycles);
+        assert_eq!(baseline.total_cycles, resilient.total_cycles);
+        assert!(resilient.total_faults().is_clean());
+    }
+
+    #[test]
+    fn vault_errors_are_retried_transparently() {
+        // Every vault access errors with probability ~30%; with six
+        // retries per request the WriteRead threads should still all
+        // finish with correct data, and the driver should report the
+        // error responses it absorbed.
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = FaultPlan::seeded(7).with_vault_errors(300_000);
+        let mut sim = HmcSim::new(config).unwrap();
+        let mut threads = write_read_threads(8);
+        let driver = ThreadDriver {
+            dev: 0,
+            max_cycles: 50_000,
+            resilience: Some(ResilienceConfig {
+                request_timeout: 500,
+                max_retries: 6,
+                backoff_base: 2,
+            }),
+        };
+        let metrics = driver.run(&mut sim, &mut threads);
+        assert_eq!(metrics.unfinished, 0, "all threads finish despite vault faults");
+        for t in &threads {
+            assert_eq!(t.read_value, Some(t.addr));
+        }
+        let totals = metrics.total_faults();
+        assert!(totals.error_responses > 0, "faults were actually injected");
+        assert_eq!(totals.retries, totals.error_responses + totals.timeouts);
+        assert_eq!(totals.give_ups, 0);
+    }
+
+    #[test]
+    fn give_up_response_carries_host_errstat() {
+        let rsp = ThreadDriver::give_up_response(0, (2, 17));
+        assert!(matches!(rsp.rsp.head.cmd, HmcResponse::Error));
+        assert_eq!(rsp.rsp.tail.errstat, ERRSTAT_HOST_GIVEUP);
+        assert_eq!(rsp.rsp.head.tag.value(), 17);
+        assert_eq!(rsp.entry_link, 2);
     }
 }

@@ -192,7 +192,8 @@ impl CounterKernel {
                 state: start_state.clone(),
             })
             .collect();
-        let driver = ThreadDriver { dev: 0, max_cycles: self.config.max_cycles };
+        let driver =
+            ThreadDriver { dev: 0, max_cycles: self.config.max_cycles, resilience: None };
         let metrics = driver.run(sim, &mut threads);
 
         let flits_after = {

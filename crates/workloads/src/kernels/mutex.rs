@@ -312,6 +312,19 @@ impl MutexKernel {
     /// Runs Algorithm 1 on the given simulation context. The CMC
     /// mutex library must already be loaded on device 0.
     pub fn run(&self, sim: &mut HmcSim) -> Result<MutexKernelResult, HmcError> {
+        let driver =
+            ThreadDriver { dev: 0, max_cycles: self.config.max_cycles, resilience: None };
+        self.run_with_driver(sim, &driver)
+    }
+
+    /// Runs Algorithm 1 with a caller-supplied driver — e.g. one with
+    /// a resilience policy for fault-injection runs. The driver's
+    /// `max_cycles` takes precedence over the kernel config's.
+    pub fn run_with_driver(
+        &self,
+        sim: &mut HmcSim,
+        driver: &ThreadDriver,
+    ) -> Result<MutexKernelResult, HmcError> {
         let links = sim.device_config(0)?.links;
         // Fail fast when the needed CMC library is not loaded rather
         // than flooding the device with inactive-command errors.
@@ -345,7 +358,6 @@ impl MutexKernel {
             })
             .collect();
 
-        let driver = ThreadDriver { dev: 0, max_cycles: self.config.max_cycles };
         let metrics = driver.run(sim, &mut threads);
         Ok(MutexKernelResult {
             metrics,

@@ -215,7 +215,8 @@ impl RwLockKernel {
                 cfg: self.config.clone(),
             })
             .collect();
-        let driver = ThreadDriver { dev: 0, max_cycles: self.config.max_cycles };
+        let driver =
+            ThreadDriver { dev: 0, max_cycles: self.config.max_cycles, resilience: None };
         let metrics = driver.run(sim, &mut threads);
         Ok(RwLockKernelResult {
             metrics,

@@ -8,9 +8,10 @@
 //! across all 32 vaults, so bandwidth scales with the device's
 //! queueing capacity.
 
+use crate::driver::ResilienceConfig;
 use hmc_sim::HmcSim;
-use hmc_types::{HmcError, HmcRqst};
-use std::collections::HashMap;
+use hmc_types::{HmcError, HmcResponse, HmcRqst, Tag};
+use std::collections::BTreeMap;
 
 /// Configuration of a Triad run.
 #[derive(Debug, Clone)]
@@ -33,6 +34,13 @@ pub struct TriadConfig {
     pub posted_writes: bool,
     /// Cycle budget.
     pub max_cycles: u64,
+    /// Optional host-side timeout/retry policy for fault-injection
+    /// runs: faulty responses (ERRSTAT/DINV) re-enqueue their chunk,
+    /// overdue requests are abandoned and re-issued, and sends fall
+    /// over when a link is down. Retries are bounded only by
+    /// `max_cycles` (Triad requests are idempotent). `None` preserves
+    /// the classic behavior exactly.
+    pub resilience: Option<ResilienceConfig>,
 }
 
 impl Default for TriadConfig {
@@ -47,6 +55,7 @@ impl Default for TriadConfig {
             c_base: 0x0300_0000,
             posted_writes: false,
             max_cycles: 10_000_000,
+            resilience: None,
         }
     }
 }
@@ -64,6 +73,10 @@ pub struct TriadResult {
     pub bytes_per_cycle: f64,
     /// Elements whose result failed verification.
     pub errors: usize,
+    /// Requests re-issued after a faulty (ERRSTAT/DINV) response.
+    pub fault_retries: u64,
+    /// Requests abandoned after `request_timeout` cycles in flight.
+    pub timeouts: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,25 +139,59 @@ impl TriadKernel {
         let chunks = cfg.elements * 8 / cfg.chunk_bytes;
         let mut states: Vec<ChunkState> = (0..chunks).map(|_| ChunkState::default()).collect();
         // Tag pools are per link, so in-flight ops key on (link, tag).
-        let mut owner: HashMap<(usize, u16), (usize, StreamKind)> = HashMap::new();
+        // BTreeMap keeps the timeout scan deterministic across runs.
+        let mut owner: BTreeMap<(usize, u16), (usize, StreamKind, u64)> = BTreeMap::new();
         let mut read_queue: std::collections::VecDeque<(usize, StreamKind)> = (0..chunks)
             .flat_map(|c| [(c, StreamKind::B), (c, StreamKind::C)])
             .collect();
         let mut inflight = 0usize;
         let mut done_chunks = 0usize;
         let mut rr_link = 0usize;
+        let mut fault_retries = 0u64;
+        let mut timeouts = 0u64;
+
+        // Puts a faulted or abandoned request's work back on the
+        // queue; a failed write re-reads its operands (they were
+        // dropped at issue), which is safe because Triad requests are
+        // idempotent.
+        fn requeue(
+            states: &mut [ChunkState],
+            read_queue: &mut std::collections::VecDeque<(usize, StreamKind)>,
+            chunk: usize,
+            kind: StreamKind,
+        ) {
+            match kind {
+                StreamKind::B | StreamKind::C => read_queue.push_back((chunk, kind)),
+                StreamKind::AWrite => {
+                    states[chunk].write_issued = false;
+                    read_queue.push_back((chunk, StreamKind::B));
+                    read_queue.push_back((chunk, StreamKind::C));
+                }
+            }
+        }
 
         while done_chunks < chunks {
             if sim.cycle() - start_cycle > cfg.max_cycles {
                 break;
             }
-            // Drain responses on all links.
+            // Drain responses on all links (after a link failover a
+            // response can surface on any link; route by entry link).
             for link in 0..links {
                 while let Some(rsp) = sim.recv(0, link) {
-                    let Some((chunk, kind)) = owner.remove(&(link, rsp.rsp.head.tag.value())) else {
+                    let key = (rsp.entry_link, rsp.rsp.head.tag.value());
+                    let Some((chunk, kind, _)) = owner.remove(&key) else {
                         continue;
                     };
                     inflight -= 1;
+                    let faulty = cfg.resilience.is_some()
+                        && (matches!(rsp.rsp.head.cmd, HmcResponse::Error)
+                            || rsp.rsp.tail.errstat != 0
+                            || rsp.rsp.tail.dinv);
+                    if faulty {
+                        fault_retries += 1;
+                        requeue(&mut states, &mut read_queue, chunk, kind);
+                        continue;
+                    }
                     match kind {
                         StreamKind::B => states[chunk].b = Some(rsp.rsp.payload),
                         StreamKind::C => states[chunk].c = Some(rsp.rsp.payload),
@@ -153,6 +200,29 @@ impl TriadKernel {
                             done_chunks += 1;
                         }
                     }
+                }
+            }
+
+            // Abandon requests that have been in flight too long
+            // (stuck behind a downed link); their tags are reclaimed
+            // when the stale response eventually surfaces.
+            if let Some(res) = cfg.resilience {
+                let now = sim.cycle();
+                let overdue: Vec<(usize, u16)> = owner
+                    .iter()
+                    .filter(|&(_, &(_, _, issued))| {
+                        now.saturating_sub(issued) >= res.request_timeout
+                    })
+                    .map(|(&k, _)| k)
+                    .collect();
+                for key in overdue {
+                    let (chunk, kind, _) = owner.remove(&key).expect("key from scan");
+                    inflight -= 1;
+                    if let Ok(tag) = Tag::new(key.1 as u32) {
+                        let _ = sim.abandon_tag(0, key.0, tag);
+                    }
+                    timeouts += 1;
+                    requeue(&mut states, &mut read_queue, chunk, kind);
                 }
             }
 
@@ -181,7 +251,10 @@ impl TriadKernel {
                 match sim.send_simple(0, link, write_cmd, addr, a) {
                     Ok(Some(tag)) => {
                         rr_link += 1;
-                        owner.insert((link, tag.value()), (chunk, StreamKind::AWrite));
+                        owner.insert(
+                            (link, tag.value()),
+                            (chunk, StreamKind::AWrite, sim.cycle()),
+                        );
                         inflight += 1;
                         states[chunk].write_issued = true;
                         states[chunk].b = None;
@@ -197,6 +270,12 @@ impl TriadKernel {
                         done_chunks += 1;
                     }
                     Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => break,
+                    Err(HmcError::LinkDown(_)) if cfg.resilience.is_some() => {
+                        // Skip the downed link; this chunk stays ready
+                        // and is retried on the next round-robin link.
+                        rr_link += 1;
+                        continue;
+                    }
                     Err(e) => return Err(e),
                 }
             }
@@ -214,12 +293,18 @@ impl TriadKernel {
                 match sim.send_simple(0, link, read_cmd, addr, vec![]) {
                     Ok(Some(tag)) => {
                         rr_link += 1;
-                        owner.insert((link, tag.value()), (chunk, kind));
+                        owner.insert((link, tag.value()), (chunk, kind, sim.cycle()));
                         inflight += 1;
                     }
                     Ok(None) => unreachable!("reads are never posted"),
                     Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {
                         read_queue.push_front((chunk, kind));
+                        break;
+                    }
+                    Err(HmcError::LinkDown(_)) if cfg.resilience.is_some() => {
+                        // Skip the downed link; retry next cycle.
+                        read_queue.push_front((chunk, kind));
+                        rr_link += 1;
                         break;
                     }
                     Err(e) => return Err(e),
@@ -256,6 +341,8 @@ impl TriadKernel {
             link_flits: flits_after - flits_before,
             bytes_per_cycle: data_bytes as f64 / cycles.max(1) as f64,
             errors,
+            fault_retries,
+            timeouts,
         })
     }
 }

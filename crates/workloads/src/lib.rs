@@ -14,6 +14,6 @@ pub mod kernels;
 pub mod runtime;
 pub mod tracefile;
 
-pub use driver::{RunMetrics, ThreadDriver};
+pub use driver::{ResilienceConfig, RunMetrics, ThreadDriver, ThreadFaultStats};
 pub use runtime::HostRuntime;
 pub use kernels::mutex::{MutexKernel, MutexKernelConfig, MutexMechanism, SpinPolicy};
