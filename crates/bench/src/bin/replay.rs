@@ -6,9 +6,15 @@
 //! cargo run --release -p hmc-bench --bin replay -- trace.txt [--links 8] [--window 128]
 //! cargo run --release -p hmc-bench --bin replay            # synthetic demo trace
 //! ```
+//!
+//! `--checkpoint-every N` snapshots the device every `N` cycles and
+//! reports the final checkpoint, `--sanitize` replays under the
+//! invariant sanitizer (report policy) and prints its findings.
 
-use hmc_sim::{report, DeviceConfig, HmcSim};
-use hmc_workloads::tracefile::{parse_trace, replay, synthetic_trace, ReplayConfig};
+use hmc_sim::{report, DeviceConfig, HmcSim, SanitizerConfig};
+use hmc_workloads::tracefile::{
+    parse_trace, replay_resumable, synthetic_trace, ReplayConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +23,9 @@ fn main() {
     };
     let links: usize = arg("--links").and_then(|s| s.parse().ok()).unwrap_or(4);
     let window: usize = arg("--window").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let checkpoint_every: u64 =
+        arg("--checkpoint-every").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let sanitize = args.iter().any(|a| a == "--sanitize");
     let path = args.first().filter(|a| !a.starts_with("--"));
 
     let ops = match path {
@@ -37,12 +46,35 @@ fn main() {
         DeviceConfig::gen2_4link_4gb()
     };
     let mut sim = HmcSim::new(config).expect("valid device config");
-    let result = replay(&mut sim, &ops, &ReplayConfig { window, ..Default::default() })
-        .expect("replay runs");
+    if sanitize {
+        sim.enable_sanitizer(SanitizerConfig::report());
+    }
+    let replay_config = ReplayConfig { window, checkpoint_every, ..Default::default() };
+    let (result, checkpoint) =
+        replay_resumable(&mut sim, &ops, &replay_config, None).expect("replay runs");
 
     println!(
         "replayed {} ops ({} completed) in {} cycles: {} FLITs, {:.2} data B/cycle\n",
         result.issued, result.completed, result.cycles, result.link_flits, result.bytes_per_cycle
     );
+    if let Some(ckpt) = checkpoint {
+        println!(
+            "last checkpoint: cycle {} (op cursor {}/{}, {} in flight)\n",
+            ckpt.cycle,
+            ckpt.cursor,
+            ops.len(),
+            ckpt.inflight.len()
+        );
+    }
+    if sanitize {
+        let report = sim.disable_sanitizer().expect("sanitizer was enabled");
+        println!(
+            "sanitizer: {} cycles checked, {} violations\n",
+            report.cycles_checked, report.total_violations
+        );
+        for v in &report.violations {
+            println!("  {v}");
+        }
+    }
     print!("{}", report::text_report(&sim, 0).expect("report"));
 }

@@ -37,6 +37,24 @@ impl SparseMemory {
         self.pages.len()
     }
 
+    /// Deterministic digest of the resident content: page indices and
+    /// bytes hashed in ascending page order, so two stores holding the
+    /// same pages produce the same digest regardless of the order the
+    /// pages were materialized in. Used by checkpoint/replay equality
+    /// checks.
+    pub fn content_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.capacity.hash(&mut h);
+        let mut ids: Vec<&u64> = self.pages.keys().collect();
+        ids.sort();
+        for id in ids {
+            id.hash(&mut h);
+            self.pages[id][..].hash(&mut h);
+        }
+        h.finish()
+    }
+
     fn check_range(&self, addr: u64, len: usize) -> Result<(), HmcError> {
         let end = addr
             .checked_add(len as u64)

@@ -240,12 +240,19 @@ pub struct SimConfig {
     pub devices: Vec<DeviceConfig>,
     /// Inter-device wiring.
     pub topology: LinkTopology,
+    /// Invariant-checking sanitizer (disabled by default — a disabled
+    /// sanitizer is guaranteed zero-perturbation).
+    pub sanitizer: crate::sanitizer::SanitizerConfig,
 }
 
 impl SimConfig {
     /// A single-device context.
     pub fn single(device: DeviceConfig) -> Self {
-        SimConfig { devices: vec![device], topology: LinkTopology::HostOnly }
+        SimConfig {
+            devices: vec![device],
+            topology: LinkTopology::HostOnly,
+            sanitizer: Default::default(),
+        }
     }
 
     /// A chain of `n` identical devices.
@@ -253,6 +260,7 @@ impl SimConfig {
         SimConfig {
             devices: std::iter::repeat_n(device, n).collect(),
             topology: LinkTopology::Chain,
+            sanitizer: Default::default(),
         }
     }
 
@@ -326,7 +334,11 @@ mod tests {
         assert!(SimConfig::single(DeviceConfig::default()).validate().is_ok());
         assert!(SimConfig::chain(DeviceConfig::default(), 8).validate().is_ok());
         assert!(SimConfig::chain(DeviceConfig::default(), 9).validate().is_err());
-        let empty = SimConfig { devices: vec![], topology: LinkTopology::HostOnly };
+        let empty = SimConfig {
+            devices: vec![],
+            topology: LinkTopology::HostOnly,
+            sanitizer: Default::default(),
+        };
         assert!(empty.validate().is_err());
     }
 }

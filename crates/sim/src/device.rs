@@ -72,7 +72,7 @@ pub struct TrackedResponse {
 }
 
 /// One vault: request/response queues plus per-bank busy tracking.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Vault {
     pub(crate) rqst: BoundedQueue<TrackedRequest>,
     pub(crate) rsp: BoundedQueue<TrackedResponse>,
@@ -405,8 +405,11 @@ impl Device {
     }
 
     /// Stage 3: vault execution — the `hmcsim_process_rqst`
-    /// equivalent.
-    pub(crate) fn execute_vaults(&mut self, cycle: u64, tracer: &mut Tracer) {
+    /// equivalent. Returns the number of requests retired *without* a
+    /// response (posted writes, flow packets, posted vault faults) —
+    /// the sanitizer's "absorbed" tally for packet conservation.
+    pub(crate) fn execute_vaults(&mut self, cycle: u64, tracer: &mut Tracer) -> u64 {
+        let mut absorbed = 0u64;
         let Device {
             id,
             config,
@@ -504,6 +507,8 @@ impl Device {
                                 entry_link: item.entry_link,
                             })
                             .expect("rsp queue checked above");
+                    } else {
+                        absorbed += 1;
                     }
                     continue;
                 }
@@ -543,9 +548,12 @@ impl Device {
                             entry_link: item.entry_link,
                         })
                         .expect("rsp queue checked above");
+                } else {
+                    absorbed += 1;
                 }
             }
         }
+        absorbed
     }
 
     /// Stage 4: crossbar request queues → vault request queues, or
@@ -636,6 +644,105 @@ impl Device {
                 .iter()
                 .map(|v| v.rqst.len() + v.rsp.len())
                 .sum::<usize>()
+    }
+
+    /// FLITs currently held in one link's crossbar request queue (the
+    /// sanitizer's token-conservation check: these FLITs back the
+    /// link's outstanding tokens).
+    pub(crate) fn xbar_rqst_flits(&self, link: usize) -> u64 {
+        self.xbar_rqst
+            .get(link)
+            .map_or(0, |q| q.iter().map(|i| i.req.flits() as u64).sum())
+    }
+
+    /// First queue whose occupancy exceeds its configured depth, if
+    /// any (sanitizer bound check; structurally unreachable through
+    /// [`BoundedQueue`]'s own API, so a hit means memory corruption or
+    /// a restore from a mismatched snapshot).
+    pub(crate) fn queue_bound_violation(&self) -> Option<String> {
+        for (link, q) in self.xbar_rqst.iter().enumerate() {
+            if q.len() > q.depth() {
+                return Some(format!("xbar rqst link {link}: {} > depth {}", q.len(), q.depth()));
+            }
+        }
+        for (link, q) in self.xbar_rsp.iter().enumerate() {
+            if q.len() > q.depth() {
+                return Some(format!("xbar rsp link {link}: {} > depth {}", q.len(), q.depth()));
+            }
+        }
+        for (v, vault) in self.vaults.iter().enumerate() {
+            if vault.rqst.len() > vault.rqst.depth() {
+                return Some(format!(
+                    "vault {v} rqst: {} > depth {}",
+                    vault.rqst.len(),
+                    vault.rqst.depth()
+                ));
+            }
+            if vault.rsp.len() > vault.rsp.depth() {
+                return Some(format!(
+                    "vault {v} rsp: {} > depth {}",
+                    vault.rsp.len(),
+                    vault.rsp.depth()
+                ));
+            }
+        }
+        None
+    }
+
+    /// Hashes every queue occupancy into `h` (the stall watchdog's
+    /// progress fingerprint).
+    pub(crate) fn occupancy_signature(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        for q in &self.xbar_rqst {
+            q.len().hash(h);
+        }
+        for q in &self.xbar_rsp {
+            q.len().hash(h);
+        }
+        for v in &self.vaults {
+            v.rqst.len().hash(h);
+            v.rsp.len().hash(h);
+        }
+    }
+
+    /// Deep-copies the device's dynamic state into a snapshot.
+    pub(crate) fn snapshot_state(&self) -> crate::snapshot::DeviceSnapshot {
+        crate::snapshot::DeviceSnapshot {
+            xbar_rqst: self.xbar_rqst.clone(),
+            xbar_rsp: self.xbar_rsp.clone(),
+            vaults: self.vaults.clone(),
+            mem: self.mem.clone(),
+            regs: self.regs.clone(),
+            stats: self.stats.clone(),
+            power: self.power.clone(),
+            fault_rng: self.fault_rng.clone(),
+            link_up: self.link_up.clone(),
+            fault_idx: self.fault_idx,
+        }
+    }
+
+    /// Restores the device's dynamic state from a snapshot (static
+    /// parts — configuration, address map, CMC registry — are kept).
+    pub(crate) fn restore_state(&mut self, s: &crate::snapshot::DeviceSnapshot) {
+        self.xbar_rqst = s.xbar_rqst.clone();
+        self.xbar_rsp = s.xbar_rsp.clone();
+        self.vaults = s.vaults.clone();
+        self.mem = s.mem.clone();
+        self.regs = s.regs.clone();
+        self.stats = s.stats.clone();
+        self.power = s.power.clone();
+        self.fault_rng = s.fault_rng.clone();
+        self.link_up = s.link_up.clone();
+        self.fault_idx = s.fault_idx;
+    }
+
+    /// Test backdoor: pushes a response directly into a crossbar
+    /// response queue, bypassing injection accounting — used to
+    /// exercise the sanitizer's phantom-response detection.
+    #[doc(hidden)]
+    pub fn debug_inject_response(&mut self, link: usize, item: TrackedResponse) {
+        let link = link % self.config.links;
+        let _ = self.xbar_rsp[link].try_push(item);
     }
 
     /// Total crossbar-queue stall count (for diagnostics).

@@ -40,7 +40,9 @@ pub mod power;
 pub mod queue;
 pub mod regs;
 pub mod report;
+pub mod sanitizer;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod trace_analysis;
@@ -50,9 +52,13 @@ pub use config::{Arbitration, DeviceConfig, LinkTopology, SimConfig, SpecRevisio
 pub use device::{TrackedRequest, TrackedResponse};
 pub use dram::{BankTiming, RefreshConfig, RowPolicy};
 pub use fault::{FaultPlan, FaultRng, LinkErrorMode, LinkEvent};
-pub use link::{LinkConfig, LinkStats};
+pub use link::{LinkConfig, LinkStats, SendGrant};
 pub use power::{PowerConfig, PowerReport};
+pub use sanitizer::{
+    SanitizerConfig, SanitizerPolicy, SanitizerReport, Violation, ViolationKind,
+};
 pub use sim::HmcSim;
+pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::DeviceStats;
-pub use trace::{TraceBuffer, TraceLevel, Tracer};
+pub use trace::{TraceBuffer, TraceLevel, TraceRing, Tracer};
 pub use trace_analysis::{TraceEvent, TraceSummary};

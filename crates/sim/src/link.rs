@@ -49,6 +49,24 @@ pub struct LinkStats {
     pub retries: u64,
     /// Corrupted packets caught by the receive-path CRC-32K check.
     pub crc_errors: u64,
+    /// Token returns that would have pushed the pool past its
+    /// configured size. The pool is still clamped (a protocol
+    /// violation must not cascade into free tokens), but the event is
+    /// counted so the sanitizer can surface it instead of the clamp
+    /// silently masking a reverse token leak.
+    pub token_overflows: u64,
+}
+
+/// The link layer's acceptance record for one transmitted packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendGrant {
+    /// An injected transmission error: the packet must go through the
+    /// retry path instead of being delivered.
+    pub errored: bool,
+    /// The SEQ value assigned to this packet's tail. A retry replays
+    /// the packet with this SEQ intact (spec behaviour) — the retry
+    /// path never consumes a fresh sequence number.
+    pub seq: u8,
 }
 
 /// The transmitter-side state of one link.
@@ -87,11 +105,11 @@ impl LinkControl {
 
     /// Accounts for a packet entering the link. Returns `Err(())`
     /// when the transmitter is out of tokens (the caller surfaces
-    /// `HMC_STALL`), otherwise `Ok(injected_error)` telling the
-    /// caller whether this transmission must go through the retry
-    /// path instead of being delivered.
+    /// `HMC_STALL`), otherwise the [`SendGrant`] carrying the injected
+    /// error decision and the SEQ assigned to the packet's tail. A
+    /// token stall consumes no SEQ: the packet never entered the link.
     #[allow(clippy::result_unit_err)] // Err carries no data: the caller maps it to HMC_STALL
-    pub fn send(&mut self, flits: u32) -> Result<bool, ()> {
+    pub fn send(&mut self, flits: u32) -> Result<SendGrant, ()> {
         if !self.can_send(flits) {
             self.stats.token_stalls += 1;
             return Err(());
@@ -107,21 +125,31 @@ impl LinkControl {
         if errored {
             self.stats.retries += 1;
         }
-        Ok(errored)
+        Ok(SendGrant { errored, seq: self.seq })
     }
 
-    /// The SEQ value for the next outgoing tail.
+    /// The SEQ assigned to the most recently accepted packet.
     pub fn seq(&self) -> u8 {
         self.seq
     }
 
     /// Returns tokens as the receiver drains `flits` of input buffer
-    /// (the RTC return path).
+    /// (the RTC return path). An over-return past the configured pool
+    /// size is a protocol violation: the pool is clamped and the event
+    /// counted in [`LinkStats::token_overflows`] for the sanitizer.
     pub fn return_tokens(&mut self, flits: u32) {
-        self.tokens_available = self
-            .tokens_available
-            .saturating_add(flits)
-            .min(self.config.tokens.unwrap_or(u32::MAX));
+        let cap = self.config.tokens.unwrap_or(u32::MAX);
+        let sum = self.tokens_available.saturating_add(flits);
+        if sum > cap {
+            self.stats.token_overflows += 1;
+        }
+        self.tokens_available = sum.min(cap);
+    }
+
+    /// Forces the token count (sanitizer recovery only: repairs a
+    /// pool left inconsistent by a detected over- or under-return).
+    pub(crate) fn force_tokens(&mut self, tokens: u32) {
+        self.tokens_available = tokens;
     }
 
     /// The retry delay for an injected error.
@@ -138,7 +166,7 @@ mod tests {
     fn unlimited_tokens_never_stall() {
         let mut link = LinkControl::new(LinkConfig::default());
         for _ in 0..1000 {
-            assert_eq!(link.send(17), Ok(false));
+            assert!(!link.send(17).unwrap().errored);
         }
         assert_eq!(link.stats.token_stalls, 0);
         assert_eq!(link.stats.packets_sent, 1000);
@@ -150,24 +178,35 @@ mod tests {
             tokens: Some(10),
             ..Default::default()
         });
-        assert_eq!(link.send(4), Ok(false));
-        assert_eq!(link.send(4), Ok(false));
+        assert!(!link.send(4).unwrap().errored);
+        assert!(!link.send(4).unwrap().errored);
         assert!(!link.can_send(4));
         assert_eq!(link.send(4), Err(()));
         assert_eq!(link.stats.token_stalls, 1);
         link.return_tokens(4);
-        assert_eq!(link.send(4), Ok(false));
+        assert!(!link.send(4).unwrap().errored);
         assert_eq!(link.tokens_available(), 2);
+        assert_eq!(link.stats.token_overflows, 0, "legal return is not an overflow");
     }
 
     #[test]
-    fn token_return_saturates_at_pool_size() {
+    fn token_over_return_clamps_and_is_counted() {
         let mut link = LinkControl::new(LinkConfig {
             tokens: Some(10),
             ..Default::default()
         });
+        // An over-return past the pool size still clamps (the old
+        // saturating behaviour) but is now counted as the protocol
+        // violation it is instead of being silently masked.
         link.return_tokens(1000);
         assert_eq!(link.tokens_available(), 10);
+        assert_eq!(link.stats.token_overflows, 1);
+
+        // A legal return after draining does not count.
+        link.send(4).unwrap();
+        link.return_tokens(4);
+        assert_eq!(link.tokens_available(), 10);
+        assert_eq!(link.stats.token_overflows, 1);
     }
 
     #[test]
@@ -176,7 +215,7 @@ mod tests {
             error_period: Some(3),
             ..Default::default()
         });
-        let outcomes: Vec<bool> = (0..9).map(|_| link.send(2).unwrap()).collect();
+        let outcomes: Vec<bool> = (0..9).map(|_| link.send(2).unwrap().errored).collect();
         assert_eq!(
             outcomes,
             vec![false, false, true, false, false, true, false, false, true]
@@ -191,5 +230,23 @@ mod tests {
             link.send(1).unwrap();
         }
         assert_eq!(link.seq(), 1, "9 mod 8");
+    }
+
+    #[test]
+    fn errored_sends_keep_their_assigned_seq() {
+        // Packet n gets SEQ n & 7 whether or not the transmission
+        // errors: the grant pins the SEQ at first transmission so the
+        // retry path replays the packet with the original SEQ instead
+        // of consuming a fresh one.
+        let mut link = LinkControl::new(LinkConfig {
+            error_period: Some(3),
+            ..Default::default()
+        });
+        let grants: Vec<SendGrant> = (0..5).map(|_| link.send(1).unwrap()).collect();
+        let seqs: Vec<u8> = grants.iter().map(|g| g.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5], "consecutive SEQs, errored or not");
+        assert!(grants[2].errored, "third packet errors under period 3");
+        assert_eq!(grants[2].seq, 3, "the errored packet owns SEQ 3 for its replay");
+        assert_eq!(link.seq(), 5, "no extra SEQ is burned by the retry path");
     }
 }

@@ -58,6 +58,12 @@ impl<T> BoundedQueue<T> {
         self.items.front()
     }
 
+    /// Iterates over queued items, oldest first (snapshot/sanitizer
+    /// introspection; does not disturb the queue).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.items.len()

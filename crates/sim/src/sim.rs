@@ -14,44 +14,46 @@ use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
 use crate::trace::{TraceLevel, Tracer};
 use hmc_cmc::{CmcOp, CmcRegistration};
-use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Tag, TagPool};
+use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Response, Tag, TagPool};
 use std::collections::{HashSet, VecDeque};
 
 /// A packet crossing between chained devices.
-#[derive(Debug)]
-enum Transit {
+#[derive(Debug, Clone)]
+pub(crate) enum Transit {
     Rqst { to_dev: usize, link: usize, item: TrackedRequest, ready: u64 },
     Rsp { to_dev: usize, link: usize, item: TrackedResponse, ready: u64 },
 }
 
 /// A packet held in the link-layer retry buffer after an injected
 /// transmission error.
-#[derive(Debug)]
-struct RetryEntry {
-    dev: usize,
-    link: usize,
-    item: TrackedRequest,
-    ready: u64,
+#[derive(Debug, Clone)]
+pub(crate) struct RetryEntry {
+    pub(crate) dev: usize,
+    pub(crate) link: usize,
+    pub(crate) item: TrackedRequest,
+    pub(crate) ready: u64,
 }
 
 /// The HMC-Sim simulation context.
 #[derive(Debug)]
 pub struct HmcSim {
-    config: SimConfig,
-    devices: Vec<Device>,
-    cycle: u64,
-    host_rx: Vec<Vec<VecDeque<TrackedResponse>>>,
-    tag_pools: Vec<Vec<TagPool>>,
-    pool_tags: Vec<Vec<HashSet<u16>>>,
-    in_transit: Vec<Transit>,
-    links: Vec<Vec<LinkControl>>,
-    retry_pending: Vec<RetryEntry>,
+    pub(crate) config: SimConfig,
+    pub(crate) devices: Vec<Device>,
+    pub(crate) cycle: u64,
+    pub(crate) host_rx: Vec<Vec<VecDeque<TrackedResponse>>>,
+    pub(crate) tag_pools: Vec<Vec<TagPool>>,
+    pub(crate) pool_tags: Vec<Vec<HashSet<u16>>>,
+    pub(crate) in_transit: Vec<Transit>,
+    pub(crate) links: Vec<Vec<LinkControl>>,
+    pub(crate) retry_pending: Vec<RetryEntry>,
     /// Tags the host abandoned (timeout reclamation), keyed per
     /// device by `(entry_link, tag)`. The tag returns to its pool
     /// only when the stale response finally arrives, so a reused tag
     /// can never match a zombie response.
-    zombie_tags: Vec<HashSet<(usize, u16)>>,
-    tracer: Tracer,
+    pub(crate) zombie_tags: Vec<HashSet<(usize, u16)>>,
+    pub(crate) tracer: Tracer,
+    /// Attached sanitizer (`None` = zero overhead beyond this check).
+    pub(crate) sanitizer: Option<Box<crate::sanitizer::Sanitizer>>,
 }
 
 impl HmcSim {
@@ -101,7 +103,7 @@ impl HmcSim {
             })
             .collect();
         let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
-        Ok(HmcSim {
+        let mut sim = HmcSim {
             config,
             devices,
             cycle: 0,
@@ -113,7 +115,12 @@ impl HmcSim {
             retry_pending: Vec::new(),
             zombie_tags,
             tracer: Tracer::disabled(),
-        })
+            sanitizer: None,
+        };
+        if sim.config.sanitizer.enabled {
+            sim.enable_sanitizer(sim.config.sanitizer.clone());
+        }
+        Ok(sim)
     }
 
     /// The current simulation cycle.
@@ -139,9 +146,13 @@ impl HmcSim {
         self.devices.get_mut(dev).ok_or(HmcError::InvalidDevice(dev))
     }
 
-    /// Attaches a tracer.
+    /// Attaches a tracer. An active sanitizer's forensic trace ring
+    /// carries over to the new tracer.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+        if let Some(ring) = self.sanitizer.as_ref().and_then(|s| s.ring.clone()) {
+            self.tracer.attach_ring(ring);
+        }
     }
 
     /// Adjusts the trace level of the attached tracer.
@@ -182,7 +193,11 @@ impl HmcSim {
             return Err(HmcError::Stall);
         }
         let flits = req.flits() as u32;
-        let item = TrackedRequest {
+        // Shadow-accounting inputs, captured before the packet moves
+        // (only consulted when a sanitizer is attached).
+        let tag = req.head.tag.value();
+        let tracked = self.sanitizer.is_some() && request_expects_response(&self.devices, &req);
+        let mut item = TrackedRequest {
             req,
             entry_device: dev,
             entry_link: link,
@@ -190,36 +205,52 @@ impl HmcSim {
             hops: 0,
             ready_cycle: 0,
         };
-        match self.links[dev][link].send(flits) {
+        let result = match self.links[dev][link].send(flits) {
             Err(()) => {
                 self.devices[dev].count_send_stall();
                 Err(HmcError::Stall)
             }
-            Ok(true) => {
-                // Injected transmission error: the packet sits in the
-                // retry buffer and replays after the retry exchange.
-                let ready = cycle + self.links[dev][link].retry_latency();
-                self.tracer.event(
-                    TraceLevel::STALL,
-                    cycle,
-                    "RETRY",
-                    format_args!("link error injected: dev={dev} link={link}, replay at {ready}"),
-                );
-                self.update_retry_regs(dev, link);
-                self.retry_pending.push(RetryEntry { dev, link, item, ready });
-                Ok(())
-            }
-            Ok(false) => {
-                if let LinkErrorMode::Random { per_million } =
+            Ok(grant) => {
+                // The link layer owns the SEQ sequence: stamp the
+                // granted value into the packet tail. A retry replays
+                // this packet with the SEQ intact — the retry path
+                // never consumes a fresh sequence number.
+                item.req.tail.seq = grant.seq;
+                if grant.errored {
+                    // Injected transmission error: the packet sits in
+                    // the retry buffer and replays after the retry
+                    // exchange.
+                    let ready = cycle + self.links[dev][link].retry_latency();
+                    self.tracer.event(
+                        TraceLevel::STALL,
+                        cycle,
+                        "RETRY",
+                        format_args!(
+                            "link error injected: dev={dev} link={link}, replay at {ready}"
+                        ),
+                    );
+                    self.update_retry_regs(dev, link);
+                    self.retry_pending.push(RetryEntry { dev, link, item, ready });
+                    Ok(())
+                } else if let LinkErrorMode::Random { per_million } =
                     self.devices[dev].config().fault.link_error
                 {
                     if self.devices[dev].fault_rng_mut().chance(per_million) {
-                        return self.transmit_corrupted(dev, link, item);
+                        self.transmit_corrupted(dev, link, item)
+                    } else {
+                        self.devices[dev].send(link, item).map_err(|(_, e)| e)
                     }
+                } else {
+                    self.devices[dev].send(link, item).map_err(|(_, e)| e)
                 }
-                self.devices[dev].send(link, item).map_err(|(_, e)| e)
+            }
+        };
+        if result.is_ok() {
+            if let Some(san) = self.sanitizer.as_deref_mut() {
+                san.note_injected(dev, link, tag, tracked, cycle);
             }
         }
+        result
     }
 
     /// Models a random transmission error: one wire bit of the packet
@@ -558,7 +589,17 @@ impl HmcSim {
                                     rsp.entry_link
                                 ),
                             );
+                            if let Some(san) = self.sanitizer.as_deref_mut() {
+                                san.note_zombie(d, key.0, key.1, cycle);
+                            }
                             continue;
+                        }
+                        if let Some(san) = self.sanitizer.as_deref_mut() {
+                            if !san.note_delivered(d, key.0, key.1, cycle) {
+                                // Phantom response dropped under the
+                                // Recover policy.
+                                continue;
+                            }
                         }
                         rsp.complete_cycle = cycle + 1;
                         rsp.latency = (cycle + 1).saturating_sub(rsp.issue_cycle);
@@ -592,7 +633,12 @@ impl HmcSim {
 
         // Stage 3: vault execution.
         for dev in &mut self.devices {
-            dev.execute_vaults(cycle, &mut self.tracer);
+            let absorbed = dev.execute_vaults(cycle, &mut self.tracer);
+            if absorbed > 0 {
+                if let Some(san) = self.sanitizer.as_deref_mut() {
+                    san.note_absorbed(absorbed);
+                }
+            }
         }
 
         // Stage 4: crossbar request routing (+ chained forwarding).
@@ -621,6 +667,13 @@ impl HmcSim {
 
         for dev in &mut self.devices {
             dev.tick_power();
+        }
+
+        // Sanitizer boundary audit, before the counter advances so a
+        // forensic snapshot carries the violating cycle number (a
+        // restored snapshot re-runs this boundary and re-detects).
+        if self.sanitizer.is_some() {
+            self.run_sanitizer(cycle);
         }
 
         self.cycle += 1;
@@ -653,6 +706,64 @@ impl HmcSim {
             spent += 1;
         }
         spent
+    }
+
+    /// Packets currently resident anywhere in the fabric: device
+    /// queues, inter-device transit and link-layer retry buffers
+    /// (delivered host responses excluded).
+    pub(crate) fn live_packets(&self) -> u64 {
+        self.devices.iter().map(|d| d.pending_work() as u64).sum::<u64>()
+            + self.in_transit.len() as u64
+            + self.retry_pending.len() as u64
+    }
+
+    /// Replaces a link's tag pool with one of the given capacity.
+    /// Only legal while the pool has no tags in flight (shrinking a
+    /// pool under live tags would corrupt response matching).
+    pub fn configure_tag_pool(
+        &mut self,
+        dev: usize,
+        link: usize,
+        capacity: u32,
+    ) -> Result<(), HmcError> {
+        let pool = self
+            .tag_pools
+            .get_mut(dev)
+            .ok_or(HmcError::InvalidDevice(dev))?
+            .get_mut(link)
+            .ok_or(HmcError::InvalidLink(link))?;
+        if pool.in_flight() != 0 {
+            return Err(HmcError::MalformedPacket(format!(
+                "tag pool dev {dev} link {link} has {} tags in flight",
+                pool.in_flight()
+            )));
+        }
+        *pool = TagPool::with_capacity(capacity);
+        Ok(())
+    }
+
+    /// Test backdoor: returns tokens to a link's pool outside the
+    /// normal drain path — a deliberate protocol violation used to
+    /// exercise the sanitizer's token checks.
+    #[doc(hidden)]
+    pub fn debug_force_return_tokens(&mut self, dev: usize, link: usize, flits: u32) {
+        self.links[dev][link].return_tokens(flits);
+    }
+
+    /// Test backdoor: plants a response in a device's crossbar
+    /// response queue that no request ever generated — a phantom, for
+    /// exercising the sanitizer's causality check.
+    #[doc(hidden)]
+    pub fn debug_inject_phantom_response(&mut self, dev: usize, link: usize, rsp: Response) {
+        let item = TrackedResponse {
+            rsp,
+            issue_cycle: self.cycle,
+            complete_cycle: 0,
+            latency: 0,
+            entry_device: dev,
+            entry_link: link,
+        };
+        self.devices[dev].debug_inject_response(link, item);
     }
 
     // ------------------------------------------------------------------
@@ -758,6 +869,26 @@ impl HmcSim {
     /// `(row_hits, row_misses)`.
     pub fn row_buffer_stats(&self, dev: usize) -> Result<(u64, u64), HmcError> {
         Ok(self.device(dev)?.row_buffer_stats())
+    }
+}
+
+/// Whether a request will eventually generate a response the host
+/// must receive (sanitizer shadow accounting): posted commands and
+/// flow packets never answer; CMC postedness comes from the target
+/// device's registry, with unknown codes treated as non-posted (the
+/// device answers them with an error response).
+fn request_expects_response(devices: &[Device], req: &Request) -> bool {
+    match req.head.cmd {
+        HmcRqst::Cmc(code) => devices
+            .get(req.head.cub.value() as usize)
+            .map(|d| {
+                d.cmc()
+                    .lookup(code)
+                    .map(|op| !op.registration().is_posted())
+                    .unwrap_or(true)
+            })
+            .unwrap_or(true),
+        cmd => !cmd.is_posted() && cmd.kind() != hmc_types::CmdKind::Flow,
     }
 }
 

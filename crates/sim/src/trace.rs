@@ -98,6 +98,58 @@ impl TraceBuffer {
     }
 }
 
+/// A bounded ring buffer of recent trace lines, shared between the
+/// tracer and the sanitizer's forensic-dump machinery. Unlike the
+/// sinks, an attached ring captures *every* event class regardless of
+/// the tracer's level mask, so a forensic dump carries the events
+/// leading up to a violation even when user-facing tracing is off.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    lines: std::collections::VecDeque<String>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring holding the most recent `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                lines: std::collections::VecDeque::with_capacity(capacity),
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
+    /// Snapshot of the retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("trace ring lock");
+        inner.lines.iter().cloned().collect()
+    }
+
+    /// Number of retained lines.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring lock").lines.len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(&self, line: &str) {
+        let mut inner = self.inner.lock().expect("trace ring lock");
+        if inner.lines.len() >= inner.capacity {
+            inner.lines.pop_front();
+        }
+        inner.lines.push_back(line.to_owned());
+    }
+}
+
 enum Sink {
     Null,
     Buffer(TraceBuffer),
@@ -119,6 +171,8 @@ impl fmt::Debug for Sink {
 pub struct Tracer {
     level: TraceLevel,
     sink: Sink,
+    /// Optional forensic ring; captures all classes when attached.
+    ring: Option<TraceRing>,
 }
 
 impl Default for Tracer {
@@ -130,17 +184,28 @@ impl Default for Tracer {
 impl Tracer {
     /// A tracer that records nothing.
     pub fn disabled() -> Self {
-        Tracer { level: TraceLevel::NONE, sink: Sink::Null }
+        Tracer { level: TraceLevel::NONE, sink: Sink::Null, ring: None }
     }
 
     /// Traces into a shared in-memory buffer.
     pub fn to_buffer(level: TraceLevel, buffer: TraceBuffer) -> Self {
-        Tracer { level, sink: Sink::Buffer(buffer) }
+        Tracer { level, sink: Sink::Buffer(buffer), ring: None }
     }
 
     /// Traces into any writer (e.g. a file), one line per event.
     pub fn to_writer(level: TraceLevel, writer: Box<dyn Write + Send>) -> Self {
-        Tracer { level, sink: Sink::Writer(writer) }
+        Tracer { level, sink: Sink::Writer(writer), ring: None }
+    }
+
+    /// Attaches a forensic ring that captures every event class
+    /// independently of the level mask.
+    pub fn attach_ring(&mut self, ring: TraceRing) {
+        self.ring = Some(ring);
+    }
+
+    /// Detaches the forensic ring, if any.
+    pub fn detach_ring(&mut self) {
+        self.ring = None;
     }
 
     /// The active level mask.
@@ -161,11 +226,22 @@ impl Tracer {
 
     /// Records one event line in HMC-Sim's trace format:
     /// `HMCSIM_TRACE : <cycle> : <CLASS> : <detail>`.
+    ///
+    /// The sink receives the line only when `class` is enabled; an
+    /// attached forensic ring receives it unconditionally.
     pub fn event(&mut self, class: TraceLevel, cycle: u64, tag: &str, detail: fmt::Arguments<'_>) {
-        if !self.enabled(class) {
+        let sink_on = self.enabled(class);
+        let ring_on = self.ring.is_some();
+        if !sink_on && !ring_on {
             return;
         }
         let line = format!("HMCSIM_TRACE : {cycle} : {tag} : {detail}");
+        if let Some(ring) = &self.ring {
+            ring.record(&line);
+        }
+        if !sink_on {
+            return;
+        }
         match &mut self.sink {
             Sink::Null => {}
             Sink::Buffer(buf) => buf.record(line),
@@ -207,6 +283,24 @@ mod tests {
         let mut t = Tracer::disabled();
         assert!(!t.enabled(TraceLevel::CMD));
         t.event(TraceLevel::CMD, 0, "RQST", format_args!("dropped"));
+    }
+
+    #[test]
+    fn ring_captures_all_classes_and_bounds_length() {
+        let ring = TraceRing::new(3);
+        let mut t = Tracer::disabled();
+        t.attach_ring(ring.clone());
+        // The level mask is NONE, but the ring still captures events.
+        for i in 0..5 {
+            t.event(TraceLevel::FAULT, i, "FAULT", format_args!("ev{i}"));
+        }
+        assert_eq!(ring.len(), 3, "ring retains only the newest lines");
+        let lines = ring.lines();
+        assert!(lines[0].contains("ev2"));
+        assert!(lines[2].contains("ev4"));
+        t.detach_ring();
+        t.event(TraceLevel::FAULT, 9, "FAULT", format_args!("after detach"));
+        assert_eq!(ring.len(), 3);
     }
 
     #[test]

@@ -106,6 +106,47 @@ impl TagPool {
     pub fn available(&self) -> usize {
         self.free.len()
     }
+
+    /// The pool's configured capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// True when `tag` is currently in flight (acquired and not yet
+    /// released). Tags outside the pool's range are never live.
+    pub fn is_live(&self, tag: Tag) -> bool {
+        self.in_flight.get(tag.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Checks the pool's internal consistency: the free list and the
+    /// in-flight map must partition the capacity exactly, with no tag
+    /// both free and marked in flight and no duplicate free entries.
+    /// Returns a description of the first inconsistency found.
+    pub fn audit(&self) -> Result<(), String> {
+        let live = self.in_flight.iter().filter(|&&b| b).count();
+        if self.free.len() + live != self.capacity as usize {
+            return Err(format!(
+                "free ({}) + live ({live}) != capacity ({})",
+                self.free.len(),
+                self.capacity
+            ));
+        }
+        let mut seen = vec![false; self.capacity as usize];
+        for tag in &self.free {
+            let idx = tag.0 as usize;
+            if idx >= self.capacity as usize {
+                return Err(format!("free tag {} outside capacity {}", tag.0, self.capacity));
+            }
+            if self.in_flight[idx] {
+                return Err(format!("tag {} is both free and in flight", tag.0));
+            }
+            if seen[idx] {
+                return Err(format!("tag {} duplicated on the free list", tag.0));
+            }
+            seen[idx] = true;
+        }
+        Ok(())
+    }
 }
 
 impl Default for TagPool {
@@ -159,5 +200,46 @@ mod tests {
         assert_eq!(pool.available(), TAG_SPACE as usize);
         let t = pool.acquire().unwrap();
         assert_eq!(t.value(), 0);
+    }
+
+    #[test]
+    fn introspection_tracks_liveness() {
+        let mut pool = TagPool::with_capacity(3);
+        assert_eq!(pool.capacity(), 3);
+        let a = pool.acquire().unwrap();
+        assert!(pool.is_live(a));
+        assert!(!pool.is_live(Tag(2)));
+        assert!(!pool.is_live(Tag(100)), "out-of-range tag is never live");
+        pool.release(a).unwrap();
+        assert!(!pool.is_live(a));
+    }
+
+    #[test]
+    fn audit_accepts_consistent_pools() {
+        let mut pool = TagPool::with_capacity(8);
+        pool.audit().unwrap();
+        let a = pool.acquire().unwrap();
+        let _ = pool.acquire().unwrap();
+        pool.audit().unwrap();
+        pool.release(a).unwrap();
+        pool.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_detects_corruption() {
+        let mut pool = TagPool::with_capacity(4);
+        let a = pool.acquire().unwrap();
+        // Simulate a double-add of a live tag onto the free list.
+        pool.free.push_back(a);
+        let err = pool.audit().unwrap_err();
+        assert!(err.contains("!= capacity"), "got: {err}");
+
+        // A tag marked in flight while still on the free list.
+        let mut pool = TagPool::with_capacity(4);
+        let _ = pool.acquire().unwrap();
+        pool.in_flight[0] = false;
+        pool.in_flight[1] = true;
+        let err = pool.audit().unwrap_err();
+        assert!(err.contains("free and in flight"), "got: {err}");
     }
 }

@@ -129,12 +129,43 @@ pub struct ReplayConfig {
     pub window: usize,
     /// Cycle budget.
     pub max_cycles: u64,
+    /// Take a [`ReplayCheckpoint`] every this many device cycles
+    /// (`0` disables checkpointing).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { window: 64, max_cycles: 50_000_000 }
+        ReplayConfig { window: 64, max_cycles: 50_000_000, checkpoint_every: 0 }
     }
+}
+
+/// A resumable mid-replay checkpoint: the device snapshot plus the
+/// replayer's own cursor state. Feed it back to [`replay_resumable`]
+/// (on the same or a freshly constructed identical device) to
+/// continue the run deterministically — the crash-forensics workflow
+/// from the sanitizer (§IV robustness extension) applied to
+/// trace-driven simulation.
+#[derive(Debug, Clone)]
+pub struct ReplayCheckpoint {
+    /// Device cycle at which the checkpoint was taken.
+    pub cycle: u64,
+    /// Index of the next trace op to issue.
+    pub cursor: usize,
+    /// Requests issued so far.
+    pub issued: u64,
+    /// Responses received so far.
+    pub completed: u64,
+    /// Data bytes moved so far.
+    pub data_bytes: u64,
+    /// Outstanding `(link, tag)` pairs awaiting responses.
+    pub inflight: Vec<(usize, u16)>,
+    /// Device cycle when the replay originally started.
+    pub start_cycle: u64,
+    /// Link FLIT counter baseline at replay start.
+    pub flits_base: u64,
+    /// Full device snapshot.
+    pub snapshot: hmc_sim::SimSnapshot,
 }
 
 /// Outcome of a trace replay.
@@ -162,18 +193,56 @@ pub fn replay(
     ops: &[TraceOp],
     config: &ReplayConfig,
 ) -> Result<ReplayResult, HmcError> {
-    let links = sim.device_config(0)?.links;
-    let flits_before = {
-        let s = sim.stats(0)?;
-        s.rqst_flits + s.rsp_flits
-    };
-    let start_cycle = sim.cycle();
+    replay_resumable(sim, ops, config, None).map(|(result, _)| result)
+}
 
-    let mut cursor = 0usize;
-    let mut inflight: HashMap<(usize, u16), ()> = HashMap::new();
-    let mut issued = 0u64;
-    let mut completed = 0u64;
-    let mut data_bytes = 0u64;
+/// [`replay`] with checkpoint/resume support.
+///
+/// When `config.checkpoint_every > 0` a [`ReplayCheckpoint`] is taken
+/// at that cycle cadence and the most recent one is returned. Passing
+/// a checkpoint back as `resume` restores the device ([`HmcSim::restore`])
+/// and the replay cursor, and continues the run; a resumed run produces
+/// the same final device state as an uninterrupted one.
+pub fn replay_resumable(
+    sim: &mut HmcSim,
+    ops: &[TraceOp],
+    config: &ReplayConfig,
+    resume: Option<ReplayCheckpoint>,
+) -> Result<(ReplayResult, Option<ReplayCheckpoint>), HmcError> {
+    let links = sim.device_config(0)?.links;
+
+    let mut cursor;
+    let mut inflight: HashMap<(usize, u16), ()>;
+    let mut issued;
+    let mut completed;
+    let mut data_bytes;
+    let start_cycle;
+    let flits_before;
+    match resume {
+        Some(ckpt) => {
+            sim.restore(&ckpt.snapshot)?;
+            cursor = ckpt.cursor;
+            inflight = ckpt.inflight.into_iter().map(|k| (k, ())).collect();
+            issued = ckpt.issued;
+            completed = ckpt.completed;
+            data_bytes = ckpt.data_bytes;
+            start_cycle = ckpt.start_cycle;
+            flits_before = ckpt.flits_base;
+        }
+        None => {
+            cursor = 0;
+            inflight = HashMap::new();
+            issued = 0;
+            completed = 0;
+            data_bytes = 0;
+            start_cycle = sim.cycle();
+            flits_before = {
+                let s = sim.stats(0)?;
+                s.rqst_flits + s.rsp_flits
+            };
+        }
+    }
+    let mut last_checkpoint = None;
 
     while cursor < ops.len() || !inflight.is_empty() {
         if sim.cycle() - start_cycle > config.max_cycles {
@@ -210,6 +279,23 @@ pub fn replay(
             }
         }
         sim.clock();
+        if config.checkpoint_every > 0
+            && (sim.cycle() - start_cycle).is_multiple_of(config.checkpoint_every)
+        {
+            let mut pending: Vec<(usize, u16)> = inflight.keys().copied().collect();
+            pending.sort_unstable();
+            last_checkpoint = Some(ReplayCheckpoint {
+                cycle: sim.cycle(),
+                cursor,
+                issued,
+                completed,
+                data_bytes,
+                inflight: pending,
+                start_cycle,
+                flits_base: flits_before,
+                snapshot: sim.snapshot(),
+            });
+        }
     }
     sim.drain(1_000_000);
 
@@ -218,14 +304,17 @@ pub fn replay(
         let s = sim.stats(0)?;
         s.rqst_flits + s.rsp_flits
     };
-    Ok(ReplayResult {
-        issued,
-        completed,
-        cycles,
-        link_flits: flits_after - flits_before,
-        data_bytes,
-        bytes_per_cycle: data_bytes as f64 / cycles.max(1) as f64,
-    })
+    Ok((
+        ReplayResult {
+            issued,
+            completed,
+            cycles,
+            link_flits: flits_after - flits_before,
+            data_bytes,
+            bytes_per_cycle: data_bytes as f64 / cycles.max(1) as f64,
+        },
+        last_checkpoint,
+    ))
 }
 
 /// Generates a synthetic trace: `threads` interleaved streams, each
@@ -313,6 +402,35 @@ A XOR16 0x80
         assert_eq!(result.completed, 8 * 32, "no posted ops in this pattern");
         assert!(result.bytes_per_cycle > 0.0);
         assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_run() {
+        let config = ReplayConfig { checkpoint_every: 20, ..Default::default() };
+        let ops = synthetic_trace(4, 32, 64);
+
+        // Uninterrupted run, collecting the last mid-run checkpoint.
+        let mut full = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let (full_result, ckpt) = replay_resumable(&mut full, &ops, &config, None).unwrap();
+        let ckpt = ckpt.expect("checkpoints were taken");
+        assert!(ckpt.cursor > 0 && ckpt.cursor <= ops.len());
+        assert!(ckpt.cycle > 0 && ckpt.cycle.is_multiple_of(20));
+
+        // "Crash": a brand-new device resumes from the checkpoint and
+        // must converge to the same final state and totals.
+        let mut resumed = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let (resumed_result, _) =
+            replay_resumable(&mut resumed, &ops, &config, Some(ckpt)).unwrap();
+        assert_eq!(resumed_result.issued, full_result.issued);
+        assert_eq!(resumed_result.completed, full_result.completed);
+        assert_eq!(resumed_result.data_bytes, full_result.data_bytes);
+        assert_eq!(resumed_result.cycles, full_result.cycles);
+        assert_eq!(resumed_result.link_flits, full_result.link_flits);
+        assert_eq!(
+            resumed.state_fingerprint(),
+            full.state_fingerprint(),
+            "resumed replay is bit-identical to the uninterrupted one"
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use hmc_workloads as workloads;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use hmc_cmc::{CmcContext, CmcOp, CmcRegistration};
-    pub use hmc_sim::{DeviceConfig, HmcSim, LinkTopology, TraceLevel};
+    pub use hmc_sim::{
+        DeviceConfig, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy, TraceLevel,
+    };
     pub use hmc_types::{
         Cub, Flit, HmcError, HmcResponse, HmcRqst, Request, Response, Slid, Tag,
     };

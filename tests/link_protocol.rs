@@ -126,3 +126,43 @@ fn retry_trace_events_recorded() {
     sim.run_until_response(0, 0, tag, 1000).unwrap();
     assert_eq!(buf.grep("link error injected").len(), 1);
 }
+
+#[test]
+fn retries_replay_with_their_original_seq() {
+    // An errored transmission waits in the retry buffer carrying the
+    // SEQ it was first assigned; the replay must reuse it rather than
+    // burn a fresh one, or the receiver-side sequence would gap.
+    let mut cfg = DeviceConfig::gen2_4link_4gb();
+    cfg.link_config = LinkConfig {
+        error_period: Some(3),
+        retry_latency: 8,
+        ..Default::default()
+    };
+    let mut sim = HmcSim::new(cfg).unwrap();
+    let mut tags = Vec::new();
+    for i in 0..3u64 {
+        tags.push(
+            sim.send_simple(0, 0, HmcRqst::Rd16, i * 0x100, vec![])
+                .unwrap()
+                .unwrap(),
+        );
+    }
+    // SEQ numbering starts at 1; the third packet (SEQ 3) hit the
+    // scheduled wire error and is parked for retry.
+    let snap = sim.snapshot();
+    let retries = snap.retry_seqs(0);
+    assert_eq!(retries.len(), 1, "one packet parked for retry");
+    assert_eq!(retries[0].1, 3, "the retry keeps its original SEQ");
+
+    for (i, tag) in tags.into_iter().enumerate() {
+        let rsp = sim.run_until_response(0, 0, tag, 1000).unwrap();
+        assert_eq!(rsp.rsp.head.cmd, HmcResponse::RdRs, "packet {i} completes");
+    }
+    assert_eq!(sim.link_stats(0, 0).unwrap().retries, 1);
+    // The next wire packet continues the sequence with no gap: SEQ 4
+    // (not 5, which a fresh-SEQ replay would have produced).
+    sim.send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![]).unwrap().unwrap();
+    let seqs = sim.snapshot().request_seqs(0);
+    assert_eq!(seqs.len(), 1);
+    assert_eq!(seqs[0].1, 4, "sequence continues without a burned SEQ");
+}

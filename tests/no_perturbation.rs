@@ -39,3 +39,33 @@ fn pinned_two_thread_algorithm_floor() {
     let m = metrics(2);
     assert_eq!(m.min_cycle(), 6, "the paper's Table VI anchor");
 }
+
+#[test]
+fn sanitizer_report_mode_is_zero_perturbation() {
+    // The sanitizer only observes: a run under `Report` must be
+    // bit-identical to an unsanitized run — same pinned metrics, same
+    // cycle count, same full device-state fingerprint.
+    ops::register_builtin_libraries();
+    let run = |sanitize: bool| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        if sanitize {
+            sim.enable_sanitizer(SanitizerConfig::report());
+        }
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        let violations = sim.sanitizer_report().map(|r| r.total_violations);
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint(), violations)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.0, on.0, "min latency unchanged");
+    assert_eq!(off.1, on.1, "max latency unchanged");
+    assert_eq!(off.2, on.2, "avg latency unchanged");
+    assert_eq!(off.3, on.3, "cycle count unchanged");
+    assert_eq!(off.4, on.4, "device state bit-identical under the sanitizer");
+    assert_eq!(off.5, None);
+    assert_eq!(on.5, Some(0), "and the audited run is invariant-clean");
+}
