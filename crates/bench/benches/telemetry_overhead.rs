@@ -1,0 +1,62 @@
+//! Telemetry overhead guard: disabled telemetry must cost nothing
+//! (one `Option` branch per cycle), counters-only a hair, and full
+//! spans + windowed series a modest constant. Compare the
+//! `loaded_cycle/off`, `loaded_cycle/counters` and
+//! `loaded_cycle/spans` groups to quantify it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hmc_sim::{DeviceConfig, HmcSim, TelemetryConfig};
+use hmc_types::HmcRqst;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// One steady-state step: keep four reads in flight (one per link)
+/// and clock once — the hot loop every workload pays.
+fn loaded_step(sim: &mut HmcSim, inflight: &mut Vec<(usize, hmc_types::Tag)>) {
+    while inflight.len() < 4 {
+        let link = inflight.len() % 4;
+        match sim.send_simple(0, link, HmcRqst::Rd16, 0x40 + link as u64 * 0x100, vec![]) {
+            Ok(Some(tag)) => inflight.push((link, tag)),
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+    sim.clock();
+    inflight.retain(|&(link, tag)| sim.recv_tag(0, link, tag).is_none());
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+
+    let variants: [(&str, Option<TelemetryConfig>); 3] = [
+        ("off", None),
+        ("counters", Some(TelemetryConfig::counters_only())),
+        ("spans", Some(TelemetryConfig::full())),
+    ];
+    for (name, config) in variants {
+        group.bench_function(format!("loaded_cycle/{name}"), |b| {
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            if let Some(cfg) = &config {
+                sim.enable_telemetry(cfg.clone());
+            }
+            let mut inflight = Vec::new();
+            b.iter(|| {
+                loaded_step(&mut sim, &mut inflight);
+                black_box(sim.cycle())
+            })
+        });
+        group.bench_function(format!("idle_cycle/{name}"), |b| {
+            let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+            if let Some(cfg) = &config {
+                sim.enable_telemetry(cfg.clone());
+            }
+            b.iter(|| black_box(sim.clock()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -29,8 +29,8 @@ fn main() {
             .map(|w| w[1].clone())
     };
     let metric = arg("--metric").unwrap_or_else(|| "all".into());
-    if !matches!(metric.as_str(), "all" | "min" | "max" | "avg") {
-        eprintln!("error: unknown --metric '{metric}' (expected all|min|max|avg)");
+    if !matches!(metric.as_str(), "all" | "min" | "max" | "avg" | "p50" | "p99") {
+        eprintln!("error: unknown --metric '{metric}' (expected all|min|max|avg|p50|p99)");
         std::process::exit(2);
     }
     let spin = match arg("--spin").as_deref() {
@@ -82,5 +82,11 @@ fn main() {
     }
     if metric == "all" || metric == "avg" {
         emit("average", "Figure 7", &|p| format!("{:.2}", p.avg));
+    }
+    if metric == "all" || metric == "p50" {
+        emit("median", "p50 series", &|p| p.p50.to_string());
+    }
+    if metric == "all" || metric == "p99" {
+        emit("p99", "p99 series", &|p| p.p99.to_string());
     }
 }

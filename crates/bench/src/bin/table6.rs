@@ -40,6 +40,8 @@ fn main() {
         "(at threads)",
         "Worst Avg Cycle Count",
         "(at threads)",
+        "Worst p99",
+        "(at threads)",
     ]);
     let mut worst = Vec::new();
     for config in [DeviceConfig::gen2_4link_4gb(), DeviceConfig::gen2_8link_8gb()] {
@@ -53,6 +55,8 @@ fn main() {
             summary.max_cycle_at.to_string(),
             format!("{:.2}", summary.max_avg_cycle),
             summary.max_avg_at.to_string(),
+            summary.max_p99.to_string(),
+            summary.max_p99_at.to_string(),
         ]);
     }
     print!("{}", table.render());

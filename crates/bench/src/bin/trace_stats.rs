@@ -50,6 +50,24 @@ fn main() {
     };
     let summary = TraceSummary::from_lines(lines.iter().map(String::as_str));
     print!("{}", summary.render());
+    // Latency distribution from the shared log2 histogram (the old
+    // ad-hoc sort-and-index percentile code lived here; the quantiles
+    // now come from `Hist` along with the bucket table).
+    let hist = &summary.latency;
+    if !hist.is_empty() {
+        println!(
+            "latency quantiles: p50 {} / p90 {} / p99 {} / p999 {}",
+            hist.p50(),
+            hist.p90(),
+            hist.p99(),
+            hist.p999()
+        );
+        println!("latency buckets (<= bound: count):");
+        for (upper, count) in hist.nonzero_buckets() {
+            let bar = "#".repeat(((count * 40).div_ceil(hist.count())) as usize);
+            println!("  <= {upper:>8} : {count:>6} {bar}");
+        }
+    }
     if summary.skipped_lines > 0 {
         println!("({} non-trace lines skipped)", summary.skipped_lines);
     }

@@ -1,6 +1,6 @@
 //! The mutex-kernel thread sweep behind Table VI and Figures 5–7.
 
-use hmc_sim::{DeviceConfig, HmcSim};
+use hmc_sim::{DeviceConfig, Hist, HmcSim};
 use hmc_workloads::{MutexKernel, MutexKernelConfig, SpinPolicy};
 
 /// One point of the thread sweep.
@@ -14,6 +14,10 @@ pub struct SweepPoint {
     pub max: u64,
     /// AVG_CYCLE — mean completion cycle.
     pub avg: f64,
+    /// Median per-thread completion cycle.
+    pub p50: u64,
+    /// 99th-percentile per-thread completion cycle.
+    pub p99: u64,
 }
 
 /// Builds a fresh simulation context with the mutex library loaded.
@@ -35,11 +39,17 @@ pub fn mutex_point(config: &DeviceConfig, spin: SpinPolicy, threads: usize) -> S
     });
     let result = kernel.run(&mut sim).expect("mutex kernel runs");
     assert_eq!(result.metrics.unfinished, 0, "threads must finish");
+    let mut hist = Hist::new();
+    for &c in &result.metrics.per_thread_cycles {
+        hist.record(c);
+    }
     SweepPoint {
         threads,
         min: result.metrics.min_cycle(),
         max: result.metrics.max_cycle(),
         avg: result.metrics.avg_cycle(),
+        p50: hist.p50(),
+        p99: hist.p99(),
     }
 }
 
@@ -70,6 +80,10 @@ pub struct SweepSummary {
     pub max_avg_cycle: f64,
     /// Thread count where the largest AVG_CYCLE occurred.
     pub max_avg_at: usize,
+    /// Largest per-thread p99 completion cycle across the sweep.
+    pub max_p99: u64,
+    /// Thread count where the largest p99 occurred.
+    pub max_p99_at: usize,
 }
 
 /// Summarizes a sweep into its Table VI row.
@@ -86,12 +100,15 @@ pub fn summarize(points: &[SweepPoint]) -> SweepSummary {
         .iter()
         .max_by(|a, b| a.avg.partial_cmp(&b.avg).expect("finite"))
         .expect("nonempty");
+    let p99_point = points.iter().max_by_key(|p| p.p99).expect("nonempty");
     SweepSummary {
         min_cycle,
         max_cycle: max_point.max,
         max_cycle_at: max_point.threads,
         max_avg_cycle: avg_point.avg,
         max_avg_at: avg_point.threads,
+        max_p99: p99_point.p99,
+        max_p99_at: p99_point.threads,
     }
 }
 
@@ -114,6 +131,10 @@ mod tests {
         let summary = summarize(&points);
         assert_eq!(summary.min_cycle, 6);
         assert!(summary.max_cycle >= 6);
+        for p in &points {
+            assert!(p.min <= p.p50 && p.p50 <= p.p99 && p.p99 <= p.max);
+        }
+        assert!(summary.max_p99 <= summary.max_cycle);
     }
 
     #[test]

@@ -243,6 +243,10 @@ pub struct SimConfig {
     /// Invariant-checking sanitizer (disabled by default — a disabled
     /// sanitizer is guaranteed zero-perturbation).
     pub sanitizer: crate::sanitizer::SanitizerConfig,
+    /// Telemetry registry (disabled by default — disabled telemetry is
+    /// guaranteed zero-perturbation, and even enabled telemetry only
+    /// observes).
+    pub telemetry: crate::telemetry::TelemetryConfig,
 }
 
 impl SimConfig {
@@ -252,6 +256,7 @@ impl SimConfig {
             devices: vec![device],
             topology: LinkTopology::HostOnly,
             sanitizer: Default::default(),
+            telemetry: Default::default(),
         }
     }
 
@@ -261,6 +266,7 @@ impl SimConfig {
             devices: std::iter::repeat_n(device, n).collect(),
             topology: LinkTopology::Chain,
             sanitizer: Default::default(),
+            telemetry: Default::default(),
         }
     }
 
@@ -338,6 +344,7 @@ mod tests {
             devices: vec![],
             topology: LinkTopology::HostOnly,
             sanitizer: Default::default(),
+            telemetry: Default::default(),
         };
         assert!(empty.validate().is_err());
     }

@@ -51,6 +51,10 @@ pub struct TrackedRequest {
     /// Earliest cycle the vault may execute this request (set by the
     /// crossbar when the target quad is remote to the entry link).
     pub ready_cycle: u64,
+    /// Cycle the crossbar handed the request to its vault queue
+    /// (lifecycle span stamp; written unconditionally so telemetry
+    /// state never influences simulation state).
+    pub vault_enq_cycle: u64,
 }
 
 /// A response in flight, annotated with completion data.
@@ -69,6 +73,13 @@ pub struct TrackedResponse {
     pub entry_device: usize,
     /// The link the response must be delivered on.
     pub entry_link: usize,
+    /// Command class of the originating request (per-class latency
+    /// accounting).
+    pub class: crate::stats::CmdClass,
+    /// Pipeline-stage timestamps for the lifecycle span (written
+    /// unconditionally; only *recorded* into histograms when telemetry
+    /// is enabled).
+    pub stages: crate::telemetry::StageStamps,
 }
 
 /// One vault: request/response queues plus per-bank busy tracking.
@@ -371,7 +382,8 @@ impl Device {
                         ),
                     );
                 }
-                let rsp = vault.rsp.pop().expect("peeked");
+                let mut rsp = vault.rsp.pop().expect("peeked");
+                rsp.stages.rsp_route = cycle;
                 self.xbar_rsp[link]
                     .try_push(rsp)
                     .expect("checked not full");
@@ -381,7 +393,7 @@ impl Device {
 
     /// Stage 2: crossbar response queues → egress (host delivery or
     /// chained return). The simulation context completes delivery.
-    pub(crate) fn drain_responses(&mut self, _cycle: u64) -> Vec<Egress> {
+    pub(crate) fn drain_responses(&mut self, cycle: u64) -> Vec<Egress> {
         let mut out = Vec::new();
         for link in 0..self.config.links {
             if !self.link_up[link] {
@@ -390,7 +402,8 @@ impl Device {
                 continue;
             }
             for _ in 0..self.config.link_bandwidth {
-                let Some(rsp) = self.xbar_rsp[link].pop() else { break };
+                let Some(mut rsp) = self.xbar_rsp[link].pop() else { break };
+                rsp.stages.egress = cycle;
                 let flits = rsp.rsp.flits() as u64;
                 if rsp.entry_device == self.id {
                     self.stats.rsp_flits += flits;
@@ -505,6 +518,12 @@ impl Device {
                                 latency: 0,
                                 entry_device: item.entry_device,
                                 entry_link: item.entry_link,
+                                class: crate::stats::CmdClass::of(item.req.head.cmd.kind()),
+                                stages: crate::telemetry::StageStamps {
+                                    vault_enq: item.vault_enq_cycle,
+                                    exec: cycle,
+                                    ..Default::default()
+                                },
                             })
                             .expect("rsp queue checked above");
                     } else {
@@ -546,6 +565,12 @@ impl Device {
                             latency: 0,
                             entry_device: item.entry_device,
                             entry_link: item.entry_link,
+                            class: crate::stats::CmdClass::of(item.req.head.cmd.kind()),
+                            stages: crate::telemetry::StageStamps {
+                                vault_enq: item.vault_enq_cycle,
+                                exec: cycle,
+                                ..Default::default()
+                            },
                         })
                         .expect("rsp queue checked above");
                 } else {
@@ -595,6 +620,7 @@ impl Device {
                     break;
                 }
                 let mut item = self.xbar_rqst[link].pop().expect("peeked");
+                item.vault_enq_cycle = cycle;
                 out.freed_flits[link] += item.req.flits() as u64;
                 // Quad affinity: link i is local to quad i % quads;
                 // requests for other quads pay the crossing penalty.
@@ -760,10 +786,23 @@ impl Device {
         self.power.add_cycles(1);
     }
 
-    /// Records a completed-request latency (delivery happens at the
-    /// context level, but the counter belongs to the entry device).
-    pub(crate) fn stats_latency(&mut self, latency: u64) {
-        self.stats.latency.record(latency);
+    /// Records a completed-request latency under its command class
+    /// (delivery happens at the context level, but the counter belongs
+    /// to the entry device).
+    pub(crate) fn record_latency(&mut self, class: crate::stats::CmdClass, latency: u64) {
+        self.stats.record_latency(class, latency);
+    }
+
+    /// Total occupancy of all vault request queues (the telemetry
+    /// queue-occupancy time series samples this once per window).
+    pub fn vault_rqst_occupancy(&self) -> u64 {
+        self.vaults.iter().map(|v| v.rqst.len() as u64).sum()
+    }
+
+    /// Cumulative requests accepted into vault request queues (queue
+    /// throughput for the telemetry registry).
+    pub fn vault_rqst_pushes(&self) -> u64 {
+        self.vaults.iter().map(|v| v.rqst.pushes()).sum()
     }
 }
 
@@ -1008,7 +1047,15 @@ mod tests {
     use hmc_types::Tag;
 
     fn tracked(req: Request) -> TrackedRequest {
-        TrackedRequest { req, entry_device: 0, entry_link: 0, issue_cycle: 0, hops: 0, ready_cycle: 0 }
+        TrackedRequest {
+            req,
+            entry_device: 0,
+            entry_link: 0,
+            issue_cycle: 0,
+            hops: 0,
+            ready_cycle: 0,
+            vault_enq_cycle: 0,
+        }
     }
 
     fn device() -> Device {

@@ -1,0 +1,258 @@
+//! Log2-bucketed mergeable latency histograms.
+//!
+//! [`Hist`] is the distribution primitive behind every latency and
+//! stage-duration metric in the telemetry layer: recording is
+//! integer-only (one `leading_zeros`, one array increment — no floats
+//! on the hot path), two histograms merge by elementwise addition, and
+//! quantiles resolve to a bucket upper bound clamped into the recorded
+//! `[min, max]` range, which makes `quantile(p)` monotone in `p` and
+//! always bounded by the true extremes.
+
+/// Number of buckets: one for zero plus one per power-of-two range
+/// (`[2^k, 2^(k+1))` for `k` in `0..64`).
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i` (for `i >= 1`) holds
+/// values in `[2^(i-1), 2^i - 1]` (the last bucket tops out at
+/// `u64::MAX`). Exact count, sum, minimum and maximum ride along, so
+/// means and extremes are not subject to bucketing error — only the
+/// interior quantiles are, and those are bounded by one bucket width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` sentinel while empty.
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a value lands in.
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i`.
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample. Integer-only: safe on the simulation hot
+    /// path.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_index(v)] += 1;
+    }
+
+    /// Merges another histogram into this one. Elementwise addition
+    /// plus min/max combination, so merging is associative and
+    /// commutative and parallel shards can be combined in any order.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.min }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty). Query-path
+    /// only — no float ever touches `record`.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`, clamped): the upper bound of
+    /// the bucket holding the sample of rank `ceil(p * count)`,
+    /// clamped into `[min, max]`. Monotone in `p` and bounded by the
+    /// recorded extremes; 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Hist::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
+    /// ascending — the exporter's view.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let mut h = Hist::new();
+        for v in [6, 10, 2] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 2);
+        assert_eq!(h.max(), 10);
+        assert!((h.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_index(0), 0);
+        assert_eq!(Hist::bucket_index(1), 1);
+        assert_eq!(Hist::bucket_index(2), 2);
+        assert_eq!(Hist::bucket_index(3), 2);
+        assert_eq!(Hist::bucket_index(4), 3);
+        assert_eq!(Hist::bucket_index(u64::MAX), 64);
+        assert_eq!(Hist::bucket_upper(0), 0);
+        assert_eq!(Hist::bucket_upper(2), 3);
+        assert_eq!(Hist::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_percentiles_on_small_sets() {
+        let mut h = Hist::new();
+        h.record(3);
+        h.record(5);
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p99(), 5);
+        let mut same = Hist::new();
+        for _ in 0..100 {
+            same.record(7);
+        }
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(same.quantile(p), 7);
+        }
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record(1);
+        a.record(100);
+        b.record(50);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.min(), 1);
+        assert_eq!(ab.max(), 100);
+        assert_eq!(ab.sum(), 151);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = Hist::new();
+        for v in [3, 3, 4, 9, 17, 130, 131, 1000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0);
+            assert!(q >= last, "monotone");
+            assert!(q >= h.min() && q <= h.max(), "bounded");
+            last = q;
+        }
+    }
+}

@@ -34,7 +34,9 @@ pub mod compat;
 pub mod config;
 pub mod device;
 pub mod dram;
+pub mod export;
 pub mod fault;
+pub mod hist;
 pub mod link;
 pub mod power;
 pub mod queue;
@@ -44,6 +46,7 @@ pub mod sanitizer;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod trace_analysis;
 
@@ -51,7 +54,9 @@ pub use addr::AddressMap;
 pub use config::{Arbitration, DeviceConfig, LinkTopology, SimConfig, SpecRevision};
 pub use device::{TrackedRequest, TrackedResponse};
 pub use dram::{BankTiming, RefreshConfig, RowPolicy};
+pub use export::{MetricValue, TelemetryReport};
 pub use fault::{FaultPlan, FaultRng, LinkErrorMode, LinkEvent};
+pub use hist::Hist;
 pub use link::{LinkConfig, LinkStats, SendGrant};
 pub use power::{PowerConfig, PowerReport};
 pub use sanitizer::{
@@ -59,6 +64,7 @@ pub use sanitizer::{
 };
 pub use sim::HmcSim;
 pub use snapshot::{ForensicDump, SimSnapshot};
-pub use stats::DeviceStats;
+pub use stats::{ClassLatency, CmdClass, DeviceStats};
+pub use telemetry::{Stage, StageStamps, Telemetry, TelemetryConfig, TimeSeries};
 pub use trace::{TraceBuffer, TraceLevel, TraceRing, Tracer};
 pub use trace_analysis::{TraceEvent, TraceSummary};

@@ -43,6 +43,10 @@ impl Default for LinkConfig {
 pub struct LinkStats {
     /// Packets accepted by the link layer.
     pub packets_sent: u64,
+    /// FLITs accepted by the link layer (the bandwidth unit — the
+    /// telemetry time series reads this for per-window link
+    /// throughput).
+    pub flits_sent: u64,
     /// Sends rejected for lack of tokens.
     pub token_stalls: u64,
     /// Transmission errors injected (and recovered).
@@ -117,6 +121,7 @@ impl LinkControl {
         self.tokens_available -= flits;
         self.packet_counter += 1;
         self.stats.packets_sent += 1;
+        self.stats.flits_sent += flits as u64;
         self.seq = (self.seq + 1) & 0x7;
         let errored = self
             .config

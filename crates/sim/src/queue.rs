@@ -15,6 +15,7 @@ pub struct BoundedQueue<T> {
     depth: usize,
     high_water: usize,
     stalls: u64,
+    pushed: u64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -26,6 +27,7 @@ impl<T> BoundedQueue<T> {
             depth,
             high_water: 0,
             stalls: 0,
+            pushed: 0,
         }
     }
 
@@ -39,6 +41,7 @@ impl<T> BoundedQueue<T> {
         }
         self.items.push_back(item);
         self.high_water = self.high_water.max(self.items.len());
+        self.pushed += 1;
         Ok(())
     }
 
@@ -93,6 +96,13 @@ impl<T> BoundedQueue<T> {
     pub fn stalls(&self) -> u64 {
         self.stalls
     }
+
+    /// Cumulative accepted pushes over the queue's lifetime (the
+    /// telemetry throughput counter — occupancy tells you *now*, this
+    /// tells you *how much has flowed through*).
+    pub fn pushes(&self) -> u64 {
+        self.pushed
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +148,7 @@ mod tests {
         q.try_push(9).unwrap();
         assert_eq!(q.high_water(), 5);
         assert_eq!(q.len(), 1);
+        assert_eq!(q.pushes(), 6, "cumulative throughput counts every accepted push");
     }
 
     #[test]

@@ -33,10 +33,33 @@ pub fn text_report(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
         "responses: {} ({} errors); latency min/mean/max = {}/{:.2}/{} cycles",
         stats.responses,
         stats.error_responses,
-        stats.latency.min,
+        stats.latency.min(),
         stats.latency.mean(),
-        stats.latency.max
+        stats.latency.max()
     );
+    if !stats.latency.is_empty() {
+        let _ = writeln!(
+            out,
+            "latency  : p50 {} / p90 {} / p99 {} / p999 {} cycles",
+            stats.latency.p50(),
+            stats.latency.p90(),
+            stats.latency.p99(),
+            stats.latency.p999()
+        );
+        for (class, h) in stats.class_latency.iter() {
+            if !h.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {:<6} : {} rsp, mean {:.2}, p50 {}, p99 {}",
+                    class.name(),
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p99()
+                );
+            }
+        }
+    }
     let _ = writeln!(
         out,
         "traffic  : {} rqst FLITs in, {} rsp FLITs out ({} wire bytes)",
@@ -110,14 +133,14 @@ pub fn text_report(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
 /// The CSV header matching [`csv_row`].
 pub const CSV_HEADER: &str = "device,cycle,total_requests,reads,writes,posted_writes,atomics,\
 cmc_ops,responses,error_responses,rqst_flits,rsp_flits,send_stalls,xbar_stalls,vault_stalls,\
-lat_min,lat_mean,lat_max,total_pj";
+lat_min,lat_mean,lat_max,lat_p50,lat_p99,total_pj";
 
 /// Renders one device's statistics as a CSV row (see [`CSV_HEADER`]).
 pub fn csv_row(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
     let s = sim.stats(dev)?;
     let p = sim.power_report(dev)?;
     Ok(format!(
-        "{dev},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{:.1}",
+        "{dev},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{:.1}",
         sim.cycle(),
         s.total_requests(),
         s.reads,
@@ -132,9 +155,11 @@ pub fn csv_row(sim: &HmcSim, dev: usize) -> Result<String, HmcError> {
         s.send_stalls,
         s.xbar_stalls,
         s.vault_stalls,
-        s.latency.min,
+        s.latency.min(),
         s.latency.mean(),
-        s.latency.max,
+        s.latency.max(),
+        s.latency.p50(),
+        s.latency.p99(),
         p.total_pj
     ))
 }
@@ -164,6 +189,8 @@ mod tests {
         assert!(report.contains("4Link-4GB"));
         assert!(report.contains("4 atomic"));
         assert!(report.contains("latency min/mean/max = 3/3.00/3"));
+        assert!(report.contains("p50 3 / p90 3 / p99 3"));
+        assert!(report.contains("atomic : 4 rsp"), "per-class breakdown: {report}");
         assert!(report.contains("power"));
         assert!(report.contains("link 0: 1 packets"));
     }

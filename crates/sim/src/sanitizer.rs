@@ -417,6 +417,7 @@ impl Sanitizer {
                     snapshot: sim.snapshot_with_shadow(Some(self.shadow.clone())),
                     trace: self.ring.as_ref().map(TraceRing::lines).unwrap_or_default(),
                     checkpoint_cycle: self.last_checkpoint.as_ref().map(SimSnapshot::cycle),
+                    telemetry_json: sim.telemetry_report().map(|r| r.to_json()),
                 };
                 if let Some(dir) = &self.config.dump_dir {
                     let path = dir.join(format!("forensic-c{cycle}.json"));

@@ -54,6 +54,10 @@ pub struct HmcSim {
     pub(crate) tracer: Tracer,
     /// Attached sanitizer (`None` = zero overhead beyond this check).
     pub(crate) sanitizer: Option<Box<crate::sanitizer::Sanitizer>>,
+    /// Attached telemetry (`None` = off, the default: zero overhead
+    /// beyond this check, and no telemetry state exists to perturb
+    /// snapshots or fingerprints).
+    pub(crate) telemetry: Option<Box<crate::telemetry::Telemetry>>,
 }
 
 impl HmcSim {
@@ -116,9 +120,13 @@ impl HmcSim {
             zombie_tags,
             tracer: Tracer::disabled(),
             sanitizer: None,
+            telemetry: None,
         };
         if sim.config.sanitizer.enabled {
             sim.enable_sanitizer(sim.config.sanitizer.clone());
+        }
+        if sim.config.telemetry.enabled {
+            sim.enable_telemetry(sim.config.telemetry.clone());
         }
         Ok(sim)
     }
@@ -204,6 +212,7 @@ impl HmcSim {
             issue_cycle: cycle,
             hops: 0,
             ready_cycle: 0,
+            vault_enq_cycle: 0,
         };
         let result = match self.links[dev][link].send(flits) {
             Err(()) => {
@@ -603,7 +612,10 @@ impl HmcSim {
                         }
                         rsp.complete_cycle = cycle + 1;
                         rsp.latency = (cycle + 1).saturating_sub(rsp.issue_cycle);
-                        self.devices[d].stats_latency(rsp.latency);
+                        self.devices[d].record_latency(rsp.class, rsp.latency);
+                        if let Some(tel) = self.telemetry.as_deref_mut() {
+                            tel.record_response(d, &rsp);
+                        }
                         self.tracer.event(
                             TraceLevel::LATENCY,
                             cycle,
@@ -667,6 +679,12 @@ impl HmcSim {
 
         for dev in &mut self.devices {
             dev.tick_power();
+        }
+
+        // Telemetry window sampling (reads state only — runs before
+        // the sanitizer so forensic dumps embed this cycle's windows).
+        if self.telemetry.is_some() {
+            self.run_telemetry(cycle);
         }
 
         // Sanitizer boundary audit, before the counter advances so a
@@ -762,6 +780,8 @@ impl HmcSim {
             latency: 0,
             entry_device: dev,
             entry_link: link,
+            class: crate::stats::CmdClass::Other,
+            stages: Default::default(),
         };
         self.devices[dev].debug_inject_response(link, item);
     }
@@ -1045,7 +1065,8 @@ mod tests {
             sim.run_until_response(0, 0, tag, 100).unwrap();
         }
         let stats = sim.stats(0).unwrap();
-        assert_eq!(stats.latency.count, 4);
-        assert_eq!(stats.latency.min, 3);
+        assert_eq!(stats.latency.count(), 4);
+        assert_eq!(stats.latency.min(), 3);
+        assert_eq!(stats.class_latency.read.count(), 4, "Rd16 round trips are class read");
     }
 }

@@ -500,6 +500,9 @@ pub struct ForensicDump {
     /// Cycle of the last periodic checkpoint, when one exists — the
     /// replay window is `checkpoint_cycle ..= cycle`.
     pub checkpoint_cycle: Option<u64>,
+    /// Telemetry registry at violation time, pre-rendered as the JSON
+    /// report (`None` when telemetry is disabled).
+    pub telemetry_json: Option<String>,
 }
 
 impl ForensicDump {
@@ -534,7 +537,12 @@ impl ForensicDump {
             s.push_str(&json_escape(line));
             s.push('"');
         }
-        s.push_str("],\"snapshot\":");
+        s.push_str("],\"telemetry\":");
+        match &self.telemetry_json {
+            Some(t) => s.push_str(t),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"snapshot\":");
         s.push_str(&self.snapshot.to_json());
         s.push('}');
         s

@@ -1,41 +1,102 @@
 //! Per-device simulation statistics.
 
+use crate::hist::Hist;
 use hmc_types::{CmdKind, FLIT_BYTES};
 
-/// Running latency aggregate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyStats {
-    /// Completed (non-posted) requests observed.
-    pub count: u64,
-    /// Sum of round-trip latencies in cycles.
-    pub total: u64,
-    /// Minimum observed latency.
-    pub min: u64,
-    /// Maximum observed latency.
-    pub max: u64,
+/// Coarse command classification for per-class latency accounting
+/// (the paper's read / write / atomic / CMC operational split).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CmdClass {
+    /// Read commands.
+    Read,
+    /// Writes (acknowledged and posted).
+    Write,
+    /// Atomics (including posted atomics).
+    Atomic,
+    /// Custom Memory Cube operations.
+    Cmc,
+    /// Everything else: mode commands, flow packets, synthesized
+    /// error responses.
+    #[default]
+    Other,
 }
 
-impl LatencyStats {
-    /// Records one completed request latency.
-    pub fn record(&mut self, latency: u64) {
-        if self.count == 0 {
-            self.min = latency;
-            self.max = latency;
-        } else {
-            self.min = self.min.min(latency);
-            self.max = self.max.max(latency);
+impl CmdClass {
+    /// Every class, in display order.
+    pub const ALL: [CmdClass; 5] = [
+        CmdClass::Read,
+        CmdClass::Write,
+        CmdClass::Atomic,
+        CmdClass::Cmc,
+        CmdClass::Other,
+    ];
+
+    /// Classifies a command kind.
+    pub fn of(kind: CmdKind) -> CmdClass {
+        match kind {
+            CmdKind::Read => CmdClass::Read,
+            CmdKind::Write | CmdKind::PostedWrite => CmdClass::Write,
+            CmdKind::Atomic | CmdKind::PostedAtomic => CmdClass::Atomic,
+            CmdKind::Cmc => CmdClass::Cmc,
+            CmdKind::ModeRead | CmdKind::ModeWrite | CmdKind::Flow => CmdClass::Other,
         }
-        self.count += 1;
-        self.total += latency;
     }
 
-    /// Mean latency in cycles (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total as f64 / self.count as f64
+    /// Lower-case label used in reports and metric paths.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CmdClass::Read => "read",
+            CmdClass::Write => "write",
+            CmdClass::Atomic => "atomic",
+            CmdClass::Cmc => "cmc",
+            CmdClass::Other => "other",
         }
+    }
+}
+
+/// Round-trip latency histograms split by command class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassLatency {
+    /// Read round trips.
+    pub read: Hist,
+    /// Write round trips (acknowledged writes only — posted writes
+    /// produce no response to time).
+    pub write: Hist,
+    /// Atomic round trips.
+    pub atomic: Hist,
+    /// CMC round trips.
+    pub cmc: Hist,
+    /// Mode commands and synthesized responses.
+    pub other: Hist,
+}
+
+impl ClassLatency {
+    /// The histogram for one class.
+    pub fn get(&self, class: CmdClass) -> &Hist {
+        match class {
+            CmdClass::Read => &self.read,
+            CmdClass::Write => &self.write,
+            CmdClass::Atomic => &self.atomic,
+            CmdClass::Cmc => &self.cmc,
+            CmdClass::Other => &self.other,
+        }
+    }
+
+    /// Records one round trip under its class.
+    pub(crate) fn record(&mut self, class: CmdClass, latency: u64) {
+        let h = match class {
+            CmdClass::Read => &mut self.read,
+            CmdClass::Write => &mut self.write,
+            CmdClass::Atomic => &mut self.atomic,
+            CmdClass::Cmc => &mut self.cmc,
+            CmdClass::Other => &mut self.other,
+        };
+        h.record(latency);
+    }
+
+    /// Iterates `(class, histogram)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (CmdClass, &Hist)> {
+        CmdClass::ALL.iter().map(move |&c| (c, self.get(c)))
     }
 }
 
@@ -86,8 +147,10 @@ pub struct DeviceStats {
     /// Responses dropped at delivery because the host had abandoned
     /// the tag (timeout reclamation).
     pub abandoned_responses: u64,
-    /// Round-trip latency aggregate (entry to response delivery).
-    pub latency: LatencyStats,
+    /// Round-trip latency distribution (entry to response delivery).
+    pub latency: Hist,
+    /// Round-trip latency split by command class.
+    pub class_latency: ClassLatency,
 }
 
 impl DeviceStats {
@@ -102,6 +165,13 @@ impl DeviceStats {
             CmdKind::ModeRead | CmdKind::ModeWrite => self.mode_ops += 1,
             CmdKind::Flow => self.flow_packets += 1,
         }
+    }
+
+    /// Records one completed round trip in the overall and the
+    /// per-class latency histograms.
+    pub fn record_latency(&mut self, class: CmdClass, latency: u64) {
+        self.latency.record(latency);
+        self.class_latency.record(class, latency);
     }
 
     /// Total requests executed.
@@ -127,15 +197,47 @@ mod tests {
 
     #[test]
     fn latency_aggregation() {
-        let mut l = LatencyStats::default();
-        assert_eq!(l.mean(), 0.0);
-        l.record(6);
-        l.record(10);
-        l.record(2);
-        assert_eq!(l.min, 2);
-        assert_eq!(l.max, 10);
-        assert_eq!(l.count, 3);
-        assert!((l.mean() - 6.0).abs() < 1e-9);
+        let mut s = DeviceStats::default();
+        assert_eq!(s.latency.mean(), 0.0);
+        s.record_latency(CmdClass::Read, 6);
+        s.record_latency(CmdClass::Atomic, 10);
+        s.record_latency(CmdClass::Read, 2);
+        assert_eq!(s.latency.min(), 2);
+        assert_eq!(s.latency.max(), 10);
+        assert_eq!(s.latency.count(), 3);
+        assert!((s.latency.mean() - 6.0).abs() < 1e-9);
+        assert_eq!(s.class_latency.read.count(), 2);
+        assert_eq!(s.class_latency.atomic.count(), 1);
+        assert_eq!(s.class_latency.write.count(), 0);
+    }
+
+    #[test]
+    fn class_split_merges_back_to_total() {
+        let mut s = DeviceStats::default();
+        for (class, lat) in [
+            (CmdClass::Read, 3),
+            (CmdClass::Write, 4),
+            (CmdClass::Cmc, 9),
+            (CmdClass::Other, 6),
+        ] {
+            s.record_latency(class, lat);
+        }
+        let mut merged = Hist::new();
+        for (_, h) in s.class_latency.iter() {
+            merged.merge(h);
+        }
+        assert_eq!(merged, s.latency, "per-class hists partition the total");
+    }
+
+    #[test]
+    fn kind_classification() {
+        use hmc_types::CmdKind;
+        assert_eq!(CmdClass::of(CmdKind::Read), CmdClass::Read);
+        assert_eq!(CmdClass::of(CmdKind::PostedWrite), CmdClass::Write);
+        assert_eq!(CmdClass::of(CmdKind::PostedAtomic), CmdClass::Atomic);
+        assert_eq!(CmdClass::of(CmdKind::Cmc), CmdClass::Cmc);
+        assert_eq!(CmdClass::of(CmdKind::ModeRead), CmdClass::Other);
+        assert_eq!(CmdClass::of(CmdKind::Flow), CmdClass::Other);
     }
 
     #[test]

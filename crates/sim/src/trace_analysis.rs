@@ -7,6 +7,7 @@
 //! [`TraceSummary`] (per-command counts, per-vault load histogram,
 //! latency distribution, stall census).
 
+use crate::hist::Hist;
 use std::collections::BTreeMap;
 
 /// One parsed trace event.
@@ -65,8 +66,10 @@ pub struct TraceSummary {
     /// Fault events per kind (`CRC`, `VAULT`, `POISON`, `LINKDOWN`,
     /// `LINKUP`, `FAILOVER`, `ZOMBIE`).
     pub faults: BTreeMap<String, u64>,
-    /// Completed-request latencies (from LATENCY events).
-    pub latencies: Vec<u64>,
+    /// Completed-request latency distribution (from LATENCY events) —
+    /// a [`Hist`], so quantiles come from the shared telemetry
+    /// machinery instead of a sorted sample vector.
+    pub latency: Hist,
     /// First and last event cycles seen.
     pub cycle_span: Option<(u64, u64)>,
     /// Lines that did not parse as trace events.
@@ -106,7 +109,7 @@ impl TraceSummary {
                 }
                 "LATENCY" => {
                     if let Some(lat) = event.field_u64("lat") {
-                        summary.latencies.push(lat);
+                        summary.latency.record(lat);
                     }
                 }
                 _ => {}
@@ -122,11 +125,7 @@ impl TraceSummary {
 
     /// Mean of the recorded latencies.
     pub fn mean_latency(&self) -> f64 {
-        if self.latencies.is_empty() {
-            0.0
-        } else {
-            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
-        }
+        self.latency.mean()
     }
 
     /// The hottest vault and its request count.
@@ -152,17 +151,14 @@ impl TraceSummary {
                 self.total_requests()
             );
         }
-        if !self.latencies.is_empty() {
-            let mut sorted = self.latencies.clone();
-            sorted.sort_unstable();
-            let p = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+        if !self.latency.is_empty() {
             let _ = writeln!(
                 out,
                 "latency: mean {:.2}, p50 {}, p99 {}, max {}",
-                self.mean_latency(),
-                p(0.5),
-                p(0.99),
-                sorted[sorted.len() - 1]
+                self.latency.mean(),
+                self.latency.p50(),
+                self.latency.p99(),
+                self.latency.max()
             );
         }
         if !self.stalls.is_empty() {
@@ -223,7 +219,9 @@ mod tests {
         assert_eq!(s.commands["hmc_lock"], 1);
         assert_eq!(s.vault_load[&4], 2);
         assert_eq!(s.hottest_vault(), Some((4, 2)));
-        assert_eq!(s.latencies, vec![3, 5]);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.latency.p50(), 3);
+        assert_eq!(s.latency.p99(), 5);
         assert_eq!(s.mean_latency(), 4.0);
         assert_eq!(s.skipped_lines, 1);
         assert_eq!(s.cycle_span, Some((1, 10)));

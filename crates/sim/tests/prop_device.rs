@@ -95,7 +95,7 @@ proptest! {
         let stats = sim.stats(0).unwrap();
         prop_assert_eq!(stats.writes, n_acked as u64);
         prop_assert_eq!(stats.responses, n_acked as u64);
-        prop_assert_eq!(stats.latency.count, n_acked as u64);
+        prop_assert_eq!(stats.latency.count(), n_acked as u64);
         // Each WR16 = 2 rqst flits; each ack = 1 rsp flit.
         prop_assert_eq!(stats.rqst_flits, 2 * (n_acked + stats.posted_writes as usize) as u64);
         prop_assert_eq!(stats.rsp_flits, n_acked as u64);

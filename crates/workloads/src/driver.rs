@@ -302,6 +302,8 @@ impl ThreadDriver {
             latency: 0,
             entry_device: dev,
             entry_link: link,
+            class: hmc_sim::CmdClass::Other,
+            stages: Default::default(),
         }
     }
 

@@ -50,7 +50,8 @@ pub use hmc_workloads as workloads;
 pub mod prelude {
     pub use hmc_cmc::{CmcContext, CmcOp, CmcRegistration};
     pub use hmc_sim::{
-        DeviceConfig, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy, TraceLevel,
+        DeviceConfig, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy, TelemetryConfig,
+        TraceLevel,
     };
     pub use hmc_types::{
         Cub, Flit, HmcError, HmcResponse, HmcRqst, Request, Response, Slid, Tag,

@@ -69,3 +69,27 @@ fn sanitizer_report_mode_is_zero_perturbation() {
     assert_eq!(off.5, None);
     assert_eq!(on.5, Some(0), "and the audited run is invariant-clean");
 }
+
+#[test]
+fn telemetry_full_mode_is_zero_perturbation() {
+    // Telemetry is a pure observer, even in full span + time-series
+    // mode: a run with it enabled must be bit-identical to a bare
+    // run — same pinned metrics, same cycle count, same full
+    // device-state fingerprint.
+    ops::register_builtin_libraries();
+    let run = |telemetry: bool| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        if telemetry {
+            sim.enable_telemetry(TelemetryConfig::full());
+        }
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint())
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off, on, "device state bit-identical under full telemetry");
+}
