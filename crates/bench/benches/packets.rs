@@ -45,18 +45,18 @@ fn bench_crc(c: &mut Criterion) {
 fn bench_amo_execute(c: &mut Criterion) {
     let mut group = c.benchmark_group("amo_execute");
     group.measurement_time(Duration::from_secs(2));
-    let mut mem = SparseMemory::new(1 << 20);
+    let mem = SparseMemory::new(1 << 20);
     mem.write_u64(0x40, 1).unwrap();
     group.bench_function("inc8", |b| {
-        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Inc8, &mut mem, 0x40, &[]).unwrap()))
+        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Inc8, &mem, 0x40, &[]).unwrap()))
     });
     group.bench_function("caseq8", |b| {
         b.iter(|| {
-            black_box(hmc_mem::execute(HmcRqst::CasEq8, &mut mem, 0x40, &[1, 1]).unwrap())
+            black_box(hmc_mem::execute(HmcRqst::CasEq8, &mem, 0x40, &[1, 1]).unwrap())
         })
     });
     group.bench_function("add16", |b| {
-        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Add16, &mut mem, 0x40, &[1, 0]).unwrap()))
+        b.iter(|| black_box(hmc_mem::execute(HmcRqst::Add16, &mem, 0x40, &[1, 0]).unwrap()))
     });
     group.finish();
 }

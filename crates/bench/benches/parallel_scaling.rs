@@ -1,0 +1,72 @@
+//! Criterion harness for the parallel tick engine: wall-clock per
+//! full workload run at each thread count, for the saturating Triad
+//! (parallel fast path) and the CMC mutex kernel (serial fallback —
+//! the expected-flat control). The `parallel_scaling` bin emits the
+//! machine-readable `BENCH_parallel.json` from the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmc_sim::{DeviceConfig, ExecMode, HmcSim};
+use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
+use hmc_workloads::{MutexKernel, MutexKernelConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn triad_cycles(mode: ExecMode) -> u64 {
+    let mut config = DeviceConfig::gen2_4link_4gb();
+    config.link_bandwidth = 8;
+    config.vault_bandwidth = 4;
+    let mut sim = HmcSim::new(config).unwrap();
+    sim.set_exec_mode(mode);
+    let result = TriadKernel::new(TriadConfig {
+        elements: 8192,
+        chunk_bytes: 256,
+        window: 256,
+        ..Default::default()
+    })
+    .run(&mut sim)
+    .unwrap();
+    assert_eq!(result.errors, 0);
+    result.cycles
+}
+
+fn mutex_cycles(mode: ExecMode) -> u64 {
+    hmc_cmc::ops::register_builtin_libraries();
+    let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    sim.set_exec_mode(mode);
+    sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY).unwrap();
+    MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+        .run(&mut sim)
+        .unwrap();
+    sim.cycle()
+}
+
+fn modes() -> Vec<(String, ExecMode)> {
+    let mut m = vec![("sequential".to_string(), ExecMode::Sequential)];
+    for threads in [1usize, 2, 4, 8] {
+        m.push((format!("parallel-{threads}"), ExecMode::Parallel { threads }));
+    }
+    m
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triad_parallel_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, mode) in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &mode, |b, &mode| {
+            b.iter(|| black_box(triad_cycles(mode)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mutex_parallel_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, mode) in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &mode, |b, &mode| {
+            b.iter(|| black_box(mutex_cycles(mode)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

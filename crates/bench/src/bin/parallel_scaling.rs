@@ -1,0 +1,204 @@
+//! Parallel tick-engine scaling measurement.
+//!
+//! Runs a stage-3-saturating STREAM Triad (wide links, wide vault
+//! controllers, deep issue window — the configuration where vault
+//! execution dominates the cycle cost) and the CMC mutex kernel
+//! (whose CMC traffic always falls back to the serial reference path)
+//! across the thread matrix, then emits `BENCH_parallel.json`:
+//! simulated cycles/second per mode, speedup versus the sequential
+//! engine, and the cross-mode fingerprint check.
+//!
+//! ```text
+//! cargo run --release -p hmc-bench --bin parallel_scaling
+//! cargo run --release -p hmc-bench --bin parallel_scaling -- --out BENCH_parallel.json
+//! cargo run --release -p hmc-bench --bin parallel_scaling -- --reps 5
+//! ```
+//!
+//! Speedup is hardware-dependent: the JSON records `host_cpus` so a
+//! single-core container's flat curve is not mistaken for a
+//! regression. The exit code reflects only the determinism check —
+//! every mode must produce the sequential fingerprint.
+
+use hmc_sim::{DeviceConfig, ExecMode, HmcSim};
+use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
+use hmc_workloads::{MutexKernel, MutexKernelConfig};
+use std::time::Instant;
+
+/// The stage-3-saturating device: wide links feed wide vault
+/// controllers so the vault-execution stage dominates each cycle.
+fn saturated_device() -> DeviceConfig {
+    let mut config = DeviceConfig::gen2_4link_4gb();
+    config.link_bandwidth = 8;
+    config.vault_bandwidth = 4;
+    config
+}
+
+fn saturated_triad() -> TriadConfig {
+    TriadConfig {
+        elements: 16384,
+        chunk_bytes: 256,
+        window: 256,
+        ..Default::default()
+    }
+}
+
+struct Sample {
+    workload: &'static str,
+    mode: String,
+    threads: usize,
+    sim_cycles: u64,
+    best_wall_s: f64,
+    fingerprint: u64,
+}
+
+impl Sample {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.best_wall_s
+    }
+}
+
+/// Runs one workload under one mode `reps` times, keeping the best
+/// wall time (the standard minimum-of-N noise filter).
+fn measure(
+    workload: &'static str,
+    mode: ExecMode,
+    reps: usize,
+    run: impl Fn(&mut HmcSim) -> u64,
+    device: &DeviceConfig,
+) -> Sample {
+    let mut best_wall_s = f64::INFINITY;
+    let mut sim_cycles = 0;
+    let mut fingerprint = 0;
+    for _ in 0..reps {
+        let mut sim = HmcSim::new(device.clone()).expect("valid config");
+        sim.set_exec_mode(mode);
+        let start = Instant::now();
+        sim_cycles = run(&mut sim);
+        let wall = start.elapsed().as_secs_f64();
+        best_wall_s = best_wall_s.min(wall);
+        fingerprint = sim.state_fingerprint();
+    }
+    let (mode_name, threads) = match mode {
+        ExecMode::Sequential => ("sequential".to_string(), 1),
+        ExecMode::Parallel { threads } => ("parallel".to_string(), threads),
+    };
+    Sample { workload, mode: mode_name, threads, sim_cycles, best_wall_s, fingerprint }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_parallel.json".into());
+    let reps: usize = arg("--reps").and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    hmc_cmc::ops::register_builtin_libraries();
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_matrix = [1usize, 2, 4, 8];
+
+    let triad_device = saturated_device();
+    let run_triad = |sim: &mut HmcSim| {
+        let result = TriadKernel::new(saturated_triad()).run(sim).expect("triad runs");
+        assert_eq!(result.errors, 0, "triad verification");
+        result.cycles
+    };
+    let mutex_device = DeviceConfig::gen2_4link_4gb();
+    let run_mutex = |sim: &mut HmcSim| {
+        sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY).expect("mutex library loads");
+        MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(sim)
+            .expect("mutex kernel runs");
+        sim.cycle()
+    };
+
+    let mut samples = Vec::new();
+    samples.push(measure("triad_saturated", ExecMode::Sequential, reps, run_triad, &triad_device));
+    for threads in thread_matrix {
+        samples.push(measure(
+            "triad_saturated",
+            ExecMode::Parallel { threads },
+            reps,
+            run_triad,
+            &triad_device,
+        ));
+    }
+    samples.push(measure("mutex_cmc", ExecMode::Sequential, reps, run_mutex, &mutex_device));
+    for threads in thread_matrix {
+        samples.push(measure(
+            "mutex_cmc",
+            ExecMode::Parallel { threads },
+            reps,
+            run_mutex,
+            &mutex_device,
+        ));
+    }
+
+    // Determinism gate: every mode of a workload must land on the
+    // sequential fingerprint.
+    let mut fingerprints_match = true;
+    for workload in ["triad_saturated", "mutex_cmc"] {
+        let expect = samples
+            .iter()
+            .find(|s| s.workload == workload && s.mode == "sequential")
+            .map(|s| s.fingerprint)
+            .expect("sequential sample exists");
+        for s in samples.iter().filter(|s| s.workload == workload) {
+            if s.fingerprint != expect {
+                fingerprints_match = false;
+                eprintln!(
+                    "FINGERPRINT MISMATCH: {} {}x{} {:#018x} != {:#018x}",
+                    s.workload, s.mode, s.threads, s.fingerprint, expect
+                );
+            }
+        }
+    }
+
+    let baseline = |workload: &str| -> f64 {
+        samples
+            .iter()
+            .find(|s| s.workload == workload && s.mode == "sequential")
+            .map(|s| s.cycles_per_sec())
+            .unwrap_or(f64::NAN)
+    };
+    let mut entries = Vec::new();
+    for s in &samples {
+        let speedup = s.cycles_per_sec() / baseline(s.workload);
+        println!(
+            "{:<16} {:<10} threads={} : {:>9} cycles in {:>8.2} ms -> {:>12.0} cycles/s ({:.2}x)",
+            s.workload,
+            s.mode,
+            s.threads,
+            s.sim_cycles,
+            s.best_wall_s * 1e3,
+            s.cycles_per_sec(),
+            speedup
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"sim_cycles\": {}, \"best_wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"speedup_vs_sequential\": {:.3}, \"fingerprint\": \"{:#018x}\"}}",
+            s.workload,
+            s.mode,
+            s.threads,
+            s.sim_cycles,
+            s.best_wall_s,
+            s.cycles_per_sec(),
+            speedup,
+            s.fingerprint
+        ));
+    }
+    let json = format!
+        (
+        "{{\n  \"bench\": \"parallel_scaling\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"reps\": {reps},\n  \"fingerprints_match\": {fingerprints_match},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("wrote {out_path} (host_cpus={host_cpus})");
+
+    if !fingerprints_match {
+        std::process::exit(1);
+    }
+}

@@ -163,8 +163,11 @@ pub struct CmcContext<'a> {
     /// buffer-overflow caution made structural).
     pub rsp_payload: &'a mut [u64],
     /// The device memory (the `hmc_sim_t` internals the C code
-    /// reaches through the context pointer).
-    pub mem: &'a mut SparseMemory,
+    /// reaches through the context pointer). Shared rather than
+    /// exclusive: `SparseMemory` accessors take `&self`, and the
+    /// parallel tick engine never runs a CMC op concurrently with
+    /// anything else (CMC cycles use the sequential reference path).
+    pub mem: &'a SparseMemory,
 }
 
 impl CmcContext<'_> {

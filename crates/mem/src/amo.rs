@@ -64,7 +64,7 @@ fn want_operands(cmd: HmcRqst, got: usize, want: usize) -> Result<(), HmcError> 
 /// malformed operand lengths.
 pub fn execute(
     cmd: HmcRqst,
-    mem: &mut SparseMemory,
+    mem: &SparseMemory,
     addr: u64,
     operand: &[u64],
 ) -> Result<AmoResult, HmcError> {
@@ -204,10 +204,10 @@ mod tests {
 
     #[test]
     fn two_add8_adds_both_lanes() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 100).unwrap();
         m.write_u64(0x48, u64::MAX).unwrap(); // -1 as i64
-        let r = execute(HmcRqst::TwoAdd8, &mut m, 0x40, &[5, 2]).unwrap();
+        let r = execute(HmcRqst::TwoAdd8, &m, 0x40, &[5, 2]).unwrap();
         assert!(r.payload.is_empty());
         assert_eq!(m.read_u64(0x40).unwrap(), 105);
         assert_eq!(m.read_u64(0x48).unwrap(), 1);
@@ -215,44 +215,44 @@ mod tests {
 
     #[test]
     fn two_adds8r_returns_originals() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 7).unwrap();
         m.write_u64(0x48, 9).unwrap();
-        let r = execute(HmcRqst::TwoAddS8R, &mut m, 0x40, &[1, 1]).unwrap();
+        let r = execute(HmcRqst::TwoAddS8R, &m, 0x40, &[1, 1]).unwrap();
         assert_eq!(r.payload, vec![7, 9]);
         assert_eq!(m.read_u64(0x40).unwrap(), 8);
     }
 
     #[test]
     fn two_add8_negative_immediate() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 10).unwrap();
         let minus_three = (-3i64) as u64;
-        execute(HmcRqst::P2Add8, &mut m, 0x40, &[minus_three, 0]).unwrap();
+        execute(HmcRqst::P2Add8, &m, 0x40, &[minus_three, 0]).unwrap();
         assert_eq!(m.read_u64(0x40).unwrap(), 7);
     }
 
     #[test]
     fn add16_full_width_carry() {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, u64::MAX as u128).unwrap();
-        execute(HmcRqst::Add16, &mut m, 0x40, &[1, 0]).unwrap();
+        execute(HmcRqst::Add16, &m, 0x40, &[1, 0]).unwrap();
         assert_eq!(m.read_u128(0x40).unwrap(), (u64::MAX as u128) + 1);
     }
 
     #[test]
     fn adds16r_returns_original() {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, 0xAAAA_0000_BBBBu128).unwrap();
-        let r = execute(HmcRqst::AddS16R, &mut m, 0x40, &[1, 0]).unwrap();
+        let r = execute(HmcRqst::AddS16R, &m, 0x40, &[1, 0]).unwrap();
         assert_eq!(r.payload, vec![0xAAAA_0000_BBBB, 0]);
     }
 
     #[test]
     fn inc8_wraps() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x8, u64::MAX).unwrap();
-        execute(HmcRqst::Inc8, &mut m, 0x8, &[]).unwrap();
+        execute(HmcRqst::Inc8, &m, 0x8, &[]).unwrap();
         assert_eq!(m.read_u64(0x8).unwrap(), 0);
     }
 
@@ -267,11 +267,11 @@ mod tests {
             (HmcRqst::Nand16, |a, b| !(a & b)),
         ];
         for (cmd, f) in cases {
-            let mut m = mem();
+            let m = mem();
             let init = 0xF0F0_F0F0_F0F0_F0F0_0F0F_0F0F_0F0F_0F0Fu128;
             let op = 0x00FF_00FF_00FF_00FF_FF00_FF00_FF00_FF00u128;
             m.write_u128(0x40, init).unwrap();
-            let r = execute(cmd, &mut m, 0x40, &[op as u64, (op >> 64) as u64]).unwrap();
+            let r = execute(cmd, &m, 0x40, &[op as u64, (op >> 64) as u64]).unwrap();
             assert_eq!(m.read_u128(0x40).unwrap(), f(init, op), "{cmd}");
             assert_eq!(r.payload, vec![init as u64, (init >> 64) as u64], "{cmd} returns old");
         }
@@ -279,12 +279,12 @@ mod tests {
 
     #[test]
     fn caseq8_swaps_only_on_equality() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 5).unwrap();
-        let miss = execute(HmcRqst::CasEq8, &mut m, 0x40, &[99, 4]).unwrap();
+        let miss = execute(HmcRqst::CasEq8, &m, 0x40, &[99, 4]).unwrap();
         assert!(!miss.af);
         assert_eq!(m.read_u64(0x40).unwrap(), 5);
-        let hit = execute(HmcRqst::CasEq8, &mut m, 0x40, &[99, 5]).unwrap();
+        let hit = execute(HmcRqst::CasEq8, &m, 0x40, &[99, 5]).unwrap();
         assert!(hit.af);
         assert_eq!(hit.payload[0], 5);
         assert_eq!(m.read_u64(0x40).unwrap(), 99);
@@ -292,127 +292,127 @@ mod tests {
 
     #[test]
     fn casgt8_signed_comparison() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, (-2i64) as u64).unwrap();
         // mem (-2) > cmp (-5) -> swap
-        let r = execute(HmcRqst::CasGt8, &mut m, 0x40, &[1, (-5i64) as u64]).unwrap();
+        let r = execute(HmcRqst::CasGt8, &m, 0x40, &[1, (-5i64) as u64]).unwrap();
         assert!(r.af);
         assert_eq!(m.read_u64(0x40).unwrap(), 1);
         // mem (1) > cmp (3)? no
-        let r = execute(HmcRqst::CasGt8, &mut m, 0x40, &[7, 3]).unwrap();
+        let r = execute(HmcRqst::CasGt8, &m, 0x40, &[7, 3]).unwrap();
         assert!(!r.af);
         assert_eq!(m.read_u64(0x40).unwrap(), 1);
     }
 
     #[test]
     fn caslt8() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 3).unwrap();
-        let r = execute(HmcRqst::CasLt8, &mut m, 0x40, &[10, 5]).unwrap();
+        let r = execute(HmcRqst::CasLt8, &m, 0x40, &[10, 5]).unwrap();
         assert!(r.af, "3 < 5 swaps");
         assert_eq!(m.read_u64(0x40).unwrap(), 10);
     }
 
     #[test]
     fn caszero16() {
-        let mut m = mem();
-        let r = execute(HmcRqst::CasZero16, &mut m, 0x40, &[0xAB, 0xCD]).unwrap();
+        let m = mem();
+        let r = execute(HmcRqst::CasZero16, &m, 0x40, &[0xAB, 0xCD]).unwrap();
         assert!(r.af, "zero memory swaps");
         assert_eq!(m.read_u64(0x40).unwrap(), 0xAB);
         assert_eq!(m.read_u64(0x48).unwrap(), 0xCD);
-        let r = execute(HmcRqst::CasZero16, &mut m, 0x40, &[1, 1]).unwrap();
+        let r = execute(HmcRqst::CasZero16, &m, 0x40, &[1, 1]).unwrap();
         assert!(!r.af, "nonzero memory does not swap");
         assert_eq!(r.payload, vec![0xAB, 0xCD], "returns original");
     }
 
     #[test]
     fn cas16_signed_comparisons() {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, (-4i128) as u128).unwrap();
         // mem (-4) < swap (10) -> CASLT16 swaps
-        let r = execute(HmcRqst::CasLt16, &mut m, 0x40, &[10, 0]).unwrap();
+        let r = execute(HmcRqst::CasLt16, &m, 0x40, &[10, 0]).unwrap();
         assert!(r.af);
         assert_eq!(m.read_u128(0x40).unwrap(), 10);
         // mem (10) > swap (3) -> CASGT16 swaps
-        let r = execute(HmcRqst::CasGt16, &mut m, 0x40, &[3, 0]).unwrap();
+        let r = execute(HmcRqst::CasGt16, &m, 0x40, &[3, 0]).unwrap();
         assert!(r.af);
         assert_eq!(m.read_u128(0x40).unwrap(), 3);
     }
 
     #[test]
     fn eq_probes() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 0x77).unwrap();
-        assert!(execute(HmcRqst::Eq8, &mut m, 0x40, &[0x77, 0]).unwrap().af);
-        assert!(!execute(HmcRqst::Eq8, &mut m, 0x40, &[0x78, 0]).unwrap().af);
+        assert!(execute(HmcRqst::Eq8, &m, 0x40, &[0x77, 0]).unwrap().af);
+        assert!(!execute(HmcRqst::Eq8, &m, 0x40, &[0x78, 0]).unwrap().af);
         m.write_u128(0x80, 0x1234_0000_5678u128).unwrap();
-        assert!(execute(HmcRqst::Eq16, &mut m, 0x80, &[0x1234_0000_5678, 0]).unwrap().af);
-        assert!(!execute(HmcRqst::Eq16, &mut m, 0x80, &[0, 1]).unwrap().af);
+        assert!(execute(HmcRqst::Eq16, &m, 0x80, &[0x1234_0000_5678, 0]).unwrap().af);
+        assert!(!execute(HmcRqst::Eq16, &m, 0x80, &[0, 1]).unwrap().af);
     }
 
     #[test]
     fn bit_write_masks() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 0xFFFF_FFFF_FFFF_FFFF).unwrap();
-        execute(HmcRqst::Bwr, &mut m, 0x40, &[0x0000_0000_AAAA_0000, 0x0000_0000_FFFF_0000])
+        execute(HmcRqst::Bwr, &m, 0x40, &[0x0000_0000_AAAA_0000, 0x0000_0000_FFFF_0000])
             .unwrap();
         assert_eq!(m.read_u64(0x40).unwrap(), 0xFFFF_FFFF_AAAA_FFFF);
     }
 
     #[test]
     fn bwr8r_returns_original() {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, 0x1111).unwrap();
-        let r = execute(HmcRqst::Bwr8R, &mut m, 0x40, &[0xFF, 0xFF]).unwrap();
+        let r = execute(HmcRqst::Bwr8R, &m, 0x40, &[0xFF, 0xFF]).unwrap();
         assert_eq!(r.payload[0], 0x1111);
         assert_eq!(m.read_u64(0x40).unwrap(), 0x11FF);
     }
 
     #[test]
     fn swap16_exchanges() {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, 111).unwrap();
-        let r = execute(HmcRqst::Swap16, &mut m, 0x40, &[222, 0]).unwrap();
+        let r = execute(HmcRqst::Swap16, &m, 0x40, &[222, 0]).unwrap();
         assert_eq!(r.payload, vec![111, 0]);
         assert_eq!(m.read_u128(0x40).unwrap(), 222);
     }
 
     #[test]
     fn alignment_enforced() {
-        let mut m = mem();
+        let m = mem();
         assert!(matches!(
-            execute(HmcRqst::Inc8, &mut m, 0x41, &[]),
+            execute(HmcRqst::Inc8, &m, 0x41, &[]),
             Err(HmcError::UnalignedAddress { align: 8, .. })
         ));
         assert!(matches!(
-            execute(HmcRqst::Add16, &mut m, 0x48, &[0, 0]),
+            execute(HmcRqst::Add16, &m, 0x48, &[0, 0]),
             Err(HmcError::UnalignedAddress { align: 16, .. })
         ));
     }
 
     #[test]
     fn operand_arity_enforced() {
-        let mut m = mem();
-        assert!(execute(HmcRqst::Inc8, &mut m, 0x40, &[1]).is_err());
-        assert!(execute(HmcRqst::Add16, &mut m, 0x40, &[1]).is_err());
-        assert!(execute(HmcRqst::CasEq8, &mut m, 0x40, &[1, 2, 3]).is_err());
+        let m = mem();
+        assert!(execute(HmcRqst::Inc8, &m, 0x40, &[1]).is_err());
+        assert!(execute(HmcRqst::Add16, &m, 0x40, &[1]).is_err());
+        assert!(execute(HmcRqst::CasEq8, &m, 0x40, &[1, 2, 3]).is_err());
     }
 
     #[test]
     fn non_atomic_command_rejected() {
-        let mut m = mem();
-        assert!(execute(HmcRqst::Rd64, &mut m, 0x40, &[]).is_err());
-        assert!(execute(HmcRqst::Cmc(125), &mut m, 0x40, &[]).is_err());
+        let m = mem();
+        assert!(execute(HmcRqst::Rd64, &m, 0x40, &[]).is_err());
+        assert!(execute(HmcRqst::Cmc(125), &m, 0x40, &[]).is_err());
     }
 
     #[test]
     fn posted_variants_mutate_without_payload() {
-        let mut m = mem();
+        let m = mem();
         for cmd in [HmcRqst::P2Add8, HmcRqst::PAdd16, HmcRqst::PBwr] {
-            let r = execute(cmd, &mut m, 0x40, &[1, 1]).unwrap();
+            let r = execute(cmd, &m, 0x40, &[1, 1]).unwrap();
             assert!(r.payload.is_empty(), "{cmd}");
         }
-        let r = execute(HmcRqst::PInc8, &mut m, 0x40, &[]).unwrap();
+        let r = execute(HmcRqst::PInc8, &m, 0x40, &[]).unwrap();
         assert!(r.payload.is_empty());
     }
 }

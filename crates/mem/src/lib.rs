@@ -10,9 +10,9 @@
 //! use hmc_mem::SparseMemory;
 //! use hmc_types::HmcRqst;
 //!
-//! let mut mem = SparseMemory::new(4 << 30); // a 4 GiB cube
+//! let mem = SparseMemory::new(4 << 30); // a 4 GiB cube
 //! mem.write_u64(0x100, 41).unwrap();
-//! let out = hmc_mem::amo::execute(HmcRqst::Inc8, &mut mem, 0x100, &[]).unwrap();
+//! let out = hmc_mem::amo::execute(HmcRqst::Inc8, &mem, 0x100, &[]).unwrap();
 //! assert_eq!(mem.read_u64(0x100).unwrap(), 42);
 //! assert!(out.payload.is_empty()); // INC8 acks with a bare WR_RS
 //! ```

@@ -3,18 +3,36 @@
 //! A cube holds 4 or 8 GiB; simulations touch a tiny fraction of it, so
 //! the store allocates 4 KiB pages on first write. Unwritten memory
 //! reads as zero, matching HMC-Sim's calloc'd vault storage.
+//!
+//! The page table is split across a fixed number of mutex-guarded
+//! shards (`page_id % SHARD_COUNT`) so the parallel tick engine's vault
+//! workers can read *and* write through a shared `&SparseMemory`.
+//! Every access method therefore takes `&self`; the mutation methods
+//! keep their old names. Within one simulated cycle the engine only
+//! runs data-independent accesses concurrently (conflicting cycles fall
+//! back to the sequential reference path), so shard locking is a memory
+//! -safety device, not an ordering device — results never depend on
+//! lock acquisition order.
 
 use hmc_types::HmcError;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Size of one lazily-allocated page in bytes.
 pub const PAGE_BYTES: usize = 4096;
 
+/// Number of page-table shards. A small power of two: enough to keep
+/// vault workers off each other's locks, few enough that cloning and
+/// digesting stay cheap.
+const SHARD_COUNT: usize = 16;
+
+type PageMap = HashMap<u64, Box<[u8; PAGE_BYTES]>>;
+
 /// A sparse, zero-initialized, byte-addressable memory of fixed
-/// capacity.
-#[derive(Debug, Clone, Default)]
+/// capacity. Shareable across threads: all accessors take `&self`.
+#[derive(Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    shards: Vec<Mutex<PageMap>>,
     capacity: u64,
 }
 
@@ -22,7 +40,10 @@ impl SparseMemory {
     /// Creates a store of `capacity` bytes. All bytes read as zero
     /// until written.
     pub fn new(capacity: u64) -> Self {
-        SparseMemory { pages: HashMap::new(), capacity }
+        SparseMemory {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(PageMap::new())).collect(),
+            capacity,
+        }
     }
 
     /// Total capacity in bytes.
@@ -31,10 +52,17 @@ impl SparseMemory {
         self.capacity
     }
 
+    #[inline]
+    fn shard(&self, page: u64) -> &Mutex<PageMap> {
+        // `Default` builds an empty shard vector; treat it as a
+        // zero-capacity store that never materializes pages.
+        &self.shards[page as usize % self.shards.len()]
+    }
+
     /// Number of pages materialized so far (for memory-footprint
     /// diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Deterministic digest of the resident content: page indices and
@@ -46,11 +74,15 @@ impl SparseMemory {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.capacity.hash(&mut h);
-        let mut ids: Vec<&u64> = self.pages.keys().collect();
-        ids.sort();
+        let mut ids: Vec<u64> = Vec::new();
+        for shard in &self.shards {
+            ids.extend(shard.lock().keys().copied());
+        }
+        ids.sort_unstable();
         for id in ids {
             id.hash(&mut h);
-            self.pages[id][..].hash(&mut h);
+            let shard = self.shard(id).lock();
+            shard[&id][..].hash(&mut h);
         }
         h.finish()
     }
@@ -74,7 +106,7 @@ impl SparseMemory {
             let page = cur / PAGE_BYTES as u64;
             let in_page = (cur % PAGE_BYTES as u64) as usize;
             let n = (PAGE_BYTES - in_page).min(buf.len() - off);
-            match self.pages.get(&page) {
+            match self.shard(page).lock().get(&page) {
                 Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
                 None => buf[off..off + n].fill(0),
             }
@@ -84,7 +116,7 @@ impl SparseMemory {
     }
 
     /// Writes `buf` starting at `addr`, materializing pages as needed.
-    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), HmcError> {
+    pub fn write(&self, addr: u64, buf: &[u8]) -> Result<(), HmcError> {
         self.check_range(addr, buf.len())?;
         let mut off = 0usize;
         while off < buf.len() {
@@ -92,8 +124,8 @@ impl SparseMemory {
             let page = cur / PAGE_BYTES as u64;
             let in_page = (cur % PAGE_BYTES as u64) as usize;
             let n = (PAGE_BYTES - in_page).min(buf.len() - off);
-            let p = self
-                .pages
+            let mut shard = self.shard(page).lock();
+            let p = shard
                 .entry(page)
                 .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
             p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
@@ -110,7 +142,7 @@ impl SparseMemory {
     }
 
     /// Writes a little-endian `u64` at `addr`.
-    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), HmcError> {
+    pub fn write_u64(&self, addr: u64, value: u64) -> Result<(), HmcError> {
         self.write(addr, &value.to_le_bytes())
     }
 
@@ -122,7 +154,7 @@ impl SparseMemory {
     }
 
     /// Writes a little-endian `u128` at `addr`.
-    pub fn write_u128(&mut self, addr: u64, value: u128) -> Result<(), HmcError> {
+    pub fn write_u128(&self, addr: u64, value: u128) -> Result<(), HmcError> {
         self.write(addr, &value.to_le_bytes())
     }
 
@@ -137,12 +169,33 @@ impl SparseMemory {
     }
 
     /// Writes 64-bit words starting at `addr`.
-    pub fn write_words(&mut self, addr: u64, words: &[u64]) -> Result<(), HmcError> {
+    pub fn write_words(&self, addr: u64, words: &[u64]) -> Result<(), HmcError> {
         let mut bytes = Vec::with_capacity(words.len() * 8);
         for w in words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
         self.write(addr, &bytes)
+    }
+}
+
+impl Clone for SparseMemory {
+    fn clone(&self) -> Self {
+        SparseMemory {
+            shards: self.shards.iter().map(|s| Mutex::new(s.lock().clone())).collect(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl std::fmt::Debug for SparseMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Page contents are excluded on purpose: checkpoint equality
+        // goes through `content_digest()`, and the derived map output
+        // would be iteration-order dependent anyway.
+        f.debug_struct("SparseMemory")
+            .field("capacity", &self.capacity)
+            .field("resident_pages", &self.resident_pages())
+            .finish()
     }
 }
 
@@ -159,7 +212,7 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let mut mem = SparseMemory::new(1 << 20);
+        let mem = SparseMemory::new(1 << 20);
         mem.write(0x100, b"hybrid memory cube").unwrap();
         let mut buf = [0u8; 18];
         mem.read(0x100, &mut buf).unwrap();
@@ -168,7 +221,7 @@ mod tests {
 
     #[test]
     fn cross_page_access() {
-        let mut mem = SparseMemory::new(1 << 20);
+        let mem = SparseMemory::new(1 << 20);
         let addr = PAGE_BYTES as u64 - 4;
         mem.write_u64(addr, 0x1122_3344_5566_7788).unwrap();
         assert_eq!(mem.read_u64(addr).unwrap(), 0x1122_3344_5566_7788);
@@ -177,7 +230,7 @@ mod tests {
 
     #[test]
     fn capacity_enforced() {
-        let mut mem = SparseMemory::new(4096);
+        let mem = SparseMemory::new(4096);
         assert!(mem.write_u64(4092, 1).is_err());
         assert!(mem.read_u64(4092).is_err());
         assert!(mem.write_u64(4088, 1).is_ok());
@@ -192,7 +245,7 @@ mod tests {
 
     #[test]
     fn u128_round_trip() {
-        let mut mem = SparseMemory::new(1 << 16);
+        let mem = SparseMemory::new(1 << 16);
         let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
         mem.write_u128(0x40, v).unwrap();
         assert_eq!(mem.read_u128(0x40).unwrap(), v);
@@ -203,7 +256,7 @@ mod tests {
 
     #[test]
     fn word_vector_round_trip() {
-        let mut mem = SparseMemory::new(1 << 16);
+        let mem = SparseMemory::new(1 << 16);
         let words: Vec<u64> = (0..32).map(|i| i * 0x0101_0101).collect();
         mem.write_words(0x200, &words).unwrap();
         assert_eq!(mem.read_words(0x200, 32).unwrap(), words);
@@ -211,10 +264,46 @@ mod tests {
 
     #[test]
     fn sparse_pages_only_materialize_on_write() {
-        let mut mem = SparseMemory::new(4 << 30);
+        let mem = SparseMemory::new(4 << 30);
         mem.write_u64(3 << 30, 7).unwrap();
         assert_eq!(mem.resident_pages(), 1);
         assert_eq!(mem.read_u64(1 << 30).unwrap(), 0);
         assert_eq!(mem.resident_pages(), 1, "reads do not allocate");
+    }
+
+    #[test]
+    fn digest_is_materialization_order_independent() {
+        let a = SparseMemory::new(1 << 24);
+        let b = SparseMemory::new(1 << 24);
+        for i in 0..64u64 {
+            a.write_u64(i * 4096, i).unwrap();
+            b.write_u64((63 - i) * 4096, 63 - i).unwrap();
+        }
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.write_u64(0, 99).unwrap();
+        assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn shared_reference_writes_from_threads() {
+        let mem = std::sync::Arc::new(SparseMemory::new(1 << 24));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = std::sync::Arc::clone(&mem);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        m.write_u64((t << 20) + i * 8, t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in 0..256u64 {
+                assert_eq!(mem.read_u64((t << 20) + i * 8).unwrap(), t * 1000 + i);
+            }
+        }
     }
 }

@@ -15,7 +15,7 @@ proptest! {
         addr in 0u64..(1 << 20),
         data in prop::collection::vec(any::<u8>(), 1..512),
     ) {
-        let mut m = mem();
+        let m = mem();
         m.write(addr, &data).unwrap();
         let mut back = vec![0u8; data.len()];
         m.read(addr, &mut back).unwrap();
@@ -29,7 +29,7 @@ proptest! {
         va in any::<u64>(),
         vb in any::<u64>(),
     ) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(a * 8, va).unwrap();
         m.write_u64(b * 8, vb).unwrap();
         prop_assert_eq!(m.read_u64(a * 8).unwrap(), va);
@@ -38,10 +38,10 @@ proptest! {
 
     #[test]
     fn inc8_matches_wrapping_add(init in any::<u64>(), times in 1usize..16) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, init).unwrap();
         for _ in 0..times {
-            execute(HmcRqst::Inc8, &mut m, 0x40, &[]).unwrap();
+            execute(HmcRqst::Inc8, &m, 0x40, &[]).unwrap();
         }
         prop_assert_eq!(m.read_u64(0x40).unwrap(), init.wrapping_add(times as u64));
     }
@@ -51,10 +51,10 @@ proptest! {
         m0 in any::<u64>(), m1 in any::<u64>(),
         i0 in any::<u64>(), i1 in any::<u64>(),
     ) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, m0).unwrap();
         m.write_u64(0x48, m1).unwrap();
-        let r = execute(HmcRqst::TwoAddS8R, &mut m, 0x40, &[i0, i1]).unwrap();
+        let r = execute(HmcRqst::TwoAddS8R, &m, 0x40, &[i0, i1]).unwrap();
         prop_assert_eq!(r.payload, vec![m0, m1]);
         prop_assert_eq!(m.read_u64(0x40).unwrap(), (m0 as i64).wrapping_add(i0 as i64) as u64);
         prop_assert_eq!(m.read_u64(0x48).unwrap(), (m1 as i64).wrapping_add(i1 as i64) as u64);
@@ -62,9 +62,9 @@ proptest! {
 
     #[test]
     fn add16_matches_i128_oracle(init in any::<u128>(), imm in any::<u128>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, init).unwrap();
-        execute(HmcRqst::Add16, &mut m, 0x40, &[imm as u64, (imm >> 64) as u64]).unwrap();
+        execute(HmcRqst::Add16, &m, 0x40, &[imm as u64, (imm >> 64) as u64]).unwrap();
         prop_assert_eq!(
             m.read_u128(0x40).unwrap(),
             (init as i128).wrapping_add(imm as i128) as u128
@@ -73,9 +73,9 @@ proptest! {
 
     #[test]
     fn caseq8_is_a_correct_cas(init in any::<u64>(), cmp in any::<u64>(), swap in any::<u64>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, init).unwrap();
-        let r = execute(HmcRqst::CasEq8, &mut m, 0x40, &[swap, cmp]).unwrap();
+        let r = execute(HmcRqst::CasEq8, &m, 0x40, &[swap, cmp]).unwrap();
         prop_assert_eq!(r.af, init == cmp);
         prop_assert_eq!(r.payload[0], init);
         let expect = if init == cmp { swap } else { init };
@@ -84,9 +84,9 @@ proptest! {
 
     #[test]
     fn bwr_only_touches_masked_bits(init in any::<u64>(), data in any::<u64>(), mask in any::<u64>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, init).unwrap();
-        execute(HmcRqst::Bwr, &mut m, 0x40, &[data, mask]).unwrap();
+        execute(HmcRqst::Bwr, &m, 0x40, &[data, mask]).unwrap();
         let result = m.read_u64(0x40).unwrap();
         prop_assert_eq!(result & !mask, init & !mask, "unmasked bits preserved");
         prop_assert_eq!(result & mask, data & mask, "masked bits written");
@@ -94,11 +94,11 @@ proptest! {
 
     #[test]
     fn swap16_then_swap_back_restores(init in any::<u128>(), new in any::<u128>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, init).unwrap();
-        let r1 = execute(HmcRqst::Swap16, &mut m, 0x40, &[new as u64, (new >> 64) as u64]).unwrap();
+        let r1 = execute(HmcRqst::Swap16, &m, 0x40, &[new as u64, (new >> 64) as u64]).unwrap();
         let r2 = execute(
-            HmcRqst::Swap16, &mut m, 0x40, &[r1.payload[0], r1.payload[1]],
+            HmcRqst::Swap16, &m, 0x40, &[r1.payload[0], r1.payload[1]],
         ).unwrap();
         prop_assert_eq!(r2.payload, vec![new as u64, (new >> 64) as u64]);
         prop_assert_eq!(m.read_u128(0x40).unwrap(), init);
@@ -106,19 +106,19 @@ proptest! {
 
     #[test]
     fn boolean_double_xor_is_identity(init in any::<u128>(), op in any::<u128>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u128(0x40, init).unwrap();
         let words = [op as u64, (op >> 64) as u64];
-        execute(HmcRqst::Xor16, &mut m, 0x40, &words).unwrap();
-        execute(HmcRqst::Xor16, &mut m, 0x40, &words).unwrap();
+        execute(HmcRqst::Xor16, &m, 0x40, &words).unwrap();
+        execute(HmcRqst::Xor16, &m, 0x40, &words).unwrap();
         prop_assert_eq!(m.read_u128(0x40).unwrap(), init);
     }
 
     #[test]
     fn eq8_never_mutates(init in any::<u64>(), cmp in any::<u64>()) {
-        let mut m = mem();
+        let m = mem();
         m.write_u64(0x40, init).unwrap();
-        let r = execute(HmcRqst::Eq8, &mut m, 0x40, &[cmp, 0]).unwrap();
+        let r = execute(HmcRqst::Eq8, &m, 0x40, &[cmp, 0]).unwrap();
         prop_assert_eq!(r.af, init == cmp);
         prop_assert_eq!(m.read_u64(0x40).unwrap(), init);
     }

@@ -221,6 +221,78 @@ impl Default for DeviceConfig {
     }
 }
 
+/// How the tick loop advances the vault stage of each cycle.
+///
+/// `Sequential` is the reference semantics; `Parallel` shards the
+/// vault-execution stage of [`crate::HmcSim::clock`] across a fixed
+/// worker pool using a bound-then-commit discipline that is
+/// bit-identical to `Sequential` for every cycle (the differential
+/// determinism suite pins this). See DESIGN.md "Execution model".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Advance every component in fixed order on the calling thread
+    /// (the reference semantics; the default).
+    #[default]
+    Sequential,
+    /// Shard the vault-execution stage across `threads` lanes (the
+    /// calling thread plus `threads - 1` pool workers). `threads == 1`
+    /// exercises the plan/commit machinery without spawning workers.
+    Parallel {
+        /// Total execution lanes (1..=64).
+        threads: usize,
+    },
+}
+
+/// Environment variable consulted by [`ExecMode::resolve_env`]; set to
+/// an integer > 1 to opt unconfigured simulations into parallel mode.
+pub const EXEC_THREADS_ENV: &str = "HMCSIM_THREADS";
+
+impl ExecMode {
+    /// Upper bound on worker lanes (far beyond any useful shard count —
+    /// there are at most 8 devices × 32 vaults to spread).
+    pub const MAX_THREADS: usize = 64;
+
+    /// Resolves the effective mode, letting the `HMCSIM_THREADS`
+    /// environment variable upgrade an unconfigured (`Sequential`)
+    /// mode — this is how the CI matrix drives the whole test suite
+    /// through the parallel engine without touching call sites. An
+    /// explicit `Parallel` setting always wins; `HMCSIM_THREADS=1` (or
+    /// garbage) leaves `Sequential` in place.
+    pub fn resolve_env(self) -> Self {
+        match self {
+            ExecMode::Sequential => match std::env::var(EXEC_THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+            {
+                Some(n) if n > 1 => ExecMode::Parallel { threads: n.min(Self::MAX_THREADS) },
+                _ => ExecMode::Sequential,
+            },
+            explicit => explicit,
+        }
+    }
+
+    /// Number of execution lanes (1 for sequential mode).
+    pub fn threads(self) -> usize {
+        match self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { threads } => threads,
+        }
+    }
+
+    /// Validates the lane count.
+    pub fn validate(self) -> Result<(), HmcError> {
+        match self {
+            ExecMode::Parallel { threads } if threads == 0 || threads > Self::MAX_THREADS => {
+                Err(HmcError::MalformedPacket(format!(
+                    "exec_mode threads must be 1..={}, got {threads}",
+                    Self::MAX_THREADS
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
 /// How multiple devices are wired together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinkTopology {
@@ -247,6 +319,10 @@ pub struct SimConfig {
     /// guaranteed zero-perturbation, and even enabled telemetry only
     /// observes).
     pub telemetry: crate::telemetry::TelemetryConfig,
+    /// Tick execution mode ([`ExecMode::Sequential`] by default; the
+    /// `HMCSIM_THREADS` environment variable can upgrade the default,
+    /// see [`ExecMode::resolve_env`]).
+    pub exec_mode: ExecMode,
 }
 
 impl SimConfig {
@@ -257,6 +333,7 @@ impl SimConfig {
             topology: LinkTopology::HostOnly,
             sanitizer: Default::default(),
             telemetry: Default::default(),
+            exec_mode: Default::default(),
         }
     }
 
@@ -267,6 +344,7 @@ impl SimConfig {
             topology: LinkTopology::Chain,
             sanitizer: Default::default(),
             telemetry: Default::default(),
+            exec_mode: Default::default(),
         }
     }
 
@@ -282,6 +360,7 @@ impl SimConfig {
         for d in &self.devices {
             d.validate()?;
         }
+        self.exec_mode.validate()?;
         Ok(())
     }
 }
@@ -345,7 +424,25 @@ mod tests {
             topology: LinkTopology::HostOnly,
             sanitizer: Default::default(),
             telemetry: Default::default(),
+            exec_mode: Default::default(),
         };
         assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn exec_mode_bounds_and_threads() {
+        assert_eq!(ExecMode::Sequential.threads(), 1);
+        assert_eq!(ExecMode::Parallel { threads: 4 }.threads(), 4);
+        assert!(ExecMode::Parallel { threads: 0 }.validate().is_err());
+        assert!(ExecMode::Parallel { threads: 65 }.validate().is_err());
+        assert!(ExecMode::Parallel { threads: 1 }.validate().is_ok());
+        let mut c = SimConfig::single(DeviceConfig::default());
+        c.exec_mode = ExecMode::Parallel { threads: 0 };
+        assert!(c.validate().is_err());
+        // An explicit setting is never overridden by the environment.
+        assert_eq!(
+            ExecMode::Parallel { threads: 2 }.resolve_env(),
+            ExecMode::Parallel { threads: 2 }
+        );
     }
 }

@@ -20,19 +20,20 @@
 //! giving an uncontended request a three-cycle round trip.
 
 use crate::addr::AddressMap;
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, SpecRevision};
 use crate::dram::{Bank, BankTiming};
 use crate::fault::{FaultRng, ERRSTAT_VAULT_FAULT};
 use crate::power::{PowerConfig, PowerModel};
 use crate::queue::BoundedQueue;
 use crate::regs::RegisterFile;
 use crate::stats::DeviceStats;
-use crate::trace::{TraceLevel, Tracer};
+use crate::trace::{TraceLane, TraceLevel, Tracer};
 use hmc_cmc::{CmcContext, CmcRegistry};
 use hmc_mem::SparseMemory;
 use hmc_types::packet::payload_words;
 use hmc_types::rsp::HmcResponse;
 use hmc_types::{CmdKind, Cub, HmcError, HmcRqst, Request, Response, RspHead, RspTail, Slid};
+use std::sync::Arc;
 
 /// A request in flight inside the simulator, carrying the host-side
 /// bookkeeping the C implementation keeps in its packet envelopes.
@@ -128,6 +129,46 @@ pub(crate) enum Egress {
     Forward(TrackedResponse),
 }
 
+/// Why a vault's planned execution window stopped short this cycle.
+/// Replayed at commit so stall traces and counters are bit-identical
+/// to the sequential path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StallKind {
+    /// The head request's bank is blocked by a refresh window.
+    Refresh {
+        /// Bank index within the vault.
+        bank: usize,
+    },
+    /// The head request's bank is still serving a prior access.
+    BankBusy {
+        /// Bank index within the vault.
+        bank: usize,
+    },
+    /// The vault response queue has no room for the head's response.
+    RspFull,
+}
+
+/// The per-vault outcome of the pure planning pass: how many queued
+/// requests the vault retires this cycle, their decoded locations,
+/// the post-access bank states to write back at take time, and the
+/// stall (if any) that terminated the window.
+#[derive(Debug)]
+pub(crate) struct VaultPlan {
+    pub(crate) vault: usize,
+    pub(crate) take: usize,
+    pub(crate) locs: Vec<crate::addr::Location>,
+    pub(crate) banks: Vec<(usize, Bank)>,
+    pub(crate) stall: Option<StallKind>,
+}
+
+/// The work handed to a compute lane for one vault: the popped
+/// requests paired with their decoded locations, in queue order.
+#[derive(Debug)]
+pub(crate) struct VaultWork {
+    pub(crate) vault: usize,
+    pub(crate) items: Vec<(TrackedRequest, crate::addr::Location)>,
+}
+
 /// A single simulated HMC device.
 #[derive(Debug)]
 pub struct Device {
@@ -137,7 +178,10 @@ pub struct Device {
     xbar_rqst: Vec<BoundedQueue<TrackedRequest>>,
     xbar_rsp: Vec<BoundedQueue<TrackedResponse>>,
     vaults: Vec<Vault>,
-    mem: SparseMemory,
+    /// Behind an `Arc` so parallel vault workers can hold a `'static`
+    /// handle during the compute phase; between cycles the device is
+    /// the sole owner. `SparseMemory`'s accessors take `&self`.
+    mem: Arc<SparseMemory>,
     cmc: CmcRegistry,
     regs: RegisterFile,
     stats: DeviceStats,
@@ -171,7 +215,7 @@ impl Device {
                 .map(|_| BoundedQueue::new(config.xbar_queue_depth))
                 .collect(),
             vaults: (0..config.total_vaults()).map(|_| Vault::new(&config)).collect(),
-            mem: SparseMemory::new(config.capacity),
+            mem: Arc::new(SparseMemory::new(config.capacity)),
             cmc: CmcRegistry::new(),
             regs: RegisterFile::new(config.capacity, config.links),
             stats: DeviceStats::default(),
@@ -235,9 +279,17 @@ impl Device {
         &self.mem
     }
 
-    /// Host backdoor: direct memory write.
-    pub fn mem_mut(&mut self) -> &mut SparseMemory {
-        &mut self.mem
+    /// Host backdoor: direct memory write. The store's mutation
+    /// methods take `&self` (interior mutability), but the backdoor
+    /// keeps requiring `&mut Device` so setup writes cannot race a
+    /// parallel compute phase.
+    pub fn mem_mut(&mut self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// A shared handle to the backing store for parallel vault workers.
+    pub(crate) fn mem_arc(&self) -> Arc<SparseMemory> {
+        Arc::clone(&self.mem)
     }
 
     /// Counts a host-visible send stall (link layer rejected the
@@ -511,20 +563,11 @@ impl Device {
                         stats.responses += 1;
                         vault
                             .rsp
-                            .try_push(TrackedResponse {
-                                rsp: error_response(*id, &item, ERRSTAT_VAULT_FAULT),
-                                issue_cycle: item.issue_cycle,
-                                complete_cycle: 0,
-                                latency: 0,
-                                entry_device: item.entry_device,
-                                entry_link: item.entry_link,
-                                class: crate::stats::CmdClass::of(item.req.head.cmd.kind()),
-                                stages: crate::telemetry::StageStamps {
-                                    vault_enq: item.vault_enq_cycle,
-                                    exec: cycle,
-                                    ..Default::default()
-                                },
-                            })
+                            .try_push(tracked_response(
+                                error_response(*id, &item, ERRSTAT_VAULT_FAULT),
+                                &item,
+                                cycle,
+                            ))
                             .expect("rsp queue checked above");
                     } else {
                         absorbed += 1;
@@ -558,24 +601,226 @@ impl Device {
                     stats.responses += 1;
                     vault
                         .rsp
-                        .try_push(TrackedResponse {
-                            rsp,
-                            issue_cycle: item.issue_cycle,
-                            complete_cycle: 0,
-                            latency: 0,
-                            entry_device: item.entry_device,
-                            entry_link: item.entry_link,
-                            class: crate::stats::CmdClass::of(item.req.head.cmd.kind()),
-                            stages: crate::telemetry::StageStamps {
-                                vault_enq: item.vault_enq_cycle,
-                                exec: cycle,
-                                ..Default::default()
-                            },
-                        })
+                        .try_push(tracked_response(rsp, &item, cycle))
                         .expect("rsp queue checked above");
                 } else {
                     absorbed += 1;
                 }
+            }
+        }
+        absorbed
+    }
+
+    /// Pure planning pass for the parallel engine: replays the exact
+    /// head-of-line decision sequence of [`Device::execute_vaults`]
+    /// without mutating anything, deciding per vault how many requests
+    /// retire this cycle and which stall (if any) ends the window.
+    ///
+    /// Returns `None` when the cycle must run on the serial reference
+    /// path instead:
+    /// - any probabilistic fault injection is enabled (each executed
+    ///   request consumes `FaultRng` state, and that stream must be
+    ///   drawn in sequential order),
+    /// - a mode or CMC command is in the planned window (register
+    ///   file and CMC registry are serial device state),
+    /// - two planned requests from different vaults touch overlapping
+    ///   byte ranges with at least one writer (the compute phase
+    ///   would race; the footprint test over-approximates, which is
+    ///   safe because `check_range` rejects out-of-bounds accesses
+    ///   before any mutation).
+    pub(crate) fn plan_vault_stage(&self, cycle: u64) -> Option<Vec<VaultPlan>> {
+        if self.config.fault.vault_error_per_million > 0
+            || self.config.fault.poison_per_million > 0
+        {
+            return None;
+        }
+        let mut plans = Vec::with_capacity(self.vaults.len());
+        // (start, end, write, vault) byte-range footprints of every
+        // planned request, for the cross-vault conflict sweep.
+        let mut footprints: Vec<(u64, u64, bool, usize)> = Vec::new();
+        for (vidx, vault) in self.vaults.iter().enumerate() {
+            let mut plan = VaultPlan {
+                vault: vidx,
+                take: 0,
+                locs: Vec::new(),
+                banks: Vec::new(),
+                stall: None,
+            };
+            // Virtual response-queue occupancy: grows as planned
+            // requests promise responses, exactly as the real queue
+            // grows during sequential execution.
+            let mut virt_rsp = vault.rsp.len();
+            for i in 0..self.config.vault_bandwidth {
+                let Some(head) = vault.rqst.peek_at(i) else { break };
+                if head.ready_cycle > cycle {
+                    break;
+                }
+                let cmd = head.req.head.cmd;
+                let kind = cmd.kind();
+                if matches!(kind, CmdKind::ModeRead | CmdKind::ModeWrite | CmdKind::Cmc) {
+                    return None;
+                }
+                let loc = match self.map.decompose(head.req.head.addr) {
+                    Ok(loc) => loc,
+                    Err(_) => crate::addr::Location {
+                        quad: 0,
+                        vault: vidx as u32,
+                        bank: 0,
+                        row: 0,
+                        offset: 0,
+                    },
+                };
+                let bank = loc.bank as usize % self.config.banks_per_vault;
+                if let Some(refresh) = &self.config.refresh {
+                    let global_bank = (vidx * self.config.banks_per_vault + bank) as u64;
+                    let total =
+                        (self.config.total_vaults() * self.config.banks_per_vault) as u64;
+                    if refresh.blocks(cycle, global_bank, total) {
+                        plan.stall = Some(StallKind::Refresh { bank });
+                        break;
+                    }
+                }
+                // Check the plan-local bank copy if this window
+                // already touched the bank, else the live bank.
+                let bank_state = plan
+                    .banks
+                    .iter()
+                    .find(|(b, _)| *b == bank)
+                    .map(|(_, s)| s)
+                    .unwrap_or(&vault.banks[bank]);
+                if bank_state.is_busy(cycle) {
+                    plan.stall = Some(StallKind::BankBusy { bank });
+                    break;
+                }
+                let posted = is_posted(&head.req, &self.cmc);
+                if !posted && virt_rsp >= vault.rsp.depth() {
+                    plan.stall = Some(StallKind::RspFull);
+                    break;
+                }
+                let will_respond = if !self.config.revision.supports(cmd) {
+                    !cmd.is_posted()
+                } else {
+                    !posted && kind != CmdKind::Flow
+                };
+                if will_respond {
+                    virt_rsp += 1;
+                }
+                if let Some((start, end, write)) = data_footprint(&head.req) {
+                    footprints.push((start, end, write, vidx));
+                }
+                // Advance a copy of the bank exactly as execution
+                // will at take time.
+                let mut state = bank_state.clone();
+                state.access(cycle, loc.row, &self.bank_timing);
+                match plan.banks.iter_mut().find(|(b, _)| *b == bank) {
+                    Some(slot) => slot.1 = state,
+                    None => plan.banks.push((bank, state)),
+                }
+                plan.locs.push(loc);
+                plan.take += 1;
+            }
+            plans.push(plan);
+        }
+        // Cross-vault conflict sweep over the sorted footprints: for
+        // each range, scan forward while ranges still start before it
+        // ends.
+        footprints.sort_unstable();
+        for i in 0..footprints.len() {
+            let (_, end_i, write_i, vault_i) = footprints[i];
+            for &(start_j, _, write_j, vault_j) in &footprints[i + 1..] {
+                if start_j >= end_i {
+                    break;
+                }
+                if vault_j != vault_i && (write_i || write_j) {
+                    return None;
+                }
+            }
+        }
+        Some(plans)
+    }
+
+    /// Applies the *take* side of a plan: pops the planned requests,
+    /// writes the advanced bank states back, and books the stall and
+    /// DRAM-access accounting the sequential path performs inline.
+    /// Must run on the coordinating thread before the compute phase.
+    pub(crate) fn take_parallel_work(&mut self, plans: &[VaultPlan]) -> Vec<VaultWork> {
+        let mut work = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let vault = &mut self.vaults[plan.vault];
+            let mut items = Vec::with_capacity(plan.take);
+            for loc in &plan.locs {
+                let item = vault.rqst.pop().expect("planned item present");
+                items.push((item, *loc));
+            }
+            for (bank, state) in &plan.banks {
+                vault.banks[*bank] = state.clone();
+            }
+            for _ in 0..plan.take {
+                self.power.add_dram_access();
+            }
+            if plan.stall.is_some() {
+                self.stats.vault_stalls += 1;
+            }
+            work.push(VaultWork { vault: plan.vault, items });
+        }
+        work
+    }
+
+    /// Commit phase for one device: replays each vault's deferred
+    /// trace events, pushes its responses into the vault response
+    /// queue (occupancy was reserved by the plan), folds the shard-
+    /// local stat/power deltas in, and re-emits the planned stall
+    /// events — all in vault-index order, so the observable effect is
+    /// bit-identical to [`Device::execute_vaults`]. Returns the
+    /// absorbed-request tally for the sanitizer.
+    pub(crate) fn commit_parallel_vaults(
+        &mut self,
+        cycle: u64,
+        plans: &[VaultPlan],
+        results: Vec<crate::parallel::VaultResult>,
+        tracer: &mut Tracer,
+    ) -> u64 {
+        let mut absorbed = 0u64;
+        let mut results = results.into_iter().peekable();
+        for plan in plans {
+            if results.peek().is_some_and(|r| r.vault == plan.vault) {
+                let r = results.next().expect("peeked");
+                tracer.replay(&r.events);
+                for rsp in r.responses {
+                    match rsp {
+                        Some(tr) => {
+                            self.stats.responses += 1;
+                            self.vaults[plan.vault]
+                                .rsp
+                                .try_push(tr)
+                                .expect("rsp occupancy reserved by plan");
+                        }
+                        None => absorbed += 1,
+                    }
+                }
+                self.stats.merge(&r.stats);
+                self.power.merge_counts(&r.power);
+            }
+            match plan.stall {
+                Some(StallKind::Refresh { bank }) => tracer.event(
+                    TraceLevel::BANK,
+                    cycle,
+                    "BANK",
+                    format_args!("refresh: vault={} bank={bank}", plan.vault),
+                ),
+                Some(StallKind::BankBusy { bank }) => tracer.event(
+                    TraceLevel::BANK,
+                    cycle,
+                    "BANK",
+                    format_args!("bank busy: vault={} bank={bank}", plan.vault),
+                ),
+                Some(StallKind::RspFull) => tracer.event(
+                    TraceLevel::STALL,
+                    cycle,
+                    "STALL",
+                    format_args!("vault rsp queue full: vault={}", plan.vault),
+                ),
+                None => {}
             }
         }
         absorbed
@@ -737,7 +982,7 @@ impl Device {
             xbar_rqst: self.xbar_rqst.clone(),
             xbar_rsp: self.xbar_rsp.clone(),
             vaults: self.vaults.clone(),
-            mem: self.mem.clone(),
+            mem: (*self.mem).clone(),
             regs: self.regs.clone(),
             stats: self.stats.clone(),
             power: self.power.clone(),
@@ -753,7 +998,7 @@ impl Device {
         self.xbar_rqst = s.xbar_rqst.clone();
         self.xbar_rsp = s.xbar_rsp.clone();
         self.vaults = s.vaults.clone();
-        self.mem = s.mem.clone();
+        self.mem = Arc::new(s.mem.clone());
         self.regs = s.regs.clone();
         self.stats = s.stats.clone();
         self.power = s.power.clone();
@@ -819,6 +1064,29 @@ fn is_posted(req: &Request, cmc: &CmcRegistry) -> bool {
     }
 }
 
+/// The byte range `[start, end)` a data-path request may touch, plus
+/// whether it writes; `None` for footprint-free packets (flow). An
+/// over-approximation is safe here: `check_range` rejects
+/// out-of-bounds accesses before any mutation, so a request that
+/// would fail touches nothing regardless of its nominal range.
+fn data_footprint(req: &Request) -> Option<(u64, u64, bool)> {
+    let cmd = req.head.cmd;
+    let addr = req.head.addr;
+    match cmd.kind() {
+        CmdKind::Read => {
+            let bytes = cmd.fixed_info().map(|i| i.data_bytes as u64).unwrap_or(0);
+            Some((addr, addr.saturating_add(bytes), false))
+        }
+        CmdKind::Write | CmdKind::PostedWrite => {
+            Some((addr, addr.saturating_add(req.payload.len() as u64 * 8), true))
+        }
+        // Every atomic operates on at most 16 bytes at the target
+        // address.
+        CmdKind::Atomic | CmdKind::PostedAtomic => Some((addr, addr.saturating_add(16), true)),
+        CmdKind::Flow | CmdKind::ModeRead | CmdKind::ModeWrite | CmdKind::Cmc => None,
+    }
+}
+
 /// Builds an error response for a failed request.
 fn error_response(dev: usize, item: &TrackedRequest, errstat: u8) -> Response {
     Response {
@@ -858,15 +1126,154 @@ fn make_response(
     }
 }
 
+/// Wraps a response packet with the in-flight bookkeeping copied from
+/// its originating request (the single construction point for stage-3
+/// responses, shared by the sequential path and the parallel workers).
+pub(crate) fn tracked_response(rsp: Response, item: &TrackedRequest, cycle: u64) -> TrackedResponse {
+    TrackedResponse {
+        rsp,
+        issue_cycle: item.issue_cycle,
+        complete_cycle: 0,
+        latency: 0,
+        entry_device: item.entry_device,
+        entry_link: item.entry_link,
+        class: crate::stats::CmdClass::of(item.req.head.cmd.kind()),
+        stages: crate::telemetry::StageStamps {
+            vault_enq: item.vault_enq_cycle,
+            exec: cycle,
+            ..Default::default()
+        },
+    }
+}
+
+/// Executes one *data-path* request — flow, read, write or atomic —
+/// against the backing store. This is the single execution core shared
+/// by the sequential reference path and the parallel vault workers:
+/// it touches only `mem` (interior-mutable, `&self`) plus the caller's
+/// accumulators, so a worker lane can run it with a shard-local
+/// `DeviceStats`/`PowerModel`/[`TraceLane::Deferred`] and the commit
+/// phase merges the deltas. Mode and CMC commands are *not* handled
+/// here (they touch the register file / CMC registry and execute only
+/// on the sequential path).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_data_request(
+    dev: usize,
+    revision: SpecRevision,
+    item: &TrackedRequest,
+    loc: &crate::addr::Location,
+    mem: &SparseMemory,
+    stats: &mut DeviceStats,
+    power: &mut PowerModel,
+    cycle: u64,
+    lane: &mut TraceLane<'_>,
+) -> Option<Response> {
+    let cmd = item.req.head.cmd;
+    let addr = item.req.head.addr;
+    let kind = cmd.kind();
+    stats.count_kind(kind);
+
+    // Revision gate: a Gen1 part rejects Gen2-only commands with an
+    // error response (HMC-Sim 1.0 never accepted them).
+    if !revision.supports(cmd) {
+        lane.event(
+            TraceLevel::CMD,
+            cycle,
+            "RQST",
+            format_args!("CMD={} rejected: not in {:?}", cmd.mnemonic(), revision),
+        );
+        stats.error_responses += 1;
+        return if cmd.is_posted() { None } else { Some(error_response(dev, item, 0x20)) };
+    }
+
+    let trace_cmd = |lane: &mut TraceLane<'_>, name: &str| {
+        lane.event(
+            TraceLevel::CMD,
+            cycle,
+            "RQST",
+            format_args!(
+                "CMD={name} CUB={dev} QUAD={} VAULT={} BANK={} ADDR={addr:#x} TAG={}",
+                loc.quad,
+                loc.vault,
+                loc.bank,
+                item.req.head.tag.value()
+            ),
+        );
+    };
+
+    let fail = |stats: &mut DeviceStats, errstat: u8, posted: bool| {
+        stats.error_responses += 1;
+        if posted {
+            None
+        } else {
+            Some(error_response(dev, item, errstat))
+        }
+    };
+
+    match kind {
+        CmdKind::Flow => {
+            trace_cmd(lane, &cmd.mnemonic());
+            None
+        }
+        CmdKind::Read => {
+            trace_cmd(lane, &cmd.mnemonic());
+            let bytes = cmd.fixed_info().expect("standard").data_bytes as usize;
+            match mem.read_words(addr, bytes / 8) {
+                Ok(payload) => Some(make_response(dev, item, HmcResponse::RdRs, payload, false)),
+                Err(_) => fail(stats, 0x01, false),
+            }
+        }
+        CmdKind::Write | CmdKind::PostedWrite => {
+            trace_cmd(lane, &cmd.mnemonic());
+            let posted = kind == CmdKind::PostedWrite;
+            match mem.write_words(addr, &item.req.payload) {
+                Ok(()) => {
+                    if posted {
+                        None
+                    } else {
+                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], false))
+                    }
+                }
+                Err(_) => fail(stats, 0x01, posted),
+            }
+        }
+        CmdKind::Atomic | CmdKind::PostedAtomic => {
+            trace_cmd(lane, &cmd.mnemonic());
+            power.add_logic_op();
+            let posted = kind == CmdKind::PostedAtomic;
+            match hmc_mem::amo::execute(cmd, mem, addr, &item.req.payload) {
+                Ok(out) => {
+                    let rsp_flits = cmd.fixed_info().expect("standard").rsp_flits;
+                    if rsp_flits == 0 {
+                        None
+                    } else if rsp_flits == 1 {
+                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], out.af))
+                    } else {
+                        let mut payload = out.payload;
+                        payload.resize(payload_words(rsp_flits), 0);
+                        Some(make_response(dev, item, HmcResponse::RdRs, payload, out.af))
+                    }
+                }
+                Err(_) => fail(stats, 0x03, posted),
+            }
+        }
+        CmdKind::ModeRead | CmdKind::ModeWrite | CmdKind::Cmc => {
+            unreachable!("serial-only command kinds are routed to execute_request")
+        }
+    }
+}
+
 /// Executes one request against the device state, returning the
-/// response packet (None for posted/flow commands).
+/// response packet (None for posted/flow commands). Data-path kinds
+/// delegate to [`execute_data_request`]; mode and CMC commands (which
+/// touch the register file and CMC registry) are handled here, on the
+/// sequential path only.
 #[allow(clippy::too_many_arguments)]
 fn execute_request(
     dev: usize,
     config: &DeviceConfig,
     item: &TrackedRequest,
     loc: &crate::addr::Location,
-    mem: &mut SparseMemory,
+    mem: &SparseMemory,
     cmc: &CmcRegistry,
     regs: &mut RegisterFile,
     stats: &mut DeviceStats,
@@ -877,10 +1284,23 @@ fn execute_request(
     let cmd = item.req.head.cmd;
     let addr = item.req.head.addr;
     let kind = cmd.kind();
+    if !matches!(kind, CmdKind::ModeRead | CmdKind::ModeWrite | CmdKind::Cmc) {
+        let mut lane = TraceLane::Live(tracer);
+        return execute_data_request(
+            dev,
+            config.revision,
+            item,
+            loc,
+            mem,
+            stats,
+            power,
+            cycle,
+            &mut lane,
+        );
+    }
     stats.count_kind(kind);
 
-    // Revision gate: a Gen1 part rejects Gen2-only commands with an
-    // error response (HMC-Sim 1.0 never accepted them).
+    // Revision gate, as in `execute_data_request`.
     if !config.revision.supports(cmd) {
         tracer.event(
             TraceLevel::CMD,
@@ -917,32 +1337,6 @@ fn execute_request(
     };
 
     match kind {
-        CmdKind::Flow => {
-            trace_cmd(tracer, &cmd.mnemonic());
-            None
-        }
-        CmdKind::Read => {
-            trace_cmd(tracer, &cmd.mnemonic());
-            let bytes = cmd.fixed_info().expect("standard").data_bytes as usize;
-            match mem.read_words(addr, bytes / 8) {
-                Ok(payload) => Some(make_response(dev, item, HmcResponse::RdRs, payload, false)),
-                Err(_) => fail(stats, 0x01, false),
-            }
-        }
-        CmdKind::Write | CmdKind::PostedWrite => {
-            trace_cmd(tracer, &cmd.mnemonic());
-            let posted = kind == CmdKind::PostedWrite;
-            match mem.write_words(addr, &item.req.payload) {
-                Ok(()) => {
-                    if posted {
-                        None
-                    } else {
-                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], false))
-                    }
-                }
-                Err(_) => fail(stats, 0x01, posted),
-            }
-        }
         CmdKind::ModeRead => {
             trace_cmd(tracer, "MD_RD");
             match regs.read(addr as u32) {
@@ -956,26 +1350,6 @@ fn execute_request(
             match regs.write(addr as u32, value) {
                 Ok(()) => Some(make_response(dev, item, HmcResponse::MdWrRs, vec![], false)),
                 Err(_) => fail(stats, 0x02, false),
-            }
-        }
-        CmdKind::Atomic | CmdKind::PostedAtomic => {
-            trace_cmd(tracer, &cmd.mnemonic());
-            power.add_logic_op();
-            let posted = kind == CmdKind::PostedAtomic;
-            match hmc_mem::amo::execute(cmd, mem, addr, &item.req.payload) {
-                Ok(out) => {
-                    let rsp_flits = cmd.fixed_info().expect("standard").rsp_flits;
-                    if rsp_flits == 0 {
-                        None
-                    } else if rsp_flits == 1 {
-                        Some(make_response(dev, item, HmcResponse::WrRs, vec![], out.af))
-                    } else {
-                        let mut payload = out.payload;
-                        payload.resize(payload_words(rsp_flits), 0);
-                        Some(make_response(dev, item, HmcResponse::RdRs, payload, out.af))
-                    }
-                }
-                Err(_) => fail(stats, 0x03, posted),
             }
         }
         CmdKind::Cmc => {
@@ -1037,6 +1411,14 @@ fn execute_request(
                     fail(stats, 0x12, reg.is_posted())
                 }
             }
+        }
+        CmdKind::Flow
+        | CmdKind::Read
+        | CmdKind::Write
+        | CmdKind::PostedWrite
+        | CmdKind::Atomic
+        | CmdKind::PostedAtomic => {
+            unreachable!("data-path kinds are dispatched to execute_data_request")
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod export;
 pub mod fault;
 pub mod hist;
 pub mod link;
+pub(crate) mod parallel;
 pub mod power;
 pub mod queue;
 pub mod regs;
@@ -51,7 +52,9 @@ pub mod trace;
 pub mod trace_analysis;
 
 pub use addr::AddressMap;
-pub use config::{Arbitration, DeviceConfig, LinkTopology, SimConfig, SpecRevision};
+pub use config::{
+    Arbitration, DeviceConfig, ExecMode, LinkTopology, SimConfig, SpecRevision, EXEC_THREADS_ENV,
+};
 pub use device::{TrackedRequest, TrackedResponse};
 pub use dram::{BankTiming, RefreshConfig, RowPolicy};
 pub use export::{MetricValue, TelemetryReport};

@@ -77,6 +77,16 @@ impl PowerModel {
         self.cycles += cycles;
     }
 
+    /// Folds a shard-local accumulator's event counts into this model
+    /// (the delta's coefficients are ignored — the authoritative model
+    /// keeps its own). Pure addition, so merge order is irrelevant.
+    pub fn merge_counts(&mut self, delta: &PowerModel) {
+        self.link_flits += delta.link_flits;
+        self.dram_accesses += delta.dram_accesses;
+        self.logic_ops += delta.logic_ops;
+        self.cycles += delta.cycles;
+    }
+
     /// Produces the report.
     pub fn report(&self) -> PowerReport {
         let c = &self.config;

@@ -61,6 +61,13 @@ impl<T> BoundedQueue<T> {
         self.items.front()
     }
 
+    /// Peeks at the `i`-th oldest item (0 = front) without removing
+    /// it. The parallel planner uses this to replay the sequential
+    /// head-of-line decision sequence non-destructively.
+    pub fn peek_at(&self, i: usize) -> Option<&T> {
+        self.items.get(i)
+    }
+
     /// Iterates over queued items, oldest first (snapshot/sanitizer
     /// introspection; does not disturb the queue).
     pub fn iter(&self) -> impl Iterator<Item = &T> {

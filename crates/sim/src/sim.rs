@@ -5,10 +5,11 @@
 //! HMC-Sim user API: `send`, `recv`, `clock`, `load_cmc`, the JTAG
 //! register access path and statistics.
 
-use crate::config::{DeviceConfig, LinkTopology, SimConfig};
+use crate::config::{DeviceConfig, ExecMode, LinkTopology, SimConfig};
 use crate::device::{Device, Egress, TrackedRequest, TrackedResponse};
 use crate::fault::LinkErrorMode;
 use crate::link::{LinkConfig, LinkControl, LinkStats};
+use crate::parallel::{execute_vaults_parallel, WorkerPool};
 use crate::power::PowerReport;
 use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
@@ -52,6 +53,13 @@ pub struct HmcSim {
     /// can never match a zombie response.
     pub(crate) zombie_tags: Vec<HashSet<(usize, u16)>>,
     pub(crate) tracer: Tracer,
+    /// How stage 3 (vault execution) runs: the sequential reference
+    /// path or the deterministic parallel engine.
+    pub(crate) exec_mode: ExecMode,
+    /// Lazily created worker pool for [`ExecMode::Parallel`]. Not
+    /// part of simulation state: snapshots ignore it and
+    /// [`HmcSim::set_exec_mode`] rebuilds it.
+    pub(crate) pool: Option<WorkerPool>,
     /// Attached sanitizer (`None` = zero overhead beyond this check).
     pub(crate) sanitizer: Option<Box<crate::sanitizer::Sanitizer>>,
     /// Attached telemetry (`None` = off, the default: zero overhead
@@ -107,6 +115,7 @@ impl HmcSim {
             })
             .collect();
         let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
+        let exec_mode = config.exec_mode.resolve_env();
         let mut sim = HmcSim {
             config,
             devices,
@@ -119,6 +128,8 @@ impl HmcSim {
             retry_pending: Vec::new(),
             zombie_tags,
             tracer: Tracer::disabled(),
+            exec_mode,
+            pool: None,
             sanitizer: None,
             telemetry: None,
         };
@@ -166,6 +177,20 @@ impl HmcSim {
     /// Adjusts the trace level of the attached tracer.
     pub fn set_trace_level(&mut self, level: TraceLevel) {
         self.tracer.set_level(level);
+    }
+
+    /// The effective execution mode (after environment resolution).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Switches the stage-3 execution mode. Takes effect on the next
+    /// `clock()`; an existing worker pool is torn down (and rebuilt
+    /// lazily at the new width). Both modes produce bit-identical
+    /// simulation state, so switching mid-run is safe.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+        self.pool = None;
     }
 
     // ------------------------------------------------------------------
@@ -643,12 +668,30 @@ impl HmcSim {
             }
         }
 
-        // Stage 3: vault execution.
-        for dev in &mut self.devices {
-            let absorbed = dev.execute_vaults(cycle, &mut self.tracer);
-            if absorbed > 0 {
-                if let Some(san) = self.sanitizer.as_deref_mut() {
-                    san.note_absorbed(absorbed);
+        // Stage 3: vault execution — sequential reference path or
+        // the deterministic parallel engine (bit-identical results;
+        // see `crate::parallel`).
+        match self.exec_mode {
+            ExecMode::Sequential => {
+                for dev in &mut self.devices {
+                    let absorbed = dev.execute_vaults(cycle, &mut self.tracer);
+                    if absorbed > 0 {
+                        if let Some(san) = self.sanitizer.as_deref_mut() {
+                            san.note_absorbed(absorbed);
+                        }
+                    }
+                }
+            }
+            ExecMode::Parallel { threads } => {
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(threads));
+                let absorbed =
+                    execute_vaults_parallel(&mut self.devices, pool, cycle, &mut self.tracer);
+                for a in absorbed {
+                    if a > 0 {
+                        if let Some(san) = self.sanitizer.as_deref_mut() {
+                            san.note_absorbed(a);
+                        }
+                    }
                 }
             }
         }

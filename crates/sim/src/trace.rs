@@ -224,6 +224,26 @@ impl Tracer {
         self.level.contains(class) && !matches!(self.sink, Sink::Null)
     }
 
+    /// True when events of `class` reach *any* destination — the sink
+    /// (level permitting) or an attached forensic ring (always). The
+    /// parallel engine uses this to decide whether worker lanes must
+    /// format deferred event text at all; when it is false for CMD
+    /// events the fast path skips formatting entirely, exactly like
+    /// [`Tracer::event`]'s early return.
+    #[inline]
+    pub fn captures(&self, class: TraceLevel) -> bool {
+        self.enabled(class) || self.ring.is_some()
+    }
+
+    /// Replays deferred events produced on a worker lane, in the order
+    /// given. Each event goes through [`Tracer::event`], so level
+    /// masking and ring capture behave exactly as for live events.
+    pub(crate) fn replay(&mut self, events: &[DeferredEvent]) {
+        for ev in events {
+            self.event(ev.class, ev.cycle, ev.tag, format_args!("{}", ev.detail));
+        }
+    }
+
     /// Records one event line in HMC-Sim's trace format:
     /// `HMCSIM_TRACE : <cycle> : <CLASS> : <detail>`.
     ///
@@ -252,9 +272,121 @@ impl Tracer {
     }
 }
 
+/// One trace event captured on a worker lane and replayed at commit.
+#[derive(Debug, Clone)]
+pub(crate) struct DeferredEvent {
+    pub(crate) class: TraceLevel,
+    pub(crate) cycle: u64,
+    pub(crate) tag: &'static str,
+    pub(crate) detail: String,
+}
+
+/// A shard-local trace accumulator. Worker lanes cannot touch the
+/// shared [`Tracer`], so they record into one of these; the commit
+/// phase replays each vault's events in vault order, reproducing the
+/// sequential line order byte for byte. When `capture` is false the
+/// buffer drops events without formatting them (the common case:
+/// tracing off, no forensic ring).
+#[derive(Debug, Default)]
+pub(crate) struct EventBuffer {
+    capture: bool,
+    events: Vec<DeferredEvent>,
+}
+
+impl EventBuffer {
+    pub(crate) fn new(capture: bool) -> Self {
+        EventBuffer { capture, events: Vec::new() }
+    }
+
+    pub(crate) fn event(
+        &mut self,
+        class: TraceLevel,
+        cycle: u64,
+        tag: &'static str,
+        detail: fmt::Arguments<'_>,
+    ) {
+        if self.capture {
+            self.events.push(DeferredEvent { class, cycle, tag, detail: detail.to_string() });
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn events(&self) -> &[DeferredEvent] {
+        &self.events
+    }
+
+    /// Consumes the buffer, yielding the captured events for the
+    /// commit phase.
+    pub(crate) fn into_events(self) -> Vec<DeferredEvent> {
+        self.events
+    }
+}
+
+/// Either the live tracer (sequential path) or a deferred buffer
+/// (worker lanes): the single execution core in `device.rs` writes
+/// through this so both paths share one implementation.
+pub(crate) enum TraceLane<'a> {
+    /// Events go straight to the simulation's tracer.
+    Live(&'a mut Tracer),
+    /// Events are buffered for ordered replay at commit.
+    Deferred(&'a mut EventBuffer),
+}
+
+impl TraceLane<'_> {
+    #[inline]
+    pub(crate) fn event(
+        &mut self,
+        class: TraceLevel,
+        cycle: u64,
+        tag: &'static str,
+        detail: fmt::Arguments<'_>,
+    ) {
+        match self {
+            TraceLane::Live(t) => t.event(class, cycle, tag, detail),
+            TraceLane::Deferred(b) => b.event(class, cycle, tag, detail),
+        }
+    }
+
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deferred_events_replay_in_order() {
+        let buf = TraceBuffer::new();
+        let mut t = Tracer::to_buffer(TraceLevel::CMD, buf.clone());
+        let mut lane = EventBuffer::new(t.captures(TraceLevel::CMD));
+        lane.event(TraceLevel::CMD, 5, "RQST", format_args!("first"));
+        lane.event(TraceLevel::CMD, 5, "RQST", format_args!("second"));
+        t.replay(lane.events());
+        assert_eq!(
+            buf.lines(),
+            vec![
+                "HMCSIM_TRACE : 5 : RQST : first".to_string(),
+                "HMCSIM_TRACE : 5 : RQST : second".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn uncaptured_buffer_skips_formatting() {
+        let mut lane = EventBuffer::new(false);
+        lane.event(TraceLevel::CMD, 1, "RQST", format_args!("dropped"));
+        assert!(lane.events().is_empty());
+    }
+
+    #[test]
+    fn captures_tracks_sink_and_ring() {
+        let mut t = Tracer::disabled();
+        assert!(!t.captures(TraceLevel::CMD));
+        t.attach_ring(TraceRing::new(4));
+        assert!(t.captures(TraceLevel::CMD), "ring captures every class");
+        let t2 = Tracer::to_buffer(TraceLevel::CMD, TraceBuffer::new());
+        assert!(t2.captures(TraceLevel::CMD));
+        assert!(!t2.captures(TraceLevel::BANK));
+    }
 
     #[test]
     fn level_mask_algebra() {

@@ -50,8 +50,8 @@ pub use hmc_workloads as workloads;
 pub mod prelude {
     pub use hmc_cmc::{CmcContext, CmcOp, CmcRegistration};
     pub use hmc_sim::{
-        DeviceConfig, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy, TelemetryConfig,
-        TraceLevel,
+        DeviceConfig, ExecMode, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy,
+        TelemetryConfig, TraceLevel,
     };
     pub use hmc_types::{
         Cub, Flit, HmcError, HmcResponse, HmcRqst, Request, Response, Slid, Tag,

@@ -128,7 +128,7 @@ fn atomics_through_pipeline_match_amo_oracle() {
         (HmcRqst::Swap16, vec![111, 222]),
     ];
     let mut sim = sim();
-    let mut shadow = SparseMemory::new(4 << 30);
+    let shadow = SparseMemory::new(4 << 30);
     for (i, (cmd, operand)) in cases.into_iter().enumerate() {
         let addr = 0x40_0000 + (i as u64) * 0x100;
         let init = [0x1234u64.wrapping_mul(i as u64 + 1), 0x9999];
@@ -137,7 +137,7 @@ fn atomics_through_pipeline_match_amo_oracle() {
         shadow.write_u64(addr, init[0]).unwrap();
         shadow.write_u64(addr + 8, init[1]).unwrap();
 
-        let expect = execute(cmd, &mut shadow, addr, &operand).expect("oracle");
+        let expect = execute(cmd, &shadow, addr, &operand).expect("oracle");
         let rsp = roundtrip(&mut sim, i % 4, cmd, addr, operand);
         assert_eq!(rsp.rsp.head.af, expect.af, "{cmd} AF");
         let mut want = expect.payload.clone();

@@ -93,3 +93,69 @@ fn telemetry_full_mode_is_zero_perturbation() {
     let on = run(true);
     assert_eq!(off, on, "device state bit-identical under full telemetry");
 }
+
+/// The parallel engine is itself a zero-perturbation feature: the
+/// mutex evaluation (CMC traffic, which falls back to the serial path
+/// inside parallel mode) and a pure data-path Triad run (which
+/// exercises the planned parallel fast path) must both reproduce the
+/// sequential pinned numbers and fingerprints at every thread count.
+#[test]
+fn parallel_mode_is_zero_perturbation() {
+    use hmcsim::workloads::kernels::triad::{TriadConfig, TriadKernel};
+    ops::register_builtin_libraries();
+    let mutex_run = |mode: ExecMode| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(mode);
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint())
+    };
+    let triad_run = |mode: ExecMode| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(mode);
+        let out = TriadKernel::new(TriadConfig { elements: 1024, ..Default::default() })
+            .run(&mut sim)
+            .unwrap();
+        (out.cycles, sim.cycle(), sim.state_fingerprint())
+    };
+    let mutex_ref = mutex_run(ExecMode::Sequential);
+    assert_eq!(mutex_ref.0, 19, "pinned mutex minimum");
+    assert_eq!(mutex_ref.1, 49, "pinned mutex maximum");
+    let triad_ref = triad_run(ExecMode::Sequential);
+    for threads in [1usize, 2, 4, 8] {
+        let mode = ExecMode::Parallel { threads };
+        assert_eq!(mutex_run(mode), mutex_ref, "mutex diverged at {threads} threads");
+        assert_eq!(triad_run(mode), triad_ref, "triad diverged at {threads} threads");
+    }
+}
+
+/// Sanitizer report mode stays zero-perturbation when stage 3 runs on
+/// the parallel engine: same fingerprint as the unsanitized parallel
+/// run, and the packet-conservation audit stays clean.
+#[test]
+fn sanitizer_under_parallel_engine_is_zero_perturbation() {
+    ops::register_builtin_libraries();
+    let run = |sanitize: bool| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(ExecMode::Parallel { threads: 4 });
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        if sanitize {
+            sim.enable_sanitizer(SanitizerConfig::report());
+        }
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        let violations = sim.sanitizer_report().map(|r| r.total_violations);
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint(), violations)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off.4, on.4, "parallel state bit-identical under the sanitizer");
+    assert_eq!((off.0, off.1, off.2, off.3), (on.0, on.1, on.2, on.3));
+    assert_eq!(off.5, None);
+    assert_eq!(on.5, Some(0), "conservation audit clean under the parallel engine");
+}

@@ -1,0 +1,280 @@
+//! Differential determinism harness for the parallel tick engine.
+//!
+//! The contract under test: for any workload, any device
+//! configuration and any thread count, a simulation run in
+//! `ExecMode::Parallel` produces **bit-identical** state to the
+//! sequential reference path — checked cycle by cycle through the
+//! full device-state fingerprint (queues, banks, memory digest,
+//! stats, power, RNG state), not just at the end of the run.
+//!
+//! Both sims are driven in lockstep: the same injection attempt on
+//! the same cycle, the same host-side drains. Because the fingerprint
+//! is compared after every cycle, the first divergent cycle is
+//! reported directly.
+
+use hmcsim::prelude::*;
+use hmcsim::sim::FaultPlan;
+use proptest::prelude::*;
+
+/// One host action per simulated cycle.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { slot: u16 },
+    Write { slot: u16, value: u64 },
+    PostedWrite { slot: u16, value: u64 },
+    Atomic { slot: u16, value: u64 },
+    PostedAtomic { slot: u16 },
+    Idle,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let slot = 0u16..2048;
+    prop_oneof![
+        slot.clone().prop_map(|slot| Op::Read { slot }),
+        (slot.clone(), any::<u64>()).prop_map(|(slot, value)| Op::Write { slot, value }),
+        (slot.clone(), any::<u64>()).prop_map(|(slot, value)| Op::PostedWrite { slot, value }),
+        (slot.clone(), any::<u64>()).prop_map(|(slot, value)| Op::Atomic { slot, value }),
+        slot.prop_map(|slot| Op::PostedAtomic { slot }),
+        Just(Op::Idle),
+    ]
+}
+
+fn slot_addr(slot: u16) -> u64 {
+    (slot as u64) * 16
+}
+
+/// Injects one op (ignoring deterministic back-pressure failures),
+/// clocks one cycle, drains every host link, and records the
+/// post-cycle fingerprint.
+fn drive(sim: &mut HmcSim, ops: &[Op], drain_cycles: u64) -> Vec<u64> {
+    let links = sim.device_config(0).unwrap().links;
+    let mut fingerprints = Vec::with_capacity(ops.len() + drain_cycles as usize);
+    let mut step = |sim: &mut HmcSim, op: Option<(&Op, usize)>| {
+        if let Some((op, link)) = op {
+            let sent = match *op {
+                Op::Read { slot } => {
+                    sim.send_simple(0, link, HmcRqst::Rd16, slot_addr(slot), vec![])
+                }
+                Op::Write { slot, value } => {
+                    sim.send_simple(0, link, HmcRqst::Wr16, slot_addr(slot), vec![value, !value])
+                }
+                Op::PostedWrite { slot, value } => {
+                    sim.send_simple(0, link, HmcRqst::PWr16, slot_addr(slot), vec![value, value])
+                }
+                Op::Atomic { slot, value } => {
+                    sim.send_simple(0, link, HmcRqst::Xor16, slot_addr(slot), vec![value, 0])
+                }
+                Op::PostedAtomic { slot } => {
+                    sim.send_simple(0, link, HmcRqst::P2Add8, slot_addr(slot), vec![1, 1])
+                }
+                Op::Idle => Ok(None),
+            };
+            // Back-pressure (stalls, exhausted tags) is part of the
+            // deterministic behaviour under test; only real protocol
+            // errors would indicate a broken driver.
+            match sent {
+                Ok(_) | Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => {}
+                Err(e) => panic!("unexpected send error: {e}"),
+            }
+        }
+        sim.clock();
+        fingerprints.push(sim.state_fingerprint());
+        for l in 0..links {
+            while sim.recv(0, l).is_some() {}
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        step(sim, Some((op, i % links)));
+    }
+    for _ in 0..drain_cycles {
+        step(sim, None);
+    }
+    fingerprints
+}
+
+/// Builds a sim pinned to an explicit execution mode (immune to an
+/// ambient `HMCSIM_THREADS`, which the CI matrix sets).
+fn sim_with_mode(config: DeviceConfig, mode: ExecMode) -> HmcSim {
+    let mut sim = HmcSim::new(config).unwrap();
+    sim.set_exec_mode(mode);
+    sim
+}
+
+fn assert_lockstep_equal(config_name: &str, threads: usize, reference: &[u64], parallel: &[u64]) {
+    assert_eq!(reference.len(), parallel.len());
+    for (cycle, (r, p)) in reference.iter().zip(parallel).enumerate() {
+        assert_eq!(
+            r, p,
+            "fingerprint diverged: config={config_name} threads={threads} cycle={cycle}"
+        );
+    }
+}
+
+fn configs() -> [(&'static str, DeviceConfig); 2] {
+    [
+        ("gen2_4link_4gb", DeviceConfig::gen2_4link_4gb()),
+        ("gen2_8link_8gb", DeviceConfig::gen2_8link_8gb()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core differential property: random traffic, both reference
+    /// configurations, thread counts 1/2/4/8 — per-cycle fingerprint
+    /// equality against the sequential reference.
+    #[test]
+    fn parallel_is_bit_identical_to_sequential(
+        ops in prop::collection::vec(arb_op(), 1..120),
+    ) {
+        for (name, config) in configs() {
+            let reference = drive(
+                &mut sim_with_mode(config.clone(), ExecMode::Sequential),
+                &ops,
+                60,
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let parallel = drive(
+                    &mut sim_with_mode(config.clone(), ExecMode::Parallel { threads }),
+                    &ops,
+                    60,
+                );
+                assert_lockstep_equal(name, threads, &reference, &parallel);
+            }
+        }
+    }
+
+    /// With probabilistic fault injection armed, the planner refuses
+    /// every cycle and parallel mode degenerates to the serial
+    /// reference path — which must still be bit-identical, RNG stream
+    /// included.
+    #[test]
+    fn parallel_with_fault_injection_is_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = FaultPlan::seeded(seed)
+            .with_vault_errors(100_000)
+            .with_poison(50_000);
+        let reference = drive(
+            &mut sim_with_mode(config.clone(), ExecMode::Sequential),
+            &ops,
+            60,
+        );
+        for threads in [2usize, 8] {
+            let parallel = drive(
+                &mut sim_with_mode(config.clone(), ExecMode::Parallel { threads }),
+                &ops,
+                60,
+            );
+            assert_lockstep_equal("gen2_4link_4gb+faults", threads, &reference, &parallel);
+        }
+    }
+
+    /// The sanitizer observes the same invariants whichever engine
+    /// runs stage 3: zero violations, identical fingerprints.
+    #[test]
+    fn parallel_under_sanitizer_is_bit_identical_and_clean(
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let run = |mode: ExecMode| {
+            let mut sim = sim_with_mode(DeviceConfig::gen2_4link_4gb(), mode);
+            sim.enable_sanitizer(SanitizerConfig::report());
+            let fingerprints = drive(&mut sim, &ops, 60);
+            let violations = sim.sanitizer_report().map(|r| r.total_violations);
+            (fingerprints, violations)
+        };
+        let (reference, ref_violations) = run(ExecMode::Sequential);
+        prop_assert_eq!(ref_violations, Some(0));
+        for threads in [2usize, 4] {
+            let (parallel, par_violations) = run(ExecMode::Parallel { threads });
+            assert_lockstep_equal("gen2_4link_4gb+sanitizer", threads, &reference, &parallel);
+            prop_assert_eq!(par_violations, Some(0));
+        }
+    }
+}
+
+/// Non-random anchor: a saturating posted+acknowledged mix long
+/// enough to trigger refresh windows, bank-busy stalls and
+/// response-queue back-pressure, compared at every cycle across the
+/// full thread matrix.
+#[test]
+fn saturating_mix_is_bit_identical_across_thread_matrix() {
+    let ops: Vec<Op> = (0..600)
+        .map(|i| match i % 5 {
+            0 => Op::Write { slot: (i % 97) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 89) as u16 },
+            2 => Op::PostedWrite { slot: (i % 83) as u16, value: !(i as u64) },
+            3 => Op::Atomic { slot: (i % 79) as u16, value: i as u64 ^ 0xffff },
+            _ => Op::PostedAtomic { slot: (i % 73) as u16 },
+        })
+        .collect();
+    for (name, config) in configs() {
+        let reference = drive(
+            &mut sim_with_mode(config.clone(), ExecMode::Sequential),
+            &ops,
+            120,
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = drive(
+                &mut sim_with_mode(config.clone(), ExecMode::Parallel { threads }),
+                &ops,
+                120,
+            );
+            assert_lockstep_equal(name, threads, &reference, &parallel);
+        }
+    }
+}
+
+/// Switching modes mid-run re-synchronizes on the very next cycle:
+/// a run that flips sequential → parallel → sequential matches a
+/// pure sequential run fingerprint for fingerprint.
+#[test]
+fn mode_switch_mid_run_is_seamless() {
+    let ops: Vec<Op> = (0..240)
+        .map(|i| match i % 3 {
+            0 => Op::Write { slot: (i % 61) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 53) as u16 },
+            _ => Op::Atomic { slot: (i % 47) as u16, value: i as u64 },
+        })
+        .collect();
+    let reference = drive(
+        &mut sim_with_mode(DeviceConfig::gen2_4link_4gb(), ExecMode::Sequential),
+        &ops,
+        60,
+    );
+    let mut sim = sim_with_mode(DeviceConfig::gen2_4link_4gb(), ExecMode::Sequential);
+    let links = sim.device_config(0).unwrap().links;
+    let mut fingerprints = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match i {
+            80 => sim.set_exec_mode(ExecMode::Parallel { threads: 4 }),
+            160 => sim.set_exec_mode(ExecMode::Sequential),
+            _ => {}
+        }
+        let _ = match *op {
+            Op::Read { slot } => sim.send_simple(0, i % links, HmcRqst::Rd16, slot_addr(slot), vec![]),
+            Op::Write { slot, value } => {
+                sim.send_simple(0, i % links, HmcRqst::Wr16, slot_addr(slot), vec![value, !value])
+            }
+            Op::Atomic { slot, value } => {
+                sim.send_simple(0, i % links, HmcRqst::Xor16, slot_addr(slot), vec![value, 0])
+            }
+            _ => unreachable!(),
+        };
+        sim.clock();
+        fingerprints.push(sim.state_fingerprint());
+        for l in 0..links {
+            while sim.recv(0, l).is_some() {}
+        }
+    }
+    for _ in 0..60 {
+        sim.clock();
+        fingerprints.push(sim.state_fingerprint());
+        for l in 0..links {
+            while sim.recv(0, l).is_some() {}
+        }
+    }
+    assert_lockstep_equal("mode-switch", 4, &reference, &fingerprints);
+}

@@ -46,6 +46,18 @@ pub mod strategy {
         }
     }
 
+    /// A strategy that always produces a clone of the same value
+    /// (upstream `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
     /// Output of [`Strategy::prop_map`].
     pub struct Map<S, F> {
         source: S,
@@ -253,7 +265,7 @@ pub mod prop {
 pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::prop;
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
