@@ -1,0 +1,49 @@
+//! Criterion harness for the event-horizon (idle-skip) engine:
+//! wall-clock per full workload run with skipping off and on, for
+//! the 100-thread mutex spin (almost entirely compressible), sparse
+//! RandomAccess (bursts separated by think time) and the saturating
+//! Triad (never idle — the fast-path-overhead control). The
+//! `idle_skip` bin emits the machine-readable `BENCH_idle_skip.json`
+//! from the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmc_bench::idle::{gups_sparse_cycles, mutex_spin_cycles, triad_saturated_cycles};
+use hmc_sim::SkipMode;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn modes() -> [(&'static str, SkipMode); 2] {
+    [("skip-off", SkipMode::Off), ("skip-on", SkipMode::On)]
+}
+
+fn bench_idle_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutex_spin_idle_skip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, skip) in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &skip, |b, &skip| {
+            b.iter(|| black_box(mutex_spin_cycles(skip)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gups_sparse_idle_skip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, skip) in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &skip, |b, &skip| {
+            b.iter(|| black_box(gups_sparse_cycles(skip, 64, 2_000)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("triad_saturated_idle_skip");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, skip) in modes() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &skip, |b, &skip| {
+            b.iter(|| black_box(triad_saturated_cycles(skip)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_idle_skip);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ fn bench_packet_codec(c: &mut Criterion) {
         Tag::new(9).unwrap(),
         0x400,
         Cub::new(0).unwrap(),
-        (0..32).collect(),
+        (0..32).collect::<Vec<u64>>(),
     )
     .unwrap();
     group.bench_function("pack_wr16", |b| b.iter(|| black_box(small.pack())));

@@ -1,0 +1,160 @@
+//! Event-horizon (idle-skip) engine measurement.
+//!
+//! Runs the three bracket workloads from [`hmc_bench::idle`] with
+//! idle-cycle skipping off and on, then emits `BENCH_idle_skip.json`:
+//! wall time and simulated cycles/second per setting, the on/off
+//! speedup per workload, and the fingerprint gate.
+//!
+//! ```text
+//! cargo run --release -p hmc-bench --bin idle_skip
+//! cargo run --release -p hmc-bench --bin idle_skip -- --out BENCH_idle_skip.json
+//! cargo run --release -p hmc-bench --bin idle_skip -- --reps 5
+//! ```
+//!
+//! The exit code reflects only the determinism check — for every
+//! workload, `SkipMode::On` must land on the exact simulated cycle
+//! count and state fingerprint of the `SkipMode::Off` reference.
+//! Speedup magnitudes are hardware-dependent and recorded, not gated.
+
+use hmc_bench::idle::{
+    gups_sparse_run, gups_sparse_sim, mutex_spin_run, mutex_spin_sim, triad_saturated_run,
+    triad_saturated_sim,
+};
+use hmc_sim::{HmcSim, SkipMode};
+use std::time::Instant;
+
+struct Sample {
+    workload: &'static str,
+    skip: &'static str,
+    sim_cycles: u64,
+    best_wall_s: f64,
+    fingerprint: u64,
+}
+
+impl Sample {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.best_wall_s
+    }
+}
+
+/// Best-of-`reps` wall time (the standard minimum-of-N noise filter).
+/// Device construction stays outside the timed region — it is
+/// identical under both skip settings and would otherwise swamp the
+/// engine-throughput measurement on short runs.
+fn measure(
+    workload: &'static str,
+    skip: SkipMode,
+    reps: usize,
+    setup: impl Fn(SkipMode) -> HmcSim,
+    run: impl Fn(&mut HmcSim) -> (u64, u64),
+) -> Sample {
+    let mut best_wall_s = f64::INFINITY;
+    let mut sim_cycles = 0;
+    let mut fingerprint = 0;
+    for _ in 0..reps {
+        let mut sim = setup(skip);
+        let start = Instant::now();
+        let (cycles, fp) = run(&mut sim);
+        let wall = start.elapsed().as_secs_f64();
+        best_wall_s = best_wall_s.min(wall);
+        sim_cycles = cycles;
+        fingerprint = fp;
+    }
+    let skip_name = match skip {
+        SkipMode::Off => "off",
+        SkipMode::On => "on",
+    };
+    Sample { workload, skip: skip_name, sim_cycles, best_wall_s, fingerprint }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_idle_skip.json".into());
+    let reps: usize = arg("--reps").and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    type Setup = Box<dyn Fn(SkipMode) -> HmcSim>;
+    type Run = Box<dyn Fn(&mut HmcSim) -> (u64, u64)>;
+    let workloads: [(&'static str, Setup, Run); 3] = [
+        ("mutex_spin_100", Box::new(mutex_spin_sim), Box::new(mutex_spin_run)),
+        (
+            "gups_sparse",
+            Box::new(gups_sparse_sim),
+            Box::new(|sim: &mut HmcSim| gups_sparse_run(sim, 256, 2_000)),
+        ),
+        ("triad_saturated", Box::new(triad_saturated_sim), Box::new(triad_saturated_run)),
+    ];
+
+    let mut samples = Vec::new();
+    for (name, setup, run) in &workloads {
+        for skip in [SkipMode::Off, SkipMode::On] {
+            samples.push(measure(name, skip, reps, setup, run));
+        }
+    }
+
+    // Determinism gate: skipping must not change the simulated cycle
+    // count or the final device state.
+    let mut fingerprints_match = true;
+    for (name, _, _) in &workloads {
+        let pair: Vec<&Sample> = samples.iter().filter(|s| s.workload == *name).collect();
+        let (off, on) = (pair[0], pair[1]);
+        if off.fingerprint != on.fingerprint || off.sim_cycles != on.sim_cycles {
+            fingerprints_match = false;
+            eprintln!(
+                "SKIP DIVERGENCE: {} off=({} cycles, {:#018x}) on=({} cycles, {:#018x})",
+                name, off.sim_cycles, off.fingerprint, on.sim_cycles, on.fingerprint
+            );
+        }
+    }
+
+    let speedup = |name: &str| -> f64 {
+        let of = |skip: &str| {
+            samples
+                .iter()
+                .find(|s| s.workload == name && s.skip == skip)
+                .map(|s| s.best_wall_s)
+                .unwrap_or(f64::NAN)
+        };
+        of("off") / of("on")
+    };
+    let mut entries = Vec::new();
+    for s in &samples {
+        println!(
+            "{:<16} skip={:<3} : {:>9} cycles in {:>8.2} ms -> {:>12.0} cycles/s",
+            s.workload,
+            s.skip,
+            s.sim_cycles,
+            s.best_wall_s * 1e3,
+            s.cycles_per_sec(),
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"skip\": \"{}\", \"sim_cycles\": {}, \
+             \"best_wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"speedup_on_vs_off\": {:.3}, \"fingerprint\": \"{:#018x}\"}}",
+            s.workload,
+            s.skip,
+            s.sim_cycles,
+            s.best_wall_s,
+            s.cycles_per_sec(),
+            speedup(s.workload),
+            s.fingerprint
+        ));
+    }
+    for (name, _, _) in &workloads {
+        println!("{name}: skip-on speedup {:.2}x", speedup(name));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"idle_skip\",\n  \"reps\": {reps},\n  \
+         \"fingerprints_match\": {fingerprints_match},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("wrote {out_path}");
+
+    if !fingerprints_match {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod idle;
 pub mod sweep;
 pub mod table;
 

@@ -25,7 +25,7 @@
 use crate::config::DeviceConfig;
 use crate::sim::HmcSim;
 use hmc_types::packet::payload_words;
-use hmc_types::{Cub, HmcError, HmcRqst, ReqHead, ReqTail, Request, Slid, Tag};
+use hmc_types::{Cub, HmcError, HmcRqst, PayloadBuf, ReqHead, ReqTail, Request, Slid, Tag};
 
 /// Success return code.
 pub const HMC_OK: i32 = 0;
@@ -124,7 +124,7 @@ pub fn hmcsim_send(hmc: &mut HmcSim, dev: usize, link: usize, packet: &[u64]) ->
     let Ok(tail) = ReqTail::decode(packet[words + 1]) else {
         return HMC_ERROR;
     };
-    let req = Request { head, payload: packet[1..1 + words].to_vec(), tail };
+    let req = Request { head, payload: PayloadBuf::from_slice(&packet[1..1 + words]), tail };
     match hmc.send(dev, link, req) {
         Ok(()) => HMC_OK,
         Err(HmcError::Stall) => HMC_STALL,

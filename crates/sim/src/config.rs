@@ -293,6 +293,55 @@ impl ExecMode {
     }
 }
 
+/// Whether the clock may compress provably-idle cycle runs.
+///
+/// With skipping on, [`crate::HmcSim::clock`] consults a conservative
+/// event horizon — the earliest cycle at which any queue, in-flight
+/// transit, link-layer retry or scheduled fault event could act — and
+/// advances cycle count, power accounting, telemetry windows and
+/// sanitizer bookkeeping across the whole idle run in O(1) closed-form
+/// updates instead of executing the empty pipeline cycle by cycle.
+/// The skip path is exact: `state_fingerprint()` is bit-identical with
+/// skipping on versus off (see `DESIGN.md` §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SkipMode {
+    /// Execute every cycle through the full pipeline (the default).
+    #[default]
+    Off,
+    /// Compress idle regions via the event-horizon fast path.
+    On,
+}
+
+/// Environment variable consulted by [`SkipMode::resolve_env`]; set to
+/// `1`, `true` or `on` to opt unconfigured simulations into idle-cycle
+/// skipping.
+pub const SKIP_MODE_ENV: &str = "HMCSIM_SKIP";
+
+impl SkipMode {
+    /// Resolves the effective mode, letting the `HMCSIM_SKIP`
+    /// environment variable upgrade an unconfigured (`Off`) mode —
+    /// mirroring [`ExecMode::resolve_env`], this lets the CI matrix
+    /// drive the whole test suite through the event-horizon engine
+    /// without touching call sites. An explicit `On` setting always
+    /// wins; an unset or unrecognised variable leaves `Off` in place.
+    pub fn resolve_env(self) -> Self {
+        match self {
+            SkipMode::Off => match std::env::var(SKIP_MODE_ENV) {
+                Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
+                    SkipMode::On
+                }
+                _ => SkipMode::Off,
+            },
+            explicit => explicit,
+        }
+    }
+
+    /// True when idle-cycle skipping is enabled.
+    pub fn is_on(self) -> bool {
+        self == SkipMode::On
+    }
+}
+
 /// How multiple devices are wired together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinkTopology {
@@ -323,6 +372,10 @@ pub struct SimConfig {
     /// `HMCSIM_THREADS` environment variable can upgrade the default,
     /// see [`ExecMode::resolve_env`]).
     pub exec_mode: ExecMode,
+    /// Idle-cycle compression ([`SkipMode::Off`] by default; the
+    /// `HMCSIM_SKIP` environment variable can upgrade the default, see
+    /// [`SkipMode::resolve_env`]).
+    pub skip_mode: SkipMode,
 }
 
 impl SimConfig {
@@ -334,6 +387,7 @@ impl SimConfig {
             sanitizer: Default::default(),
             telemetry: Default::default(),
             exec_mode: Default::default(),
+            skip_mode: Default::default(),
         }
     }
 
@@ -345,6 +399,7 @@ impl SimConfig {
             sanitizer: Default::default(),
             telemetry: Default::default(),
             exec_mode: Default::default(),
+            skip_mode: Default::default(),
         }
     }
 
@@ -425,6 +480,7 @@ mod tests {
             sanitizer: Default::default(),
             telemetry: Default::default(),
             exec_mode: Default::default(),
+            skip_mode: Default::default(),
         };
         assert!(empty.validate().is_err());
     }
@@ -444,5 +500,15 @@ mod tests {
             ExecMode::Parallel { threads: 2 }.resolve_env(),
             ExecMode::Parallel { threads: 2 }
         );
+    }
+
+    #[test]
+    fn skip_mode_defaults_off_and_explicit_on_wins() {
+        assert_eq!(SkipMode::default(), SkipMode::Off);
+        assert!(!SkipMode::Off.is_on());
+        assert!(SkipMode::On.is_on());
+        // An explicit setting is never downgraded by the environment.
+        assert_eq!(SkipMode::On.resolve_env(), SkipMode::On);
+        assert_eq!(SimConfig::single(DeviceConfig::default()).skip_mode, SkipMode::Off);
     }
 }

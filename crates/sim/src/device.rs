@@ -32,7 +32,7 @@ use hmc_cmc::{CmcContext, CmcRegistry};
 use hmc_mem::SparseMemory;
 use hmc_types::packet::payload_words;
 use hmc_types::rsp::HmcResponse;
-use hmc_types::{CmdKind, Cub, HmcError, HmcRqst, Request, Response, RspHead, RspTail, Slid};
+use hmc_types::{CmdKind, Cub, HmcError, HmcRqst, PayloadBuf, Request, Response, RspHead, RspTail, Slid};
 use std::sync::Arc;
 
 /// A request in flight inside the simulator, carrying the host-side
@@ -340,6 +340,14 @@ impl Device {
         }
     }
 
+    /// Cycle of the next not-yet-applied fault-plan link event, if
+    /// any. The event-horizon engine may not skip past this cycle —
+    /// a scheduled link transition must be applied by the full clock
+    /// path on time.
+    pub(crate) fn next_fault_event(&self) -> Option<u64> {
+        self.config.fault.link_schedule.get(self.fault_idx).map(|ev| ev.cycle)
+    }
+
     /// True when `link`'s crossbar request queue can accept a packet.
     pub(crate) fn link_can_accept(&self, link: usize) -> bool {
         link < self.config.links && !self.xbar_rqst[link].is_full()
@@ -437,8 +445,8 @@ impl Device {
                 let mut rsp = vault.rsp.pop().expect("peeked");
                 rsp.stages.rsp_route = cycle;
                 self.xbar_rsp[link]
-                    .try_push(rsp)
-                    .expect("checked not full");
+                    .push(rsp)
+                    .unwrap_or_else(|_| unreachable!("checked not full"));
             }
         }
     }
@@ -563,12 +571,12 @@ impl Device {
                         stats.responses += 1;
                         vault
                             .rsp
-                            .try_push(tracked_response(
+                            .push(tracked_response(
                                 error_response(*id, &item, ERRSTAT_VAULT_FAULT),
                                 &item,
                                 cycle,
                             ))
-                            .expect("rsp queue checked above");
+                            .unwrap_or_else(|_| unreachable!("rsp queue checked above"));
                     } else {
                         absorbed += 1;
                     }
@@ -601,8 +609,8 @@ impl Device {
                     stats.responses += 1;
                     vault
                         .rsp
-                        .try_push(tracked_response(rsp, &item, cycle))
-                        .expect("rsp queue checked above");
+                        .push(tracked_response(rsp, &item, cycle))
+                        .unwrap_or_else(|_| unreachable!("rsp queue checked above"));
                 } else {
                     absorbed += 1;
                 }
@@ -792,8 +800,8 @@ impl Device {
                             self.stats.responses += 1;
                             self.vaults[plan.vault]
                                 .rsp
-                                .try_push(tr)
-                                .expect("rsp occupancy reserved by plan");
+                                .push(tr)
+                                .unwrap_or_else(|_| unreachable!("rsp occupancy reserved by plan"));
                         }
                         None => absorbed += 1,
                     }
@@ -889,8 +897,8 @@ impl Device {
                 );
                 self.vaults[vault]
                     .rqst
-                    .try_push(item)
-                    .expect("checked not full");
+                    .push(item)
+                    .unwrap_or_else(|_| unreachable!("checked not full"));
             }
         }
         out
@@ -1013,7 +1021,7 @@ impl Device {
     #[doc(hidden)]
     pub fn debug_inject_response(&mut self, link: usize, item: TrackedResponse) {
         let link = link % self.config.links;
-        let _ = self.xbar_rsp[link].try_push(item);
+        let _ = self.xbar_rsp[link].push(item);
     }
 
     /// Total crossbar-queue stall count (for diagnostics).
@@ -1029,6 +1037,13 @@ impl Device {
     /// Leakage accounting hook, called once per cycle.
     pub(crate) fn tick_power(&mut self) {
         self.power.add_cycles(1);
+    }
+
+    /// Bulk leakage accounting for a skipped idle region of `cycles`
+    /// cycles — one closed-form update, exactly `cycles` calls of
+    /// [`Device::tick_power`].
+    pub(crate) fn tick_power_n(&mut self, cycles: u64) {
+        self.power.tick_idle_n(cycles);
     }
 
     /// Records a completed-request latency under its command class
@@ -1098,7 +1113,7 @@ fn error_response(dev: usize, item: &TrackedRequest, errstat: u8) -> Response {
             slid: Slid::new((item.entry_link % 8) as u8).expect("link < 8"),
             cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
         },
-        payload: vec![],
+        payload: PayloadBuf::new(),
         tail: RspTail { errstat, ..RspTail::default() },
     }
 }
@@ -1108,9 +1123,10 @@ fn make_response(
     dev: usize,
     item: &TrackedRequest,
     cmd: HmcResponse,
-    payload: Vec<u64>,
+    payload: impl Into<PayloadBuf>,
     af: bool,
 ) -> Response {
+    let payload = payload.into();
     let lng = (1 + payload.len() / 2) as u8;
     Response {
         head: RspHead {

@@ -34,6 +34,7 @@ pub mod compat;
 pub mod config;
 pub mod device;
 pub mod dram;
+pub(crate) mod events;
 pub mod export;
 pub mod fault;
 pub mod hist;
@@ -53,7 +54,8 @@ pub mod trace_analysis;
 
 pub use addr::AddressMap;
 pub use config::{
-    Arbitration, DeviceConfig, ExecMode, LinkTopology, SimConfig, SpecRevision, EXEC_THREADS_ENV,
+    Arbitration, DeviceConfig, ExecMode, LinkTopology, SimConfig, SkipMode, SpecRevision,
+    EXEC_THREADS_ENV, SKIP_MODE_ENV,
 };
 pub use device::{TrackedRequest, TrackedResponse};
 pub use dram::{BankTiming, RefreshConfig, RowPolicy};

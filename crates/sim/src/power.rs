@@ -77,6 +77,14 @@ impl PowerModel {
         self.cycles += cycles;
     }
 
+    /// Bulk idle advance for the event-horizon engine: `cycles` cycles
+    /// in which nothing but leakage happens, folded in as one
+    /// closed-form update. Exactly equivalent to `cycles` calls of
+    /// `add_cycles(1)` — leakage is linear in elapsed cycles.
+    pub fn tick_idle_n(&mut self, cycles: u64) {
+        self.add_cycles(cycles);
+    }
+
     /// Folds a shard-local accumulator's event counts into this model
     /// (the delta's coefficients are ignored — the authoritative model
     /// keeps its own). Pure addition, so merge order is irrelevant.

@@ -31,9 +31,12 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues an item, or stalls when the queue is full (the item
-    /// is handed back inside the error path untouched by value — the
-    /// caller keeps ownership via [`BoundedQueue::try_push`]).
+    /// Enqueues an item, or stalls when the queue is full. The item is
+    /// handed back by value inside the error, so a stall never loses a
+    /// packet — the caller keeps ownership and decides whether to
+    /// retry, defer or drop. (An earlier `try_push` variant discarded
+    /// the item on stall; it was removed so no call site can silently
+    /// lose a packet under back-pressure.)
     pub fn push(&mut self, item: T) -> Result<(), (T, HmcError)> {
         if self.items.len() >= self.depth {
             self.stalls += 1;
@@ -43,12 +46,6 @@ impl<T> BoundedQueue<T> {
         self.high_water = self.high_water.max(self.items.len());
         self.pushed += 1;
         Ok(())
-    }
-
-    /// Enqueue variant that drops the item on stall and reports only
-    /// the error; use when the caller clones or re-creates.
-    pub fn try_push(&mut self, item: T) -> Result<(), HmcError> {
-        self.push(item).map_err(|(_, e)| e)
     }
 
     /// Dequeues the oldest item.
@@ -119,9 +116,9 @@ mod tests {
     #[test]
     fn fifo_ordering() {
         let mut q = BoundedQueue::new(4);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
-        q.try_push(3).unwrap();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.peek(), Some(&3));
@@ -132,27 +129,56 @@ mod tests {
     #[test]
     fn stall_when_full() {
         let mut q = BoundedQueue::new(2);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
+        q.push(1).unwrap();
+        q.push(2).unwrap();
         assert!(q.is_full());
         let (item, err) = q.push(3).unwrap_err();
         assert_eq!(item, 3, "ownership returned on stall");
         assert!(err.is_stall());
         assert_eq!(q.stalls(), 1);
         q.pop();
-        q.try_push(3).unwrap();
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn no_item_lost_on_stall() {
+        // Regression: a stalled push must never lose the packet. Every
+        // item fed through a saturated queue comes out the other side
+        // exactly once once the stalls retry.
+        let mut q = BoundedQueue::new(3);
+        let mut delivered = Vec::new();
+        let mut retry = None;
+        for i in 0..10 {
+            let mut item = Some(i);
+            while let Some(v) = retry.take().or_else(|| item.take()) {
+                match q.push(v) {
+                    Ok(()) => {}
+                    Err((v, e)) => {
+                        assert!(e.is_stall());
+                        retry = Some(v);
+                        delivered.push(q.pop().expect("full queue has items"));
+                    }
+                }
+            }
+        }
+        while let Some(v) = q.pop() {
+            delivered.push(v);
+        }
+        assert_eq!(delivered, (0..10).collect::<Vec<_>>(), "no loss, no reorder");
+        assert_eq!(q.pushes(), 10);
+        assert!(q.stalls() > 0, "the scenario actually exercised stalls");
     }
 
     #[test]
     fn high_water_tracks_peak() {
         let mut q = BoundedQueue::new(8);
         for i in 0..5 {
-            q.try_push(i).unwrap();
+            q.push(i).unwrap();
         }
         for _ in 0..5 {
             q.pop();
         }
-        q.try_push(9).unwrap();
+        q.push(9).unwrap();
         assert_eq!(q.high_water(), 5);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pushes(), 6, "cumulative throughput counts every accepted push");

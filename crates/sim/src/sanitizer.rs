@@ -688,6 +688,86 @@ impl Sanitizer {
             + self.shadow.absorbed
             + self.shadow.zombie_dropped;
     }
+
+    /// How many of the next `k` cycles (starting at `cycle`) the
+    /// event-horizon engine may compress without changing anything
+    /// this sanitizer would have observed or reported cycle by cycle.
+    ///
+    /// Returns 0 when the current cycle must run the full audit: a
+    /// mid-cycle hook left pending violations, any structural check
+    /// fails right now (the violation must be recorded at *this*
+    /// cycle), the watchdog would fire inside the region, or `cycle`
+    /// lands on a checkpoint multiple. Otherwise the result is capped
+    /// so that neither the watchdog threshold nor the next checkpoint
+    /// multiple falls strictly inside the compressed region.
+    pub(crate) fn idle_skip_allowance(&self, sim: &HmcSim, cycle: u64, k: u64) -> u64 {
+        if !self.shadow.pending.is_empty() {
+            return 0;
+        }
+        // The structural checks are pure reads; in a quiescent fabric
+        // their verdict is the same for every cycle of the region, so
+        // one evaluation covers all of it.
+        let mut scratch = Vec::new();
+        self.check_tokens(sim, cycle, &mut scratch);
+        self.check_tags(sim, cycle, &mut scratch);
+        self.check_queues(sim, cycle, &mut scratch);
+        self.check_conservation(sim, cycle, &mut scratch);
+        if !scratch.is_empty() {
+            return 0;
+        }
+        let mut k = k;
+        if self.config.watchdog_cycles > 0 && sim.live_packets() > 0 {
+            // In an idle region the progress fingerprint is constant,
+            // so the per-cycle watchdog would count every skipped
+            // cycle as stalled. Cap the region so the threshold is
+            // reached — and the violation recorded — under the full
+            // per-cycle path.
+            let headroom = if self.watch_fp == Some(self.progress_fingerprint(sim)) {
+                (self.config.watchdog_cycles - 1).saturating_sub(self.stalled_cycles)
+            } else {
+                self.config.watchdog_cycles
+            };
+            if headroom == 0 {
+                return 0;
+            }
+            k = k.min(headroom);
+        }
+        if self.config.checkpoint_every > 0 {
+            if cycle.is_multiple_of(self.config.checkpoint_every) {
+                return 0;
+            }
+            let next = cycle.next_multiple_of(self.config.checkpoint_every);
+            k = k.min(next - cycle);
+        }
+        k
+    }
+
+    /// Folds `k` compressed idle cycles into the sanitizer's
+    /// bookkeeping — exactly what `k` per-cycle [`Sanitizer::end_of_cycle`]
+    /// calls would have done across a region pre-approved by
+    /// [`Sanitizer::idle_skip_allowance`] (no violations, no watchdog
+    /// firing, no checkpoint multiple, token-overflow acks all
+    /// no-ops).
+    pub(crate) fn advance_idle(&mut self, sim: &HmcSim, k: u64) {
+        self.report.cycles_checked += k;
+        if self.config.watchdog_cycles == 0 {
+            return;
+        }
+        if sim.live_packets() == 0 {
+            self.watch_fp = None;
+            self.stalled_cycles = 0;
+            return;
+        }
+        let fp = self.progress_fingerprint(sim);
+        if self.watch_fp == Some(fp) {
+            self.stalled_cycles += k;
+        } else {
+            // The first skipped cycle observes a fresh fingerprint
+            // (stall count 0); the remaining k - 1 see it unchanged.
+            self.watch_fp = Some(fp);
+            self.stalled_cycles = k - 1;
+        }
+    }
 }
 
 impl HmcSim {
@@ -748,6 +828,23 @@ impl HmcSim {
         if let Some(msg) = fatal {
             panic!("{msg}");
         }
+    }
+
+    /// How many of the next `max` idle cycles the attached sanitizer
+    /// permits the skip engine to compress (`max` when none is
+    /// attached).
+    pub(crate) fn sanitizer_skip_allowance(&mut self, cycle: u64, max: u64) -> u64 {
+        let Some(san) = self.sanitizer.take() else { return max };
+        let allow = san.idle_skip_allowance(self, cycle, max);
+        self.sanitizer = Some(san);
+        allow
+    }
+
+    /// Bulk end-of-cycle bookkeeping for a skipped idle region.
+    pub(crate) fn run_sanitizer_idle(&mut self, k: u64) {
+        let Some(mut san) = self.sanitizer.take() else { return };
+        san.advance_idle(self, k);
+        self.sanitizer = Some(san);
     }
 }
 

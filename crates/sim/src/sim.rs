@@ -5,8 +5,9 @@
 //! HMC-Sim user API: `send`, `recv`, `clock`, `load_cmc`, the JTAG
 //! register access path and statistics.
 
-use crate::config::{DeviceConfig, ExecMode, LinkTopology, SimConfig};
+use crate::config::{DeviceConfig, ExecMode, LinkTopology, SimConfig, SkipMode};
 use crate::device::{Device, Egress, TrackedRequest, TrackedResponse};
+use crate::events::EventHeap;
 use crate::fault::LinkErrorMode;
 use crate::link::{LinkConfig, LinkControl, LinkStats};
 use crate::parallel::{execute_vaults_parallel, WorkerPool};
@@ -23,6 +24,15 @@ use std::collections::{HashSet, VecDeque};
 pub(crate) enum Transit {
     Rqst { to_dev: usize, link: usize, item: TrackedRequest, ready: u64 },
     Rsp { to_dev: usize, link: usize, item: TrackedResponse, ready: u64 },
+}
+
+impl Transit {
+    /// The cycle this transit's hop latency elapses.
+    pub(crate) fn ready(&self) -> u64 {
+        match self {
+            Transit::Rqst { ready, .. } | Transit::Rsp { ready, .. } => *ready,
+        }
+    }
 }
 
 /// A packet held in the link-layer retry buffer after an injected
@@ -44,9 +54,13 @@ pub struct HmcSim {
     pub(crate) host_rx: Vec<Vec<VecDeque<TrackedResponse>>>,
     pub(crate) tag_pools: Vec<Vec<TagPool>>,
     pub(crate) pool_tags: Vec<Vec<HashSet<u16>>>,
-    pub(crate) in_transit: Vec<Transit>,
+    /// Inter-device transits, ordered by `(ready cycle, insertion)`
+    /// so a clock only touches due entries and the event-horizon
+    /// engine can read the earliest due cycle in O(1).
+    pub(crate) in_transit: EventHeap<Transit>,
     pub(crate) links: Vec<Vec<LinkControl>>,
-    pub(crate) retry_pending: Vec<RetryEntry>,
+    /// Link-layer retry replays, ordered like [`HmcSim::in_transit`].
+    pub(crate) retry_pending: EventHeap<RetryEntry>,
     /// Tags the host abandoned (timeout reclamation), keyed per
     /// device by `(entry_link, tag)`. The tag returns to its pool
     /// only when the stale response finally arrives, so a reused tag
@@ -66,6 +80,14 @@ pub struct HmcSim {
     /// beyond this check, and no telemetry state exists to perturb
     /// snapshots or fingerprints).
     pub(crate) telemetry: Option<Box<crate::telemetry::Telemetry>>,
+    /// Whether `clock()` may compress provably-idle cycle runs.
+    pub(crate) skip_mode: SkipMode,
+    /// Cache for the skip engine's device-queue scan: `true` means a
+    /// device queue *may* hold packets and must be re-scanned before
+    /// skipping. Set on every injection and full clock; cleared when
+    /// a scan proves every queue empty. Not simulation state — not
+    /// snapshotted, never observable in results.
+    fabric_maybe_busy: bool,
 }
 
 impl HmcSim {
@@ -116,6 +138,7 @@ impl HmcSim {
             .collect();
         let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
         let exec_mode = config.exec_mode.resolve_env();
+        let skip_mode = config.skip_mode.resolve_env();
         let mut sim = HmcSim {
             config,
             devices,
@@ -123,15 +146,17 @@ impl HmcSim {
             host_rx,
             tag_pools,
             pool_tags,
-            in_transit: Vec::new(),
+            in_transit: EventHeap::new(),
             links,
-            retry_pending: Vec::new(),
+            retry_pending: EventHeap::new(),
             zombie_tags,
             tracer: Tracer::disabled(),
             exec_mode,
             pool: None,
             sanitizer: None,
             telemetry: None,
+            skip_mode,
+            fabric_maybe_busy: true,
         };
         if sim.config.sanitizer.enabled {
             sim.enable_sanitizer(sim.config.sanitizer.clone());
@@ -191,6 +216,25 @@ impl HmcSim {
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec_mode = mode;
         self.pool = None;
+    }
+
+    /// The effective skip mode (after environment resolution).
+    pub fn skip_mode(&self) -> SkipMode {
+        self.skip_mode
+    }
+
+    /// Switches idle-cycle skipping. Takes effect on the next
+    /// `clock()`; both settings produce bit-identical simulation
+    /// state, so switching mid-run is safe.
+    pub fn set_skip_mode(&mut self, mode: SkipMode) {
+        self.skip_mode = mode;
+        self.fabric_maybe_busy = true;
+    }
+
+    /// Invalidates the skip engine's empty-queue cache (state was
+    /// mutated outside the clock, e.g. a snapshot restore).
+    pub(crate) fn mark_fabric_busy(&mut self) {
+        self.fabric_maybe_busy = true;
     }
 
     // ------------------------------------------------------------------
@@ -264,7 +308,7 @@ impl HmcSim {
                         ),
                     );
                     self.update_retry_regs(dev, link);
-                    self.retry_pending.push(RetryEntry { dev, link, item, ready });
+                    self.retry_pending.push(ready, RetryEntry { dev, link, item, ready });
                     Ok(())
                 } else if let LinkErrorMode::Random { per_million } =
                     self.devices[dev].config().fault.link_error
@@ -280,6 +324,9 @@ impl HmcSim {
             }
         };
         if result.is_ok() {
+            // A packet entered the fabric: the skip engine must
+            // re-scan the device queues before compressing again.
+            self.fabric_maybe_busy = true;
             if let Some(san) = self.sanitizer.as_deref_mut() {
                 san.note_injected(dev, link, tag, tracked, cycle);
             }
@@ -318,7 +365,7 @@ impl HmcSim {
                     ),
                 );
                 self.update_retry_regs(dev, link);
-                self.retry_pending.push(RetryEntry { dev, link, item, ready });
+                self.retry_pending.push(ready, RetryEntry { dev, link, item, ready });
                 Ok(())
             }
             Ok(req) => {
@@ -552,7 +599,21 @@ impl HmcSim {
     // ------------------------------------------------------------------
 
     /// Advances the simulation by one device cycle (`hmcsim_clock`).
+    ///
+    /// With [`SkipMode::On`], a cycle the event horizon proves idle
+    /// takes the O(1) bulk path instead of the full pipeline — the
+    /// resulting state is bit-identical either way.
     pub fn clock(&mut self) -> u64 {
+        if self.skippable(1).is_some() {
+            self.advance_idle(1);
+            self.cycle
+        } else {
+            self.clock_full()
+        }
+    }
+
+    /// The full per-cycle pipeline.
+    fn clock_full(&mut self) -> u64 {
         let cycle = self.cycle;
 
         // Fault-plan link schedule (no-op for empty schedules).
@@ -561,11 +622,13 @@ impl HmcSim {
         }
 
         // Link-layer retries whose retry exchange completed (a retry
-        // on a downed link waits for the scheduled link-up).
-        let pending = std::mem::take(&mut self.retry_pending);
-        for entry in pending {
-            if entry.ready <= cycle
-                && self.devices[entry.dev].link_is_up(entry.link)
+        // on a downed link waits for the scheduled link-up). Entries
+        // whose ready cycle is still in the future are never touched;
+        // a due entry that cannot deliver re-enters the heap with its
+        // original priority.
+        let mut deferred = Vec::new();
+        while let Some((key, entry)) = self.retry_pending.pop_ready(cycle) {
+            if self.devices[entry.dev].link_is_up(entry.link)
                 && self.devices[entry.dev].link_can_accept(entry.link)
             {
                 let RetryEntry { dev, link, item, .. } = entry;
@@ -573,27 +636,32 @@ impl HmcSim {
                     .send(link, item)
                     .unwrap_or_else(|_| unreachable!("accept checked"));
             } else {
-                self.retry_pending.push(entry);
+                deferred.push((key, entry));
             }
+        }
+        for (key, entry) in deferred {
+            self.retry_pending.reinsert(key, entry);
         }
 
         // Inter-device transits whose hop latency elapsed.
-        let pending = std::mem::take(&mut self.in_transit);
-        for t in pending {
+        let mut deferred = Vec::new();
+        while let Some((key, t)) = self.in_transit.pop_ready(cycle) {
             match t {
-                Transit::Rqst { to_dev, link, item, ready } if ready <= cycle => {
+                Transit::Rqst { to_dev, link, item, ready } => {
                     if let Err((item, _)) = self.devices[to_dev].accept_forward(link, item) {
                         // Destination queue full: retry next cycle.
-                        self.in_transit.push(Transit::Rqst { to_dev, link, item, ready });
+                        deferred.push((key, Transit::Rqst { to_dev, link, item, ready }));
                     }
                 }
-                Transit::Rsp { to_dev, link, item, ready } if ready <= cycle => {
+                Transit::Rsp { to_dev, link, item, ready } => {
                     if let Err((item, _)) = self.devices[to_dev].accept_return(link, item) {
-                        self.in_transit.push(Transit::Rsp { to_dev, link, item, ready });
+                        deferred.push((key, Transit::Rsp { to_dev, link, item, ready }));
                     }
                 }
-                not_ready => self.in_transit.push(not_ready),
             }
+        }
+        for (key, t) in deferred {
+            self.in_transit.reinsert(key, t);
         }
 
         // Stage 1: vault responses -> crossbar response queues.
@@ -657,12 +725,15 @@ impl HmcSim {
                     Egress::Forward(rsp) => {
                         let to_dev = toward(d, rsp.entry_device);
                         let hop = self.devices[d].config().hop_latency;
-                        self.in_transit.push(Transit::Rsp {
-                            to_dev,
-                            link: rsp.entry_link,
-                            item: rsp,
-                            ready: cycle + hop,
-                        });
+                        self.in_transit.push(
+                            cycle + hop,
+                            Transit::Rsp {
+                                to_dev,
+                                link: rsp.entry_link,
+                                item: rsp,
+                                ready: cycle + hop,
+                            },
+                        );
                     }
                 }
             }
@@ -711,12 +782,15 @@ impl HmcSim {
                 let hop = self.devices[d].config().hop_latency;
                 let mut item = fwd.item;
                 item.hops += 1;
-                self.in_transit.push(Transit::Rqst {
-                    to_dev,
-                    link: fwd.from_link,
-                    item,
-                    ready: cycle + hop,
-                });
+                self.in_transit.push(
+                    cycle + hop,
+                    Transit::Rqst {
+                        to_dev,
+                        link: fwd.from_link,
+                        item,
+                        ready: cycle + hop,
+                    },
+                );
             }
         }
 
@@ -737,14 +811,131 @@ impl HmcSim {
             self.run_sanitizer(cycle);
         }
 
+        // Packets may have moved into device queues this cycle: the
+        // skip engine must re-scan before compressing.
+        self.fabric_maybe_busy = true;
         self.cycle += 1;
         self.cycle
     }
 
-    /// Clocks the simulation `n` times.
+    /// How many of the next `max` cycles are provably idle — nothing
+    /// in any device queue, no transit, retry or fault event due
+    /// inside the window, and the attached sanitizer (if any)
+    /// guarantees its per-cycle audit is a no-op across the whole
+    /// region. `None` when skipping is off or the current cycle must
+    /// execute the full pipeline.
+    fn skippable(&mut self, max: u64) -> Option<u64> {
+        if !self.skip_mode.is_on() || max == 0 {
+            return None;
+        }
+        let cycle = self.cycle;
+        if self.fabric_maybe_busy {
+            if self.devices.iter().any(|d| d.pending_work() != 0) {
+                return None;
+            }
+            // Every queue is empty, and it stays that way until the
+            // next injection or full clock — both re-set the flag.
+            self.fabric_maybe_busy = false;
+        }
+        let mut k = max;
+        for ready in [self.in_transit.peek_ready(), self.retry_pending.peek_ready()]
+            .into_iter()
+            .flatten()
+        {
+            if ready <= cycle {
+                return None;
+            }
+            k = k.min(ready - cycle);
+        }
+        for dev in &self.devices {
+            if let Some(at) = dev.next_fault_event() {
+                if at <= cycle {
+                    return None;
+                }
+                k = k.min(at - cycle);
+            }
+        }
+        if self.sanitizer.is_some() {
+            let allow = self.sanitizer_skip_allowance(cycle, k);
+            if allow == 0 {
+                return None;
+            }
+            k = allow;
+        }
+        Some(k)
+    }
+
+    /// Applies `k` compressed idle cycles in closed form: per-device
+    /// leakage, telemetry samples and sanitizer bookkeeping advance
+    /// in the same order the full pipeline applies them, then the
+    /// cycle counter jumps. Only legal for a region approved by
+    /// [`HmcSim::skippable`].
+    fn advance_idle(&mut self, k: u64) {
+        let cycle = self.cycle;
+        for dev in &mut self.devices {
+            dev.tick_power_n(k);
+        }
+        if self.telemetry.is_some() {
+            self.run_telemetry_idle(cycle, k);
+        }
+        if self.sanitizer.is_some() {
+            self.run_sanitizer_idle(k);
+        }
+        self.cycle += k;
+    }
+
+    /// The earliest cycle at which the fabric could act: now if any
+    /// device queue holds a packet, otherwise the earliest due
+    /// transit, link-layer retry or scheduled fault event. `None`
+    /// means the simulation is idle forever absent new injections.
+    /// Conservative — the fabric may still do nothing at the returned
+    /// cycle (e.g. a retry finds its link down) — and independent of
+    /// [`SkipMode`].
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        if self.devices.iter().any(|d| d.pending_work() != 0) {
+            return Some(self.cycle);
+        }
+        self.in_transit
+            .peek_ready()
+            .into_iter()
+            .chain(self.retry_pending.peek_ready())
+            .chain(self.devices.iter().filter_map(|d| d.next_fault_event()))
+            .min()
+            .map(|c| c.max(self.cycle))
+    }
+
+    /// Advances up to `max_cycles`, compressing the idle prefix and
+    /// stopping after the first full (potentially eventful) cycle
+    /// executes. Returns the number of cycles advanced. With
+    /// [`SkipMode::Off`] this executes exactly one full cycle per
+    /// call, so drivers can use it unconditionally.
+    pub fn clock_until_event(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        let target = start + max_cycles;
+        while self.cycle < target {
+            match self.skippable(target - self.cycle) {
+                Some(k) => self.advance_idle(k),
+                None => {
+                    self.clock_full();
+                    break;
+                }
+            }
+        }
+        self.cycle - start
+    }
+
+    /// Clocks the simulation `n` times (idle runs compress under
+    /// [`SkipMode::On`]; the observable state is identical either
+    /// way).
     pub fn clock_n(&mut self, n: u64) -> u64 {
-        for _ in 0..n {
-            self.clock();
+        let target = self.cycle + n;
+        while self.cycle < target {
+            match self.skippable(target - self.cycle) {
+                Some(k) => self.advance_idle(k),
+                None => {
+                    self.clock_full();
+                }
+            }
         }
         self.cycle
     }
@@ -827,6 +1018,9 @@ impl HmcSim {
             stages: Default::default(),
         };
         self.devices[dev].debug_inject_response(link, item);
+        // The planted response sits in a device queue: the skip
+        // engine must re-scan before compressing.
+        self.fabric_maybe_busy = true;
     }
 
     // ------------------------------------------------------------------
@@ -1095,6 +1289,79 @@ mod tests {
                 .unwrap();
             let _ = sim.run_until_response(0, 0, tag, 100).unwrap();
         }
+    }
+
+    #[test]
+    fn skip_mode_is_bit_identical_to_full_execution() {
+        let run = |skip: SkipMode| {
+            let mut cfg = SimConfig::single(DeviceConfig::gen2_4link_4gb());
+            cfg.skip_mode = skip;
+            let mut sim = HmcSim::with_config(cfg).unwrap();
+            sim.mem_write_u64(0, 0x40, 7).unwrap();
+            // Bursts of traffic separated by long idle gaps — the
+            // shape the event-horizon engine compresses.
+            for burst in 0..3u64 {
+                let tag = sim
+                    .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+                    .unwrap()
+                    .unwrap();
+                let rsp = sim.run_until_response(0, 0, tag, 100).unwrap();
+                assert_eq!(rsp.rsp.payload[0], 7, "burst {burst}");
+                sim.clock_n(5_000);
+            }
+            (sim.cycle(), sim.state_fingerprint(), sim.stats(0).unwrap().clone())
+        };
+        let off = run(SkipMode::Off);
+        let on = run(SkipMode::On);
+        assert_eq!(off.0, on.0, "cycle counts agree");
+        assert_eq!(off.1, on.1, "fingerprints agree");
+        assert_eq!(off.2, on.2, "device stats agree");
+    }
+
+    #[test]
+    fn clock_until_event_compresses_idle_and_steps_busy() {
+        let mut cfg = SimConfig::single(DeviceConfig::gen2_4link_4gb());
+        cfg.skip_mode = SkipMode::On;
+        let mut sim = HmcSim::with_config(cfg).unwrap();
+        // Fully idle: the entire budget compresses in one call.
+        assert_eq!(sim.clock_until_event(10_000), 10_000);
+        assert_eq!(sim.cycle(), 10_000);
+        assert_eq!(sim.next_event_cycle(), None, "idle forever absent injections");
+        // With traffic in flight the clock executes full cycles.
+        let tag = sim
+            .send_simple(0, 0, HmcRqst::Rd16, 0x40, vec![])
+            .unwrap()
+            .unwrap();
+        assert_eq!(sim.next_event_cycle(), Some(sim.cycle()));
+        let mut advanced = 0;
+        while sim.recv_tag(0, 0, tag).is_none() {
+            advanced += sim.clock_until_event(100);
+            assert!(advanced <= 10, "response retires in a few full cycles");
+        }
+        assert_eq!(sim.cycle(), 10_000 + advanced);
+    }
+
+    #[test]
+    fn clock_until_event_without_skip_steps_one_cycle() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        assert_eq!(sim.skip_mode(), SkipMode::Off);
+        assert_eq!(sim.clock_until_event(10_000), 1, "Off mode: one full cycle per call");
+        assert_eq!(sim.cycle(), 1);
+    }
+
+    #[test]
+    fn set_skip_mode_mid_run_is_safe() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.clock_n(100);
+        sim.set_skip_mode(SkipMode::On);
+        sim.clock_n(1_000);
+        sim.set_skip_mode(SkipMode::Off);
+        sim.clock_n(17);
+        assert_eq!(sim.cycle(), 1_117);
+        // A reference run that never skipped lands on the same state.
+        let mut reference = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        reference.clock_n(1_117);
+        assert_eq!(sim.state_fingerprint(), reference.state_fingerprint());
     }
 
     #[test]

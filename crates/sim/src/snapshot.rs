@@ -568,9 +568,12 @@ impl HmcSim {
             host_rx: self.host_rx.clone(),
             tag_pools: self.tag_pools.clone(),
             pool_tags: self.pool_tags.clone(),
-            in_transit: self.in_transit.clone(),
+            // The event heaps flatten to their deterministic
+            // `(ready, insertion)` order, so two identical simulation
+            // states always snapshot (and fingerprint) identically.
+            in_transit: self.in_transit.to_sorted_items(),
             links: self.links.clone(),
-            retry_pending: self.retry_pending.clone(),
+            retry_pending: self.retry_pending.to_sorted_items(),
             zombie_tags: self.zombie_tags.clone(),
             shadow,
         }
@@ -612,10 +615,19 @@ impl HmcSim {
         self.host_rx = snap.host_rx.clone();
         self.tag_pools = snap.tag_pools.clone();
         self.pool_tags = snap.pool_tags.clone();
-        self.in_transit = snap.in_transit.clone();
+        // Rebuild the event heaps from the snapshot's flat form; the
+        // renumbered insertion sequence preserves the recorded order.
+        self.in_transit =
+            crate::events::EventHeap::from_ordered(snap.in_transit.iter().cloned(), Transit::ready);
         self.links = snap.links.clone();
-        self.retry_pending = snap.retry_pending.clone();
+        self.retry_pending = crate::events::EventHeap::from_ordered(
+            snap.retry_pending.iter().cloned(),
+            |e: &RetryEntry| e.ready,
+        );
         self.zombie_tags = snap.zombie_tags.clone();
+        // Restored queues may hold packets: force the skip engine to
+        // re-scan before compressing.
+        self.mark_fabric_busy();
         if let Some(mut san) = self.sanitizer.take() {
             match &snap.shadow {
                 Some(shadow) => san.shadow = shadow.clone(),

@@ -101,7 +101,7 @@ impl ClassLatency {
 }
 
 /// Counters for one device.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Requests executed, by operational class.
     pub reads: u64,

@@ -178,6 +178,35 @@ impl TimeSeries {
         self.points[idx].1 += 1;
     }
 
+    /// Records `value` at each of the `n` consecutive cycles starting
+    /// at `start` — bit-identical to `n` calls of [`TimeSeries::record`]
+    /// but O(windows touched), not O(n). The event-horizon engine uses
+    /// this to append a whole skipped idle region (value 0) at once.
+    pub fn record_n(&mut self, start: u64, n: u64, value: u64) {
+        if self.window == 0 {
+            return;
+        }
+        let mut cycle = start;
+        let mut remaining = n;
+        while remaining > 0 {
+            let mut idx = (cycle / self.window) as usize;
+            while idx >= self.max_windows {
+                self.coarsen();
+                idx = (cycle / self.window) as usize;
+            }
+            // Stay inside the current window; coarsening cannot occur
+            // mid-run because `idx` only grows at window boundaries.
+            let run = remaining.min((idx as u64 + 1) * self.window - cycle);
+            if self.points.len() <= idx {
+                self.points.resize(idx + 1, (0, 0));
+            }
+            self.points[idx].0 += value * run;
+            self.points[idx].1 += run;
+            cycle += run;
+            remaining -= run;
+        }
+    }
+
     fn coarsen(&mut self) {
         let merged: Vec<(u64, u64)> = self
             .points
@@ -304,6 +333,29 @@ impl Telemetry {
             t.last_bank_accesses = accesses;
         }
     }
+
+    /// Bulk sampling of a provably-idle region of `k` cycles starting
+    /// at `start`. The first cycle takes a regular [`Telemetry::sample`]
+    /// (a collector attached mid-run may still hold stale `last_*`
+    /// counters whose first delta is nonzero); the remaining `k - 1`
+    /// cycles are guaranteed zero-delta, zero-occupancy samples and
+    /// append in closed form via [`TimeSeries::record_n`].
+    pub(crate) fn sample_idle(&mut self, sim: &HmcSim, start: u64, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.sample(sim, start);
+        if k == 1 || self.config.window == 0 {
+            return;
+        }
+        for t in self.devices.iter_mut() {
+            for series in t.link_flits.iter_mut() {
+                series.record_n(start + 1, k - 1, 0);
+            }
+            t.vault_occupancy.record_n(start + 1, k - 1, 0);
+            t.bank_accesses.record_n(start + 1, k - 1, 0);
+        }
+    }
 }
 
 impl HmcSim {
@@ -335,6 +387,14 @@ impl HmcSim {
     pub(crate) fn run_telemetry(&mut self, cycle: u64) {
         let Some(mut tel) = self.telemetry.take() else { return };
         tel.sample(self, cycle);
+        self.telemetry = Some(tel);
+    }
+
+    /// Bulk hook for a skipped idle region: samples cycles
+    /// `start..start + k` in one closed-form update.
+    pub(crate) fn run_telemetry_idle(&mut self, start: u64, k: u64) {
+        let Some(mut tel) = self.telemetry.take() else { return };
+        tel.sample_idle(self, start, k);
         self.telemetry = Some(tel);
     }
 }
@@ -385,5 +445,48 @@ mod tests {
         let mut ts = TimeSeries::new(0, 4);
         ts.record(100, 42);
         assert!(ts.points().is_empty());
+        ts.record_n(100, 50, 42);
+        assert!(ts.points().is_empty());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        // Differential check across window boundaries, coarsening and
+        // nonzero values: one bulk append must be bit-identical to the
+        // per-cycle loop.
+        for (window, max_windows, start, n, value) in [
+            (10, 8, 0, 25, 0u64),
+            (10, 8, 7, 25, 3),
+            (1, 4, 0, 64, 1),   // forces repeated coarsening
+            (5, 2, 12, 33, 2),  // tiny retention, offset start
+            (10, 8, 95, 1, 9),  // single-cycle run
+            (10, 8, 42, 0, 9),  // empty run is a no-op
+        ] {
+            let mut bulk = TimeSeries::new(window, max_windows);
+            bulk.record_n(start, n, value);
+            let mut scalar = TimeSeries::new(window, max_windows);
+            for cycle in start..start + n {
+                scalar.record(cycle, value);
+            }
+            assert_eq!(bulk, scalar, "window={window} start={start} n={n}");
+        }
+    }
+
+    #[test]
+    fn record_n_composes_with_record() {
+        // Interleaving bulk and scalar appends behaves like one scalar
+        // stream (the skip engine alternates idle runs with real
+        // samples).
+        let mut mixed = TimeSeries::new(10, 8);
+        mixed.record(0, 4);
+        mixed.record_n(1, 30, 0);
+        mixed.record(31, 6);
+        let mut scalar = TimeSeries::new(10, 8);
+        scalar.record(0, 4);
+        for cycle in 1..31 {
+            scalar.record(cycle, 0);
+        }
+        scalar.record(31, 6);
+        assert_eq!(mixed, scalar);
     }
 }

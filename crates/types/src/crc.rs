@@ -46,16 +46,48 @@ pub fn crc32k(data: &[u8]) -> u32 {
     !crc
 }
 
+/// Folds the 8 little-endian bytes of one word into a running
+/// (reflected, pre-final-XOR) CRC state.
+#[inline]
+fn fold_word(t: &[u32; 256], mut crc: u32, word: u64) -> u32 {
+    for byte in word.to_le_bytes() {
+        crc = (crc >> 8) ^ t[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
 /// Computes the CRC-32K over a packet expressed as 64-bit words,
 /// with the tail CRC field (bits 63:32 of the last word) masked to
 /// zero, as the specification requires.
+///
+/// Streams the words through the reflected table directly — no
+/// intermediate byte buffer is allocated. Byte-for-byte equivalent to
+/// serializing the masked words little-endian and calling [`crc32k`].
 pub fn packet_crc(words: &[u64]) -> u32 {
-    let mut bytes = Vec::with_capacity(words.len() * 8);
-    for (i, &w) in words.iter().enumerate() {
-        let w = if i == words.len() - 1 { w & 0x0000_0000_FFFF_FFFF } else { w };
-        bytes.extend_from_slice(&w.to_le_bytes());
+    match words.split_last() {
+        None => crc32k(&[]),
+        Some((&tail, body)) => {
+            let t = table();
+            let mut crc = u32::MAX;
+            for &w in body {
+                crc = fold_word(t, crc, w);
+            }
+            !fold_word(t, crc, tail & 0x0000_0000_FFFF_FFFF)
+        }
     }
-    crc32k(&bytes)
+}
+
+/// [`packet_crc`] over the logical word sequence
+/// `[head, payload..., tail]` without materializing it: the packet
+/// serializers hash head/payload/tail in place. `tail` is masked like
+/// the last word of [`packet_crc`] (CRC field zeroed).
+pub fn packet_crc_with_tail(head: u64, payload: &[u64], tail: u64) -> u32 {
+    let t = table();
+    let mut crc = fold_word(t, u32::MAX, head);
+    for &w in payload {
+        crc = fold_word(t, crc, w);
+    }
+    !fold_word(t, crc, tail & 0x0000_0000_FFFF_FFFF)
 }
 
 #[cfg(test)]
@@ -88,6 +120,48 @@ mod tests {
                 assert_ne!(crc32k(&flipped), base, "flip at {byte}:{bit} undetected");
             }
         }
+    }
+
+    /// The pre-optimization implementation: serialize the masked
+    /// words to a byte buffer, then CRC the buffer.
+    fn packet_crc_by_bytes(words: &[u64]) -> u32 {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for (i, &w) in words.iter().enumerate() {
+            let w = if i == words.len() - 1 { w & 0x0000_0000_FFFF_FFFF } else { w };
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        crc32k(&bytes)
+    }
+
+    proptest::proptest! {
+        /// The streaming word path is byte-for-byte equivalent to the
+        /// old allocate-and-serialize path on arbitrary word slices.
+        #[test]
+        fn streaming_equals_byte_buffer_reference(
+            words in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..64),
+        ) {
+            proptest::prop_assert_eq!(packet_crc(&words), packet_crc_by_bytes(&words));
+        }
+
+        /// `packet_crc_with_tail` is `packet_crc` over the assembled
+        /// `[head, payload..., tail]` sequence.
+        #[test]
+        fn with_tail_matches_assembled_sequence(
+            head in proptest::prelude::any::<u64>(),
+            payload in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..34),
+            tail in proptest::prelude::any::<u64>(),
+        ) {
+            let mut words = Vec::with_capacity(payload.len() + 2);
+            words.push(head);
+            words.extend_from_slice(&payload);
+            words.push(tail);
+            proptest::prop_assert_eq!(packet_crc_with_tail(head, &payload, tail), packet_crc(&words));
+        }
+    }
+
+    #[test]
+    fn empty_word_slice_matches_empty_bytes() {
+        assert_eq!(packet_crc(&[]), crc32k(&[]));
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod crc;
 pub mod error;
 pub mod flit;
 pub mod packet;
+pub mod payload;
 pub mod rsp;
 pub mod tag;
 
@@ -37,6 +38,7 @@ pub use crc::crc32k;
 pub use error::HmcError;
 pub use flit::{Flit, FLIT_BITS, FLIT_BYTES, FLIT_WORDS, MAX_PACKET_FLITS};
 pub use packet::{Cub, ReqHead, ReqTail, Request, Response, RspHead, RspTail, Slid};
+pub use payload::{PayloadBuf, PAYLOAD_INLINE_WORDS};
 pub use rsp::HmcResponse;
 pub use tag::{Tag, TagPool, TAG_BITS, TAG_SPACE};
 

@@ -36,9 +36,10 @@
 //! `ERRSTAT[26:20]` in place of Pb/SLID.
 
 use crate::cmd::HmcRqst;
-use crate::crc::packet_crc;
+use crate::crc::packet_crc_with_tail;
 use crate::error::HmcError;
 use crate::flit::{Flit, MAX_PACKET_FLITS};
+use crate::payload::PayloadBuf;
 use crate::rsp::HmcResponse;
 use crate::tag::Tag;
 
@@ -303,8 +304,9 @@ pub const fn payload_words(lng: u8) -> usize {
 pub struct Request {
     /// Packet header.
     pub head: ReqHead,
-    /// Data payload (`2*lng - 2` 64-bit words).
-    pub payload: Vec<u64>,
+    /// Data payload (`2*lng - 2` 64-bit words), stored inline up to
+    /// 16 words.
+    pub payload: PayloadBuf,
     /// Packet tail.
     pub tail: ReqTail,
 }
@@ -317,8 +319,9 @@ impl Request {
         tag: Tag,
         addr: u64,
         cub: Cub,
-        payload: Vec<u64>,
+        payload: impl Into<PayloadBuf>,
     ) -> Result<Self, HmcError> {
+        let payload = payload.into();
         let info = cmd
             .fixed_info()
             .ok_or_else(|| HmcError::MalformedPacket("use Request::new_cmc for CMC commands".into()))?;
@@ -346,8 +349,9 @@ impl Request {
         tag: Tag,
         addr: u64,
         cub: Cub,
-        payload: Vec<u64>,
+        payload: impl Into<PayloadBuf>,
     ) -> Result<Self, HmcError> {
+        let payload = payload.into();
         if lng == 0 || lng as usize > MAX_PACKET_FLITS {
             return Err(HmcError::InvalidPacketLength(lng as usize));
         }
@@ -376,11 +380,19 @@ impl Request {
 
     /// Serializes the packet to FLITs, computing and embedding the CRC.
     pub fn pack(&self) -> Vec<Flit> {
-        pack_words(self.head.encode(), &self.payload, |crc| {
+        let mut out = [Flit::ZERO; MAX_PACKET_FLITS];
+        let n = self.pack_into(&mut out);
+        out[..n].to_vec()
+    }
+
+    /// Serializes the packet into a caller-provided FLIT buffer and
+    /// returns the packet length in FLITs. Allocation-free.
+    pub fn pack_into(&self, out: &mut [Flit; MAX_PACKET_FLITS]) -> usize {
+        pack_words_into(self.head.encode(), &self.payload, |crc| {
             let mut tail = self.tail;
             tail.crc = crc;
             tail.encode()
-        })
+        }, out)
     }
 
     /// Deserializes a packet from FLITs, verifying LNG and CRC.
@@ -407,8 +419,9 @@ impl Request {
 pub struct Response {
     /// Packet header.
     pub head: RspHead,
-    /// Data payload (`2*lng - 2` 64-bit words).
-    pub payload: Vec<u64>,
+    /// Data payload (`2*lng - 2` 64-bit words), stored inline up to
+    /// 16 words.
+    pub payload: PayloadBuf,
     /// Packet tail.
     pub tail: RspTail,
 }
@@ -420,8 +433,9 @@ impl Response {
         tag: Tag,
         slid: Slid,
         cub: Cub,
-        payload: Vec<u64>,
+        payload: impl Into<PayloadBuf>,
     ) -> Result<Self, HmcError> {
+        let payload = payload.into();
         if !payload.len().is_multiple_of(2) || payload.len() > 2 * (MAX_PACKET_FLITS - 1) {
             return Err(HmcError::MalformedPacket(format!(
                 "response payload of {} words is not a whole number of FLITs",
@@ -444,11 +458,19 @@ impl Response {
 
     /// Serializes the packet to FLITs, computing and embedding the CRC.
     pub fn pack(&self) -> Vec<Flit> {
-        pack_words(self.head.encode(), &self.payload, |crc| {
+        let mut out = [Flit::ZERO; MAX_PACKET_FLITS];
+        let n = self.pack_into(&mut out);
+        out[..n].to_vec()
+    }
+
+    /// Serializes the packet into a caller-provided FLIT buffer and
+    /// returns the packet length in FLITs. Allocation-free.
+    pub fn pack_into(&self, out: &mut [Flit; MAX_PACKET_FLITS]) -> usize {
+        pack_words_into(self.head.encode(), &self.payload, |crc| {
             let mut tail = self.tail;
             tail.crc = crc;
             tail.encode()
-        })
+        }, out)
     }
 
     /// Deserializes a packet from FLITs, verifying LNG and CRC.
@@ -510,35 +532,56 @@ fn flits_from_bytes(bytes: &[u8]) -> Result<Vec<Flit>, HmcError> {
         .collect())
 }
 
-/// Lays out `[head, payload..., tail]` words into FLITs, invoking
-/// `finish_tail` with the computed CRC to produce the final tail word.
-fn pack_words(head: u64, payload: &[u64], finish_tail: impl FnOnce(u32) -> u64) -> Vec<Flit> {
-    let mut words = Vec::with_capacity(payload.len() + 2);
-    words.push(head);
-    words.extend_from_slice(payload);
-    words.push(0); // tail placeholder, CRC region zero for hashing
-    let crc = packet_crc(&words);
-    *words.last_mut().expect("tail present") = finish_tail(crc);
-    words
-        .chunks(2)
-        .map(|pair| Flit::new(pair[0], pair[1]))
-        .collect()
+/// Lays out `[head, payload..., tail]` words into the FLIT buffer,
+/// invoking `finish_tail` with the computed CRC (tail word hashed as
+/// zero) to produce the final tail word. Returns the FLIT count;
+/// allocation-free.
+fn pack_words_into(
+    head: u64,
+    payload: &[u64],
+    finish_tail: impl FnOnce(u32) -> u64,
+    out: &mut [Flit; MAX_PACKET_FLITS],
+) -> usize {
+    let crc = packet_crc_with_tail(head, payload, 0);
+    let tail = finish_tail(crc);
+    // Payloads are always a whole number of FLITs (2*lng - 2 words),
+    // so head + payload + tail is exactly 2 words per FLIT.
+    debug_assert!(payload.len().is_multiple_of(2));
+    let n_words = payload.len() + 2;
+    let word = |i: usize| -> u64 {
+        if i == 0 {
+            head
+        } else if i == n_words - 1 {
+            tail
+        } else {
+            payload[i - 1]
+        }
+    };
+    let flits = n_words / 2;
+    for (fi, slot) in out[..flits].iter_mut().enumerate() {
+        *slot = Flit::new(word(2 * fi), word(2 * fi + 1));
+    }
+    flits
 }
 
 /// Splits FLITs back into `(head, payload, tail, computed_crc)`.
-fn unpack_words(flits: &[Flit]) -> Result<(u64, Vec<u64>, u64, u32), HmcError> {
+/// Allocation-free for payloads within the inline capacity.
+fn unpack_words(flits: &[Flit]) -> Result<(u64, PayloadBuf, u64, u32), HmcError> {
     if flits.is_empty() || flits.len() > MAX_PACKET_FLITS {
         return Err(HmcError::InvalidPacketLength(flits.len()));
     }
-    let mut words: Vec<u64> = flits.iter().flat_map(|f| f.words).collect();
-    let tail = words.pop().expect("at least one flit");
-    let head = words.remove(0);
-    let mut crc_input = Vec::with_capacity(words.len() + 2);
-    crc_input.push(head);
-    crc_input.extend_from_slice(&words);
-    crc_input.push(tail);
-    let crc = packet_crc(&crc_input);
-    Ok((head, words, tail, crc))
+    // Flat word layout: [f0.lo, f0.hi, f1.lo, f1.hi, ...]; the head
+    // is the first word, the tail the last, payload everything
+    // between.
+    let head = flits[0].lo();
+    let tail = flits[flits.len() - 1].hi();
+    let n_words = 2 * flits.len();
+    let mut payload = PayloadBuf::new();
+    for i in 1..n_words - 1 {
+        payload.push(flits[i / 2].words[i % 2]);
+    }
+    let crc = packet_crc_with_tail(head, &payload, tail);
+    Ok((head, payload, tail, crc))
 }
 
 #[cfg(test)]
@@ -639,7 +682,7 @@ mod tests {
             tag(99),
             0x1000,
             Cub::new(2).unwrap(),
-            (0..8).map(|i| i * 0x1111).collect(),
+            (0..8u64).map(|i| i * 0x1111).collect::<PayloadBuf>(),
         )
         .unwrap();
         let flits = req.pack();

@@ -20,7 +20,7 @@
 
 use hmc_sim::fault::ERRSTAT_HOST_GIVEUP;
 use hmc_sim::{HmcSim, TrackedResponse};
-use hmc_types::{Cub, HmcError, HmcResponse, HmcRqst, Response, RspHead, RspTail, Slid, Tag};
+use hmc_types::{Cub, HmcError, HmcResponse, HmcRqst, PayloadBuf, Response, RspHead, RspTail, Slid, Tag};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Whether a thread has finished its kernel.
@@ -137,6 +137,17 @@ pub trait HostThread {
 
     /// Advances the thread by one cycle.
     fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus;
+
+    /// The cycle at which this thread next needs to run, when it is
+    /// idling on host-side backoff with nothing in flight. `None`
+    /// (the default) means "tick me every cycle". Returning
+    /// `Some(wake)` is a promise that `tick` is a pure no-op on every
+    /// cycle before `wake`, which lets [`ThreadDriver`] compress the
+    /// wait through the simulator's event-horizon engine
+    /// ([`HmcSim::clock_until_event`]).
+    fn parked_until(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Host-side fault-tolerance policy for [`ThreadDriver`].
@@ -294,7 +305,7 @@ impl ThreadDriver {
                     slid: Slid::new((link % 8) as u8).expect("link < 8"),
                     cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
                 },
-                payload: vec![],
+                payload: PayloadBuf::new(),
                 tail: RspTail { errstat: ERRSTAT_HOST_GIVEUP, ..RspTail::default() },
             },
             issue_cycle: 0,
@@ -465,8 +476,48 @@ impl ThreadDriver {
             if all_done {
                 break;
             }
-            sim.clock();
-            cycle += 1;
+
+            // When every unfinished thread is parked until a known
+            // wake-up cycle, let the event-horizon engine compress the
+            // wait instead of ticking no-op cycles one at a time. The
+            // jump never crosses a driver-side event: a parked
+            // thread's wake, a pending retry's replay cycle, or an
+            // in-flight request's timeout due. With skipping disabled
+            // `clock_until_event` executes exactly one full cycle, so
+            // this degenerates to the classic per-cycle loop.
+            let mut horizon = self.max_cycles;
+            let mut all_parked = false;
+            for (tid, thread) in threads.iter().enumerate() {
+                if finish[tid].is_some() {
+                    continue;
+                }
+                match thread.parked_until() {
+                    Some(wake) if mailboxes[tid].is_empty() => {
+                        horizon = horizon.min(wake);
+                        all_parked = true;
+                    }
+                    _ => {
+                        all_parked = false;
+                        break;
+                    }
+                }
+            }
+            if all_parked {
+                for r in &retries {
+                    horizon = horizon.min(r.ready);
+                }
+                if let Some(cfg) = self.resilience {
+                    for e in inflight.values() {
+                        horizon = horizon.min(e.issued + cfg.request_timeout);
+                    }
+                }
+            }
+            if all_parked && horizon > cycle + 1 {
+                cycle += sim.clock_until_event(horizon - cycle);
+            } else {
+                sim.clock();
+                cycle += 1;
+            }
         }
 
         let unfinished = finish.iter().filter(|f| f.is_none()).count();

@@ -115,7 +115,7 @@ impl HostThread for CounterThread {
                     let word = ((self.addr & 63) / 8) as usize;
                     // Modify the counter word within the fetched line,
                     // as a cache would.
-                    let mut line = rsp.rsp.payload;
+                    let mut line = rsp.rsp.payload.to_vec();
                     line[word] = line[word].wrapping_add(1);
                     self.state = State::SendWrite { line };
                 }

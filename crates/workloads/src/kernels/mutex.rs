@@ -193,6 +193,13 @@ impl HostThread for MutexThread {
         self.link
     }
 
+    fn parked_until(&self) -> Option<u64> {
+        match self.state {
+            State::Backoff { until } => Some(until),
+            _ => None,
+        }
+    }
+
     fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus {
         // A wait-state that consumes a response falls through to the
         // next send in the same tick, so a lock+unlock pair completes
@@ -481,6 +488,32 @@ mod tests {
         .unwrap();
         assert_eq!(cmc.metrics.min_cycle(), cas.metrics.min_cycle());
         assert_eq!(cmc.metrics.max_cycle(), cas.metrics.max_cycle());
+    }
+
+    #[test]
+    fn until_owned_is_identical_with_idle_skip() {
+        // The driver's parked-thread jump plus the simulator's
+        // event-horizon engine must not perturb the workload: same
+        // completion cycles, same acquisitions, same device state.
+        use hmc_sim::SkipMode;
+        let run = |mode: SkipMode| {
+            let mut sim = sim_with_mutex(DeviceConfig::gen2_4link_4gb());
+            sim.set_skip_mode(mode);
+            let result = MutexKernel::new(MutexKernelConfig {
+                threads: 32,
+                spin: SpinPolicy::until_owned(),
+                ..Default::default()
+            })
+            .run(&mut sim)
+            .unwrap();
+            (result, sim.state_fingerprint())
+        };
+        let (off, fp_off) = run(SkipMode::Off);
+        let (on, fp_on) = run(SkipMode::On);
+        assert_eq!(off.metrics.per_thread_cycles, on.metrics.per_thread_cycles);
+        assert_eq!(off.metrics.total_cycles, on.metrics.total_cycles);
+        assert_eq!(off.acquisitions, on.acquisitions);
+        assert_eq!(fp_off, fp_on, "skip-mode runs end in identical device state");
     }
 
     #[test]

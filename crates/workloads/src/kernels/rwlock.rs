@@ -75,6 +75,13 @@ impl HostThread for RwThread {
         self.link
     }
 
+    fn parked_until(&self) -> Option<u64> {
+        match self.state {
+            State::Backoff { until } => Some(until),
+            _ => None,
+        }
+    }
+
     fn tick(&mut self, io: &mut ThreadIo<'_>) -> ThreadStatus {
         if self.remaining == 0 {
             return ThreadStatus::Done;

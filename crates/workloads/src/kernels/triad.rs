@@ -88,8 +88,8 @@ enum StreamKind {
 
 #[derive(Debug, Default)]
 struct ChunkState {
-    b: Option<Vec<u64>>,
-    c: Option<Vec<u64>>,
+    b: Option<hmc_types::PayloadBuf>,
+    c: Option<hmc_types::PayloadBuf>,
     write_issued: bool,
     write_done: bool,
 }

@@ -283,7 +283,7 @@ fn wire_packets_survive_pack_unpack_through_flits() {
         Tag::new(77).unwrap(),
         0xABCD00,
         Cub::new(0).unwrap(),
-        (0..8).collect(),
+        (0..8u64).collect::<Vec<u64>>(),
     )
     .unwrap();
     let flits = req.pack();

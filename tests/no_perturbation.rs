@@ -132,6 +132,50 @@ fn parallel_mode_is_zero_perturbation() {
     }
 }
 
+/// The event-horizon engine is a zero-perturbation feature: the
+/// pinned mutex evaluation and a pure data-path Triad run must
+/// reproduce the sequential full-execution numbers and fingerprints
+/// with idle skipping enabled, on both engines.
+#[test]
+fn skip_mode_is_zero_perturbation() {
+    use hmcsim::workloads::kernels::triad::{TriadConfig, TriadKernel};
+    ops::register_builtin_libraries();
+    let mutex_run = |mode: ExecMode, skip: SkipMode| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(mode);
+        sim.set_skip_mode(skip);
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        let stats = sim.stats(0).unwrap().clone();
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint(), stats)
+    };
+    let triad_run = |mode: ExecMode, skip: SkipMode| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(mode);
+        sim.set_skip_mode(skip);
+        let out = TriadKernel::new(TriadConfig { elements: 1024, ..Default::default() })
+            .run(&mut sim)
+            .unwrap();
+        (out.cycles, sim.cycle(), sim.state_fingerprint())
+    };
+    let mutex_ref = mutex_run(ExecMode::Sequential, SkipMode::Off);
+    assert_eq!(mutex_ref.0, 19, "pinned mutex minimum");
+    assert_eq!(mutex_ref.1, 49, "pinned mutex maximum");
+    let triad_ref = triad_run(ExecMode::Sequential, SkipMode::Off);
+    for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 4 }] {
+        let mutex = mutex_run(mode, SkipMode::On);
+        assert_eq!(mutex, mutex_ref, "mutex diverged with skipping: {mode:?}");
+        assert_eq!(
+            mutex.5.latency, mutex_ref.5.latency,
+            "latency histogram diverged with skipping: {mode:?}"
+        );
+        assert_eq!(triad_run(mode, SkipMode::On), triad_ref, "triad diverged with skipping: {mode:?}");
+    }
+}
+
 /// Sanitizer report mode stays zero-perturbation when stage 3 runs on
 /// the parallel engine: same fingerprint as the unsanitized parallel
 /// run, and the packet-conservation audit stays clean.

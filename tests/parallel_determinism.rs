@@ -100,6 +100,64 @@ fn sim_with_mode(config: DeviceConfig, mode: ExecMode) -> HmcSim {
     sim
 }
 
+/// Like [`drive`], but with a bulk idle gap after every op — the
+/// shape that exercises the event-horizon engine's multi-cycle skips
+/// (per-cycle `clock()` only ever compresses one cycle at a time).
+/// Returns the fingerprint trace plus the final device stats, so
+/// callers can also assert the latency histograms are untouched.
+fn drive_bursty(
+    sim: &mut HmcSim,
+    ops: &[Op],
+    gap: u64,
+    drain_cycles: u64,
+) -> (Vec<u64>, hmcsim::sim::DeviceStats) {
+    let links = sim.device_config(0).unwrap().links;
+    let mut fingerprints = Vec::with_capacity(ops.len() + 1);
+    for (i, op) in ops.iter().enumerate() {
+        let link = i % links;
+        let sent = match *op {
+            Op::Read { slot } => {
+                sim.send_simple(0, link, HmcRqst::Rd16, slot_addr(slot), vec![])
+            }
+            Op::Write { slot, value } => {
+                sim.send_simple(0, link, HmcRqst::Wr16, slot_addr(slot), vec![value, !value])
+            }
+            Op::PostedWrite { slot, value } => {
+                sim.send_simple(0, link, HmcRqst::PWr16, slot_addr(slot), vec![value, value])
+            }
+            Op::Atomic { slot, value } => {
+                sim.send_simple(0, link, HmcRqst::Xor16, slot_addr(slot), vec![value, 0])
+            }
+            Op::PostedAtomic { slot } => {
+                sim.send_simple(0, link, HmcRqst::P2Add8, slot_addr(slot), vec![1, 1])
+            }
+            Op::Idle => Ok(None),
+        };
+        // Back-pressure and scheduled link outages are deterministic
+        // and identical across the compared runs; only other protocol
+        // errors would indicate a broken harness.
+        match sent {
+            Ok(_)
+            | Err(HmcError::Stall)
+            | Err(HmcError::TagsExhausted)
+            | Err(HmcError::LinkDown(_)) => {}
+            Err(e) => panic!("unexpected send error: {e}"),
+        }
+        sim.clock();
+        sim.clock_n(gap);
+        fingerprints.push(sim.state_fingerprint());
+        for l in 0..links {
+            while sim.recv(0, l).is_some() {}
+        }
+    }
+    sim.clock_n(drain_cycles);
+    fingerprints.push(sim.state_fingerprint());
+    for l in 0..links {
+        while sim.recv(0, l).is_some() {}
+    }
+    (fingerprints, sim.stats(0).unwrap().clone())
+}
+
 fn assert_lockstep_equal(config_name: &str, threads: usize, reference: &[u64], parallel: &[u64]) {
     assert_eq!(reference.len(), parallel.len());
     for (cycle, (r, p)) in reference.iter().zip(parallel).enumerate() {
@@ -172,6 +230,26 @@ proptest! {
         }
     }
 
+    /// Random traffic with random idle gaps: a run with idle-cycle
+    /// skipping is bit-identical to the full-execution reference on
+    /// both engines — fingerprints and device stats alike.
+    #[test]
+    fn skip_mode_random_traffic_is_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        gap in 0u64..1500,
+    ) {
+        let run = |mode: ExecMode, skip: SkipMode| {
+            let mut sim = sim_with_mode(DeviceConfig::gen2_4link_4gb(), mode);
+            sim.set_skip_mode(skip);
+            drive_bursty(&mut sim, &ops, gap, 1_000)
+        };
+        let reference = run(ExecMode::Sequential, SkipMode::Off);
+        let seq_on = run(ExecMode::Sequential, SkipMode::On);
+        prop_assert_eq!(&reference, &seq_on);
+        let par_on = run(ExecMode::Parallel { threads: 2 }, SkipMode::On);
+        prop_assert_eq!(&reference, &par_on);
+    }
+
     /// The sanitizer observes the same invariants whichever engine
     /// runs stage 3: zero violations, identical fingerprints.
     #[test]
@@ -224,6 +302,120 @@ fn saturating_mix_is_bit_identical_across_thread_matrix() {
             );
             assert_lockstep_equal(name, threads, &reference, &parallel);
         }
+    }
+}
+
+/// The SkipMode axis of the differential matrix: for both reference
+/// configurations and both engines (sequential and parallel), a run
+/// with idle-cycle skipping enabled must be bit-identical to the
+/// [`SkipMode::Off`] reference — fingerprint trace, device stats and
+/// latency histograms — across idle-gap widths from "no gap" to
+/// "thousands of compressible cycles".
+#[test]
+fn skip_mode_matrix_is_bit_identical() {
+    let ops: Vec<Op> = (0..60)
+        .map(|i| match i % 6 {
+            0 => Op::Write { slot: (i % 67) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 59) as u16 },
+            2 => Op::PostedWrite { slot: (i % 53) as u16, value: !(i as u64) },
+            3 => Op::Atomic { slot: (i % 47) as u16, value: i as u64 ^ 0xaaaa },
+            4 => Op::PostedAtomic { slot: (i % 43) as u16 },
+            _ => Op::Idle,
+        })
+        .collect();
+    for (name, config) in configs() {
+        for gap in [0u64, 7, 4_096] {
+            let run = |mode: ExecMode, skip: SkipMode| {
+                let mut sim = sim_with_mode(config.clone(), mode);
+                sim.set_skip_mode(skip);
+                drive_bursty(&mut sim, &ops, gap, 2_000)
+            };
+            let (ref_fp, ref_stats) = run(ExecMode::Sequential, SkipMode::Off);
+            for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 4 }] {
+                let (fp, stats) = run(mode, SkipMode::On);
+                assert_eq!(
+                    ref_fp, fp,
+                    "fingerprints diverged: config={name} gap={gap} mode={mode:?}"
+                );
+                assert_eq!(
+                    ref_stats, stats,
+                    "device stats diverged: config={name} gap={gap} mode={mode:?}"
+                );
+                assert_eq!(ref_stats.latency, stats.latency, "latency histogram diverged");
+            }
+        }
+    }
+}
+
+/// Skipping must stop at *scheduled* fault-plan link transitions: a
+/// link that goes down and comes back in the middle of a long idle
+/// gap has to flip on exactly the configured cycles, and link-layer
+/// retries stranded by the outage must replay identically.
+#[test]
+fn skip_mode_with_fault_schedule_is_bit_identical() {
+    let ops: Vec<Op> = (0..40)
+        .map(|i| match i % 3 {
+            0 => Op::Write { slot: (i % 37) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 31) as u16 },
+            _ => Op::Atomic { slot: (i % 29) as u16, value: i as u64 },
+        })
+        .collect();
+    let mut config = DeviceConfig::gen2_4link_4gb();
+    // Transitions land mid-gap (op cadence is 1 + 1000 cycles), so a
+    // careless skip would sail straight past them.
+    config.fault = FaultPlan::seeded(11)
+        .with_vault_errors(80_000)
+        .with_poison(40_000)
+        .with_link_event(2_500, 1, false)
+        .with_link_event(9_777, 1, true)
+        .with_link_event(17_003, 2, false)
+        .with_link_event(17_500, 2, true);
+    let run = |mode: ExecMode, skip: SkipMode| {
+        let mut sim = sim_with_mode(config.clone(), mode);
+        sim.set_skip_mode(skip);
+        drive_bursty(&mut sim, &ops, 1_000, 5_000)
+    };
+    let (ref_fp, ref_stats) = run(ExecMode::Sequential, SkipMode::Off);
+    for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }] {
+        let (fp, stats) = run(mode, SkipMode::On);
+        assert_eq!(ref_fp, fp, "fingerprints diverged under fault schedule: mode={mode:?}");
+        assert_eq!(ref_stats, stats, "stats diverged under fault schedule: mode={mode:?}");
+    }
+}
+
+/// Skipping under the full observer stack: sanitizer report mode
+/// (watchdog + periodic checkpoints) and full telemetry must see the
+/// exact same history whether the idle cycles were executed or
+/// compressed — same fingerprints, same stats, a clean audit, and a
+/// bit-identical telemetry export.
+#[test]
+fn skip_mode_under_sanitizer_and_telemetry_is_bit_identical_and_clean() {
+    let ops: Vec<Op> = (0..48)
+        .map(|i| match i % 4 {
+            0 => Op::Write { slot: (i % 41) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 23) as u16 },
+            2 => Op::PostedAtomic { slot: (i % 19) as u16 },
+            _ => Op::Idle,
+        })
+        .collect();
+    let run = |mode: ExecMode, skip: SkipMode| {
+        let mut sim = sim_with_mode(DeviceConfig::gen2_4link_4gb(), mode);
+        sim.set_skip_mode(skip);
+        sim.enable_sanitizer(SanitizerConfig::report());
+        sim.enable_telemetry(TelemetryConfig::full());
+        let (fp, stats) = drive_bursty(&mut sim, &ops, 700, 3_000);
+        let violations = sim.sanitizer_report().map(|r| r.total_violations);
+        let telemetry = sim.telemetry_report().map(|r| r.to_json());
+        (fp, stats, violations, telemetry)
+    };
+    let reference = run(ExecMode::Sequential, SkipMode::Off);
+    assert_eq!(reference.2, Some(0), "reference run is invariant-clean");
+    for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 4 }] {
+        let skipped = run(mode, SkipMode::On);
+        assert_eq!(reference.0, skipped.0, "fingerprints diverged under observers: {mode:?}");
+        assert_eq!(reference.1, skipped.1, "stats diverged under observers: {mode:?}");
+        assert_eq!(skipped.2, Some(0), "audit stays clean with skipping: {mode:?}");
+        assert_eq!(reference.3, skipped.3, "telemetry export diverged: {mode:?}");
     }
 }
 
