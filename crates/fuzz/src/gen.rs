@@ -1,0 +1,213 @@
+//! Seeded scenario generation.
+//!
+//! The generator is a pure function of its seed: scenario `i` of seed
+//! `s` is identical on every machine and every run, which is what
+//! makes `hmcfuzz run --seed S` reproducible end to end. Internally
+//! each scenario gets its own [`FaultRng`] stream keyed by
+//! `(seed, index)`, so shrinking or replaying scenario `i` never
+//! perturbs scenario `i + 1`.
+
+use crate::scenario::Scenario;
+use hmc_sim::{
+    Arbitration, DeviceConfig, ExecMode, FaultPlan, FaultRng, LinkErrorMode, RowPolicy, SkipMode,
+};
+use hmc_workloads::{KernelDescriptor, MutexMechanism};
+
+/// The seeded scenario stream.
+#[derive(Debug)]
+pub struct ScenarioGenerator {
+    seed: u64,
+    index: u64,
+}
+
+impl ScenarioGenerator {
+    /// Creates the stream for `seed`, positioned at scenario 0.
+    pub fn new(seed: u64) -> Self {
+        ScenarioGenerator { seed, index: 0 }
+    }
+
+    /// Index of the next scenario to be generated.
+    pub fn position(&self) -> u64 {
+        self.index
+    }
+
+    /// Samples the next scenario.
+    pub fn next_scenario(&mut self) -> Scenario {
+        let index = self.index;
+        self.index += 1;
+        // Key the per-scenario stream by (seed, index); FaultRng
+        // scrambles the seed through SplitMix64 so adjacent keys give
+        // unrelated streams.
+        let scenario_seed = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = FaultRng::new(scenario_seed);
+        let kernel = sample_kernel(&mut rng);
+        let device = sample_device(&mut rng, &kernel);
+        let exec = match rng.below(5) {
+            0 => ExecMode::Sequential,
+            1 => ExecMode::Parallel { threads: 2 },
+            2 => ExecMode::Parallel { threads: 3 },
+            3 => ExecMode::Parallel { threads: 4 },
+            _ => ExecMode::Parallel { threads: 8 },
+        };
+        let skip = if rng.below(2) == 0 { SkipMode::Off } else { SkipMode::On };
+        let scenario = Scenario {
+            seed: scenario_seed,
+            device,
+            kernel,
+            exec,
+            skip,
+            sanitizer: rng.below(2) == 0,
+            telemetry: rng.below(4) == 0,
+        };
+        scenario.validate().expect("generator produced an invalid scenario");
+        scenario
+    }
+}
+
+fn sample_kernel(rng: &mut FaultRng) -> KernelDescriptor {
+    match rng.below(7) {
+        0 | 1 => KernelDescriptor::RawOps {
+            // Weighted double: raw ops cover the widest packet mix and
+            // are the only kernel allowed under link outages.
+            ops: 16 + rng.below(240) as u32,
+            seed: rng.next_u64(),
+            gap: rng.below(64) as u32,
+            drain: 64 + rng.below(512) as u32,
+        },
+        2 => KernelDescriptor::Counter {
+            threads: 1 + rng.below(8) as u32,
+            increments: 1 + rng.below(24) as u32,
+            cache_rmw: rng.below(4) == 0,
+        },
+        3 => KernelDescriptor::Gups {
+            entries_log2: 6 + rng.below(5) as u32,
+            updates: 16 + rng.below(240) as u32,
+            window: 1 + rng.below(32) as u32,
+            rmw: rng.below(2) == 0,
+            seed: rng.next_u64(),
+        },
+        4 => {
+            let chunk_bytes =
+                hmc_workloads::scenario::TRIAD_CHUNK_SIZES[rng.below(9) as usize];
+            // One chunk covers chunk_bytes/8 elements; sampling whole
+            // chunks keeps the array divisible by the request size.
+            let elements_per_chunk = chunk_bytes / 8;
+            KernelDescriptor::Triad {
+                elements: elements_per_chunk * (1 + rng.below(96) as u32),
+                chunk_bytes,
+                window: 1 + rng.below(24) as u32,
+                posted_writes: rng.below(2) == 0,
+            }
+        }
+        5 => KernelDescriptor::Mutex {
+            threads: 1 + rng.below(6) as u32,
+            mechanism: match rng.below(3) {
+                0 => MutexMechanism::Cmc,
+                1 => MutexMechanism::CasEq8,
+                _ => MutexMechanism::Ticket,
+            },
+        },
+        _ => KernelDescriptor::Barrier {
+            threads: 1 + rng.below(8) as u32,
+            rounds: 1 + rng.below(6) as u32,
+        },
+    }
+}
+
+fn sample_device(rng: &mut FaultRng, kernel: &KernelDescriptor) -> DeviceConfig {
+    let mut device = if rng.below(2) == 0 {
+        DeviceConfig::gen2_4link_4gb()
+    } else {
+        DeviceConfig::gen2_8link_8gb()
+    };
+    device.arbitration = if rng.below(2) == 0 {
+        Arbitration::FixedPriority
+    } else {
+        Arbitration::RoundRobin
+    };
+    if rng.below(3) == 0 {
+        device.bank_latency = rng.below(9);
+    }
+    if rng.below(4) == 0 {
+        device.bank_timing.policy = RowPolicy::OpenPage;
+        device.bank_timing.row_hit = 1 + rng.below(3);
+        device.bank_timing.row_miss = 4 + rng.below(8);
+    }
+    if rng.below(4) == 0 {
+        device.vault_queue_depth = 16;
+    }
+    device.fault = sample_fault_plan(rng, kernel, device.links);
+    device
+}
+
+fn sample_fault_plan(rng: &mut FaultRng, kernel: &KernelDescriptor, links: usize) -> FaultPlan {
+    let mut plan = FaultPlan::seeded(rng.next_u64());
+    match rng.below(4) {
+        0 => {}
+        1 => plan = plan.with_vault_errors(1_000 * (1 + rng.below(100)) as u32),
+        2 => plan = plan.with_poison(1_000 * (1 + rng.below(60)) as u32),
+        _ => {
+            plan = plan
+                .with_vault_errors(1_000 * (1 + rng.below(60)) as u32)
+                .with_poison(1_000 * (1 + rng.below(40)) as u32);
+        }
+    }
+    if rng.below(3) == 0 {
+        plan = plan.with_link_errors(match rng.below(2) {
+            0 => LinkErrorMode::EveryNth(50 + rng.below(500)),
+            _ => LinkErrorMode::Random { per_million: 1_000 * (1 + rng.below(50)) as u32 },
+        });
+    }
+    // Scheduled outages only pair with kernels that survive LinkDown
+    // on send (see `Scenario::validate`). Never cut link 0 so the
+    // stream retains at least one working link.
+    if kernel.tolerates_link_outage() && rng.below(3) == 0 && links > 1 {
+        let link = 1 + rng.below(links as u64 - 1) as usize;
+        let down = 50 + rng.below(400);
+        let up = down + 50 + rng.below(400);
+        plan = plan.with_link_event(down, link, false).with_link_event(up, link, true);
+    }
+    plan.validate(links).expect("generator produced an invalid fault plan");
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let take = |seed: u64, n: usize| {
+            let mut g = ScenarioGenerator::new(seed);
+            (0..n).map(|_| g.next_scenario()).collect::<Vec<_>>()
+        };
+        assert_eq!(take(7, 40), take(7, 40));
+        assert_ne!(take(7, 40), take(8, 40), "different seeds, different streams");
+    }
+
+    #[test]
+    fn scenarios_are_valid_and_diverse() {
+        let mut g = ScenarioGenerator::new(1);
+        let scenarios: Vec<Scenario> = (0..200).map(|_| g.next_scenario()).collect();
+        for s in &scenarios {
+            s.validate().unwrap();
+        }
+        let kernels: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.kernel.name()).collect();
+        assert!(kernels.len() >= 5, "kernel diversity: {kernels:?}");
+        assert!(scenarios.iter().any(|s| s.skip == SkipMode::On));
+        assert!(scenarios.iter().any(|s| matches!(s.exec, ExecMode::Parallel { .. })));
+        assert!(scenarios.iter().any(|s| !s.device.fault.link_schedule.is_empty()));
+        assert!(scenarios.iter().any(|s| s.sanitizer));
+    }
+
+    #[test]
+    fn scenario_round_trips_from_every_seed() {
+        let mut g = ScenarioGenerator::new(99);
+        for _ in 0..50 {
+            let s = g.next_scenario();
+            let text = s.to_json().render();
+            assert_eq!(Scenario::from_json_str(&text).unwrap(), s, "{text}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The scenario value: one fully-specified differential experiment.
+
+use hmc_sim::jsonv::obj;
+use hmc_sim::scenario::{
+    device_config_from_json, device_config_to_json, exec_mode_from_json, exec_mode_to_json,
+    skip_mode_from_json, skip_mode_to_json,
+};
+use hmc_sim::{DeviceConfig, ExecMode, Json, JsonError, ObjReader, SkipMode};
+use hmc_workloads::KernelDescriptor;
+
+/// Version tag written into every scenario file. Bump when the format
+/// changes shape; the loader rejects any other value loudly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One point in the fuzzed cross-product: a workload kernel, a device
+/// configuration (fault plan included), and the variant engine
+/// configuration to compare against the sequential reference.
+///
+/// A scenario is **self-contained**: serialized to JSON it carries
+/// everything needed to replay the experiment on a machine that has
+/// only this file and the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Generator provenance: the per-scenario seed this was sampled
+    /// from (kept for reporting; replay does not depend on it).
+    pub seed: u64,
+    /// Device configuration, fault plan included.
+    pub device: DeviceConfig,
+    /// The workload.
+    pub kernel: KernelDescriptor,
+    /// Variant execution engine (the reference is always sequential).
+    pub exec: ExecMode,
+    /// Variant idle-cycle skipping (the reference always runs with
+    /// skipping off).
+    pub skip: SkipMode,
+    /// Attach the sanitizer (report policy) to the variant run.
+    pub sanitizer: bool,
+    /// Attach full telemetry to the variant run.
+    pub telemetry: bool,
+}
+
+impl Scenario {
+    /// Cross-axis invariants that individual field parsers cannot
+    /// see. Applied by the generator (as an internal check) and by
+    /// the corpus loader (so a hand-edited file fails loudly).
+    pub fn validate(&self) -> Result<(), JsonError> {
+        self.kernel.validate()?;
+        if !self.device.fault.link_schedule.is_empty() && !self.kernel.tolerates_link_outage() {
+            return Err(JsonError {
+                message: format!(
+                    "scenario: kernel `{}` does not tolerate scheduled link outages \
+                     (only raw_ops may be paired with a fault-plan link_schedule)",
+                    self.kernel.name()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// A rough size metric used to judge shrink quality (smaller is
+    /// better): the sum of the scenario's magnitude-carrying knobs.
+    pub fn weight(&self) -> u64 {
+        let kernel = match self.kernel {
+            KernelDescriptor::RawOps { ops, gap, drain, .. } => {
+                ops as u64 + gap as u64 + drain as u64
+            }
+            KernelDescriptor::Counter { threads, increments, .. } => {
+                threads as u64 * increments as u64
+            }
+            KernelDescriptor::Gups { updates, window, .. } => updates as u64 + window as u64,
+            KernelDescriptor::Triad { elements, window, .. } => elements as u64 + window as u64,
+            KernelDescriptor::Mutex { threads, .. } => threads as u64 * 8,
+            KernelDescriptor::Barrier { threads, rounds } => threads as u64 * rounds as u64,
+        };
+        let exec = match self.exec {
+            ExecMode::Sequential => 0,
+            ExecMode::Parallel { threads } => threads as u64,
+        };
+        let fault = &self.device.fault;
+        let fault_weight = (fault.poison_per_million as u64 / 1_000)
+            + (fault.vault_error_per_million as u64 / 1_000)
+            + fault.link_schedule.len() as u64 * 8;
+        kernel + exec + fault_weight + self.sanitizer as u64 + self.telemetry as u64
+    }
+
+    /// Serializes the scenario as a versioned self-contained JSON
+    /// object.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("schema_version", Json::Int(SCHEMA_VERSION as i128)),
+            ("seed", Json::Int(self.seed as i128)),
+            ("device", device_config_to_json(&self.device)),
+            ("kernel", self.kernel.to_json()),
+            ("exec_threads", exec_mode_to_json(self.exec)),
+            ("skip", skip_mode_to_json(self.skip)),
+            ("sanitizer", Json::Bool(self.sanitizer)),
+            ("telemetry", Json::Bool(self.telemetry)),
+        ])
+    }
+
+    /// Deserializes a scenario, enforcing the schema version before
+    /// touching any other field and rejecting unknown fields.
+    pub fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new("scenario", value)?;
+        let version = r.u64("schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError {
+                message: format!(
+                    "scenario: unsupported schema_version {version} (this build reads \
+                     version {SCHEMA_VERSION})"
+                ),
+            });
+        }
+        let scenario = Scenario {
+            seed: r.u64("seed")?,
+            device: device_config_from_json(r.required("device")?)?,
+            kernel: KernelDescriptor::from_json(r.required("kernel")?)?,
+            exec: exec_mode_from_json(r.required("exec_threads")?)?,
+            skip: skip_mode_from_json(r.required("skip")?)?,
+            sanitizer: r.bool("sanitizer")?,
+            telemetry: r.bool("telemetry")?,
+        };
+        r.finish()?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Parses a scenario from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> Scenario {
+        Scenario {
+            seed: 42,
+            device: DeviceConfig::gen2_4link_4gb(),
+            kernel: KernelDescriptor::Barrier { threads: 4, rounds: 2 },
+            exec: ExecMode::Parallel { threads: 4 },
+            skip: SkipMode::On,
+            sanitizer: true,
+            telemetry: false,
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips() {
+        let s = sample();
+        let text = s.to_json().render();
+        assert_eq!(Scenario::from_json_str(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_version_in_message() {
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            fields[0].1 = Json::Int(99);
+        }
+        let e = Scenario::from_json_str(&s.render()).unwrap_err();
+        assert!(e.message.contains("schema_version 99"), "{}", e.message);
+        assert!(e.message.contains("version 1"), "{}", e.message);
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_rejected() {
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            fields.push(("comment".into(), Json::Str("hi".into())));
+        }
+        let e = Scenario::from_json_str(&s.render()).unwrap_err();
+        assert!(e.message.contains("comment"), "{}", e.message);
+    }
+
+    #[test]
+    fn link_schedule_requires_tolerant_kernel() {
+        let mut s = sample();
+        s.device.fault = hmc_sim::FaultPlan::seeded(1).with_link_event(100, 0, false);
+        assert!(s.validate().is_err());
+        s.kernel = KernelDescriptor::RawOps { ops: 8, seed: 1, gap: 0, drain: 32 };
+        assert!(s.validate().is_ok());
+    }
+}

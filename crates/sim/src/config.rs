@@ -252,22 +252,48 @@ impl ExecMode {
     /// there are at most 8 devices × 32 vaults to spread).
     pub const MAX_THREADS: usize = 64;
 
+    /// Parses an explicit `HMCSIM_THREADS` value. `"1"` resolves to
+    /// [`ExecMode::Sequential`]; `"2"..="64"` to [`ExecMode::Parallel`].
+    /// Anything else — empty, non-numeric, zero, out of range, or
+    /// overflowing — is rejected with a descriptive error rather than
+    /// silently falling back: a typo in a CI matrix must fail the job,
+    /// not quietly run the wrong engine.
+    pub fn parse_env_value(raw: &str) -> Result<Self, HmcError> {
+        let bad = |why: String| Err(HmcError::MalformedPacket(why));
+        let t = raw.trim();
+        if t.is_empty() {
+            return bad(format!("{EXEC_THREADS_ENV} is set but empty (expected 1..={})", Self::MAX_THREADS));
+        }
+        match t.parse::<u64>() {
+            Ok(0) => bad(format!("{EXEC_THREADS_ENV} must be >= 1, got 0")),
+            Ok(n) if n > Self::MAX_THREADS as u64 => bad(format!(
+                "{EXEC_THREADS_ENV}={n} exceeds the maximum of {}",
+                Self::MAX_THREADS
+            )),
+            Ok(1) => Ok(ExecMode::Sequential),
+            Ok(n) => Ok(ExecMode::Parallel { threads: n as usize }),
+            Err(_) => bad(format!(
+                "{EXEC_THREADS_ENV}={t:?} is not an integer (expected 1..={})",
+                Self::MAX_THREADS
+            )),
+        }
+    }
+
     /// Resolves the effective mode, letting the `HMCSIM_THREADS`
     /// environment variable upgrade an unconfigured (`Sequential`)
     /// mode — this is how the CI matrix drives the whole test suite
     /// through the parallel engine without touching call sites. An
-    /// explicit `Parallel` setting always wins; `HMCSIM_THREADS=1` (or
-    /// garbage) leaves `Sequential` in place.
-    pub fn resolve_env(self) -> Self {
+    /// explicit `Parallel` setting always wins; `HMCSIM_THREADS=1`
+    /// leaves `Sequential` in place; an invalid value (empty, garbage,
+    /// zero, overflow, out of range) is an error — see
+    /// [`ExecMode::parse_env_value`].
+    pub fn resolve_env(self) -> Result<Self, HmcError> {
         match self {
-            ExecMode::Sequential => match std::env::var(EXEC_THREADS_ENV)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-            {
-                Some(n) if n > 1 => ExecMode::Parallel { threads: n.min(Self::MAX_THREADS) },
-                _ => ExecMode::Sequential,
+            ExecMode::Sequential => match std::env::var(EXEC_THREADS_ENV) {
+                Ok(raw) => Self::parse_env_value(&raw),
+                Err(_) => Ok(ExecMode::Sequential),
             },
-            explicit => explicit,
+            explicit => Ok(explicit),
         }
     }
 
@@ -318,21 +344,36 @@ pub enum SkipMode {
 pub const SKIP_MODE_ENV: &str = "HMCSIM_SKIP";
 
 impl SkipMode {
+    /// Parses an explicit `HMCSIM_SKIP` value: `1`/`true`/`on` enable
+    /// skipping, `0`/`false`/`off` disable it (case-insensitive,
+    /// trimmed). Anything else — including an empty string — is
+    /// rejected with a descriptive error rather than silently treated
+    /// as "off".
+    pub fn parse_env_value(raw: &str) -> Result<Self, HmcError> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => Ok(SkipMode::On),
+            "0" | "false" | "off" => Ok(SkipMode::Off),
+            other => Err(HmcError::MalformedPacket(format!(
+                "{SKIP_MODE_ENV}={other:?} is not a recognised value \
+                 (expected 1/true/on or 0/false/off)"
+            ))),
+        }
+    }
+
     /// Resolves the effective mode, letting the `HMCSIM_SKIP`
     /// environment variable upgrade an unconfigured (`Off`) mode —
     /// mirroring [`ExecMode::resolve_env`], this lets the CI matrix
     /// drive the whole test suite through the event-horizon engine
     /// without touching call sites. An explicit `On` setting always
-    /// wins; an unset or unrecognised variable leaves `Off` in place.
-    pub fn resolve_env(self) -> Self {
+    /// wins; an unrecognised value is an error — see
+    /// [`SkipMode::parse_env_value`].
+    pub fn resolve_env(self) -> Result<Self, HmcError> {
         match self {
             SkipMode::Off => match std::env::var(SKIP_MODE_ENV) {
-                Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "on") => {
-                    SkipMode::On
-                }
-                _ => SkipMode::Off,
+                Ok(raw) => Self::parse_env_value(&raw),
+                Err(_) => Ok(SkipMode::Off),
             },
-            explicit => explicit,
+            explicit => Ok(explicit),
         }
     }
 
@@ -497,9 +538,46 @@ mod tests {
         assert!(c.validate().is_err());
         // An explicit setting is never overridden by the environment.
         assert_eq!(
-            ExecMode::Parallel { threads: 2 }.resolve_env(),
+            ExecMode::Parallel { threads: 2 }.resolve_env().unwrap(),
             ExecMode::Parallel { threads: 2 }
         );
+    }
+
+    #[test]
+    fn exec_env_values_parse_or_reject_loudly() {
+        // Valid values.
+        assert_eq!(ExecMode::parse_env_value("1").unwrap(), ExecMode::Sequential);
+        assert_eq!(ExecMode::parse_env_value(" 8 ").unwrap(), ExecMode::Parallel { threads: 8 });
+        assert_eq!(ExecMode::parse_env_value("64").unwrap(), ExecMode::Parallel { threads: 64 });
+        // Invalid values are errors, not silent fallbacks.
+        for bad in ["", "   ", "0", "65", "garbage", "-2", "4.5", "8 threads",
+                    "99999999999999999999999999"] {
+            let err = ExecMode::parse_env_value(bad)
+                .expect_err(&format!("{bad:?} should be rejected"));
+            let msg = err.to_string();
+            assert!(msg.contains(EXEC_THREADS_ENV), "error names the variable: {msg}");
+        }
+        // Overflow specifically mentions the integer requirement.
+        let msg = ExecMode::parse_env_value("99999999999999999999999999")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("not an integer"), "{msg}");
+    }
+
+    #[test]
+    fn skip_env_values_parse_or_reject_loudly() {
+        for on in ["1", "true", "ON", " on "] {
+            assert_eq!(SkipMode::parse_env_value(on).unwrap(), SkipMode::On);
+        }
+        for off in ["0", "false", "OFF", " off "] {
+            assert_eq!(SkipMode::parse_env_value(off).unwrap(), SkipMode::Off);
+        }
+        for bad in ["", "yes", "2", "enabled", "skip"] {
+            let err = SkipMode::parse_env_value(bad)
+                .expect_err(&format!("{bad:?} should be rejected"));
+            let msg = err.to_string();
+            assert!(msg.contains(SKIP_MODE_ENV), "error names the variable: {msg}");
+        }
     }
 
     #[test]
@@ -508,7 +586,7 @@ mod tests {
         assert!(!SkipMode::Off.is_on());
         assert!(SkipMode::On.is_on());
         // An explicit setting is never downgraded by the environment.
-        assert_eq!(SkipMode::On.resolve_env(), SkipMode::On);
+        assert_eq!(SkipMode::On.resolve_env().unwrap(), SkipMode::On);
         assert_eq!(SimConfig::single(DeviceConfig::default()).skip_mode, SkipMode::Off);
     }
 }

@@ -38,6 +38,7 @@ pub(crate) mod events;
 pub mod export;
 pub mod fault;
 pub mod hist;
+pub mod jsonv;
 pub mod link;
 pub(crate) mod parallel;
 pub mod power;
@@ -45,6 +46,7 @@ pub mod queue;
 pub mod regs;
 pub mod report;
 pub mod sanitizer;
+pub mod scenario;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;
@@ -62,11 +64,13 @@ pub use dram::{BankTiming, RefreshConfig, RowPolicy};
 pub use export::{MetricValue, TelemetryReport};
 pub use fault::{FaultPlan, FaultRng, LinkErrorMode, LinkEvent};
 pub use hist::Hist;
+pub use jsonv::{Json, JsonError, ObjReader};
 pub use link::{LinkConfig, LinkStats, SendGrant};
 pub use power::{PowerConfig, PowerReport};
 pub use sanitizer::{
     SanitizerConfig, SanitizerPolicy, SanitizerReport, Violation, ViolationKind,
 };
+pub use scenario::{Fnv, OracleDigest};
 pub use sim::HmcSim;
 pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::{ClassLatency, CmdClass, DeviceStats};

@@ -1,0 +1,552 @@
+//! Scenario-facing serialization and oracle accessors.
+//!
+//! The scenario fuzz farm (`hmc-fuzz`) persists failing scenarios as
+//! self-contained JSON reproducers. This module owns the two pieces
+//! that belong to the device model:
+//!
+//! * **serialization** — [`DeviceConfig`] and [`FaultPlan`] (plus the
+//!   engine-mode enums) convert to and from the strict [`Json`] value
+//!   type, rejecting unknown fields so a corpus file can never be
+//!   silently misread;
+//! * **the oracle digest** — [`HmcSim::oracle_digest`] condenses the
+//!   observable end-of-run state (cycle, deep state fingerprint,
+//!   stats counters, latency histogram) into a compact comparable
+//!   value. Two runs of the same scenario under different engine
+//!   configurations must produce equal digests; each digest field is
+//!   hashed separately so a mismatch names the axis that diverged.
+
+use crate::config::{Arbitration, DeviceConfig, ExecMode, SkipMode, SpecRevision};
+use crate::dram::{BankTiming, RefreshConfig, RowPolicy};
+use crate::fault::{FaultPlan, LinkErrorMode, LinkEvent};
+use crate::jsonv::{obj, Json, JsonError, ObjReader};
+use crate::link::LinkConfig;
+use crate::sim::HmcSim;
+use crate::stats::DeviceStats;
+
+// ---------------------------------------------------------------------------
+// Oracle digest
+// ---------------------------------------------------------------------------
+
+/// Compact end-of-run digest used as the differential-fuzzing oracle.
+///
+/// Fields are kept separate (rather than folded into one hash) so the
+/// fuzzer can classify *which* observable diverged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleDigest {
+    /// Simulation cycle at digest time.
+    pub cycle: u64,
+    /// Deep state fingerprint ([`HmcSim::state_fingerprint`]): queues,
+    /// banks, memory digest, RNG state, registers.
+    pub fingerprint: u64,
+    /// FNV-1a hash over every [`DeviceStats`] counter of every device,
+    /// in device order.
+    pub stats: u64,
+    /// FNV-1a hash over the overall and per-class latency histogram
+    /// buckets of every device.
+    pub latency: u64,
+}
+
+/// FNV-1a: tiny, stable across processes and platforms (unlike
+/// `DefaultHasher`, whose algorithm is not a stability guarantee).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Starts a digest from the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the digest.
+    pub fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Returns the digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_counters(h: &mut Fnv, s: &DeviceStats) {
+    for v in [
+        s.reads,
+        s.writes,
+        s.posted_writes,
+        s.atomics,
+        s.cmc_ops,
+        s.mode_ops,
+        s.flow_packets,
+        s.responses,
+        s.error_responses,
+        s.forwarded,
+        s.remote_quad_requests,
+        s.send_stalls,
+        s.xbar_stalls,
+        s.vault_stalls,
+        s.rqst_flits,
+        s.rsp_flits,
+        s.vault_faults,
+        s.poisoned_responses,
+        s.failover_responses,
+        s.abandoned_responses,
+    ] {
+        h.u64(v);
+    }
+}
+
+fn hash_hist(h: &mut Fnv, hist: &crate::hist::Hist) {
+    h.u64(hist.count());
+    h.u64(hist.sum());
+    h.u64(if hist.is_empty() { 0 } else { hist.min() });
+    h.u64(hist.max());
+    for (upper, count) in hist.nonzero_buckets() {
+        h.u64(upper);
+        h.u64(count);
+    }
+}
+
+impl HmcSim {
+    /// Computes the differential-fuzzing oracle digest of the current
+    /// state. See [`OracleDigest`].
+    pub fn oracle_digest(&self) -> OracleDigest {
+        let mut stats = Fnv::new();
+        let mut latency = Fnv::new();
+        for dev in 0..self.device_count() {
+            let s = self.stats(dev).expect("device index in range");
+            hash_counters(&mut stats, s);
+            hash_hist(&mut latency, &s.latency);
+            for (_, hist) in s.class_latency.iter() {
+                hash_hist(&mut latency, hist);
+            }
+        }
+        OracleDigest {
+            cycle: self.cycle(),
+            fingerprint: self.state_fingerprint(),
+            stats: stats.finish(),
+            latency: latency.finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-mode serialization
+// ---------------------------------------------------------------------------
+
+/// Renders an [`ExecMode`] as its scenario-file form (lane count).
+pub fn exec_mode_to_json(mode: ExecMode) -> Json {
+    Json::Int(mode.threads() as i128)
+}
+
+/// Parses an [`ExecMode`] from its scenario-file form: `1` is
+/// sequential, `n > 1` is `Parallel {{ threads: n }}`.
+pub fn exec_mode_from_json(v: &Json) -> Result<ExecMode, JsonError> {
+    let n = v.as_usize().ok_or(JsonError {
+        message: "exec_mode: expected a lane count (integer >= 1)".into(),
+    })?;
+    match n {
+        0 => Err(JsonError { message: "exec_mode: lane count must be >= 1".into() }),
+        1 => Ok(ExecMode::Sequential),
+        n => Ok(ExecMode::Parallel { threads: n }),
+    }
+}
+
+/// Renders a [`SkipMode`] as a bool.
+pub fn skip_mode_to_json(mode: SkipMode) -> Json {
+    Json::Bool(mode.is_on())
+}
+
+/// Parses a [`SkipMode`] from a bool.
+pub fn skip_mode_from_json(v: &Json) -> Result<SkipMode, JsonError> {
+    match v.as_bool() {
+        Some(true) => Ok(SkipMode::On),
+        Some(false) => Ok(SkipMode::Off),
+        None => Err(JsonError { message: "skip_mode: expected a bool".into() }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan serialization
+// ---------------------------------------------------------------------------
+
+fn link_error_to_json(mode: LinkErrorMode) -> Json {
+    match mode {
+        LinkErrorMode::None => obj(vec![("mode", Json::Str("none".into()))]),
+        LinkErrorMode::EveryNth(n) => obj(vec![
+            ("mode", Json::Str("every_nth".into())),
+            ("n", Json::Int(n as i128)),
+        ]),
+        LinkErrorMode::Random { per_million } => obj(vec![
+            ("mode", Json::Str("random".into())),
+            ("per_million", Json::Int(per_million as i128)),
+        ]),
+    }
+}
+
+fn link_error_from_json(v: &Json) -> Result<LinkErrorMode, JsonError> {
+    let mut r = ObjReader::new("link_error", v)?;
+    let mode = match r.str("mode")? {
+        "none" => LinkErrorMode::None,
+        "every_nth" => LinkErrorMode::EveryNth(r.u64("n")?),
+        "random" => LinkErrorMode::Random { per_million: r.u32("per_million")? },
+        other => {
+            return Err(JsonError {
+                message: format!("link_error: unknown mode `{other}`"),
+            })
+        }
+    };
+    r.finish()?;
+    Ok(mode)
+}
+
+/// Renders a [`FaultPlan`] as a JSON object.
+pub fn fault_plan_to_json(plan: &FaultPlan) -> Json {
+    obj(vec![
+        ("seed", Json::Int(plan.seed as i128)),
+        ("link_error", link_error_to_json(plan.link_error)),
+        ("poison_per_million", Json::Int(plan.poison_per_million as i128)),
+        ("vault_error_per_million", Json::Int(plan.vault_error_per_million as i128)),
+        (
+            "link_schedule",
+            Json::Arr(
+                plan.link_schedule
+                    .iter()
+                    .map(|ev| {
+                        obj(vec![
+                            ("cycle", Json::Int(ev.cycle as i128)),
+                            ("link", Json::Int(ev.link as i128)),
+                            ("up", Json::Bool(ev.up)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a [`FaultPlan`] from its JSON form (strict: unknown fields
+/// are rejected).
+pub fn fault_plan_from_json(v: &Json) -> Result<FaultPlan, JsonError> {
+    let mut r = ObjReader::new("fault_plan", v)?;
+    let seed = r.u64("seed")?;
+    let link_error = link_error_from_json(r.required("link_error")?)?;
+    let poison_per_million = r.u32("poison_per_million")?;
+    let vault_error_per_million = r.u32("vault_error_per_million")?;
+    let schedule_json = r.required("link_schedule")?;
+    let mut link_schedule = Vec::new();
+    for (i, ev) in schedule_json
+        .as_arr()
+        .ok_or(JsonError { message: "fault_plan: link_schedule must be an array".into() })?
+        .iter()
+        .enumerate()
+    {
+        let mut er = ObjReader::new("link_schedule event", ev)?;
+        let event = LinkEvent { cycle: er.u64("cycle")?, link: er.usize("link")?, up: er.bool("up")? };
+        er.finish().map_err(|e| JsonError {
+            message: format!("fault_plan: link_schedule[{i}]: {}", e.message),
+        })?;
+        link_schedule.push(event);
+    }
+    r.finish()?;
+    Ok(FaultPlan {
+        seed,
+        link_error,
+        poison_per_million,
+        vault_error_per_million,
+        link_schedule,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DeviceConfig serialization
+// ---------------------------------------------------------------------------
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(n) => Json::Int(n as i128),
+        None => Json::Null,
+    }
+}
+
+fn opt_u32(v: Option<u32>) -> Json {
+    match v {
+        Some(n) => Json::Int(n as i128),
+        None => Json::Null,
+    }
+}
+
+fn parse_opt_u64(ctx: &str, key: &str, v: &Json) -> Result<Option<u64>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => other.as_u64().map(Some).ok_or(JsonError {
+            message: format!("{ctx}: field `{key}` must be a u64 or null"),
+        }),
+    }
+}
+
+/// Renders a [`DeviceConfig`] (including its fault plan) as JSON.
+pub fn device_config_to_json(c: &DeviceConfig) -> Json {
+    obj(vec![
+        ("links", Json::Int(c.links as i128)),
+        ("capacity", Json::Int(c.capacity as i128)),
+        ("quads", Json::Int(c.quads as i128)),
+        ("vaults_per_quad", Json::Int(c.vaults_per_quad as i128)),
+        ("banks_per_vault", Json::Int(c.banks_per_vault as i128)),
+        ("block_size", Json::Int(c.block_size as i128)),
+        ("vault_queue_depth", Json::Int(c.vault_queue_depth as i128)),
+        ("xbar_queue_depth", Json::Int(c.xbar_queue_depth as i128)),
+        ("bank_latency", Json::Int(c.bank_latency as i128)),
+        ("row_hit", Json::Int(c.bank_timing.row_hit as i128)),
+        ("row_miss", Json::Int(c.bank_timing.row_miss as i128)),
+        (
+            "row_policy",
+            Json::Str(
+                match c.bank_timing.policy {
+                    RowPolicy::OpenPage => "open_page",
+                    RowPolicy::ClosedPage => "closed_page",
+                }
+                .into(),
+            ),
+        ),
+        ("link_bandwidth", Json::Int(c.link_bandwidth as i128)),
+        ("vault_bandwidth", Json::Int(c.vault_bandwidth as i128)),
+        ("hop_latency", Json::Int(c.hop_latency as i128)),
+        ("link_tokens", opt_u32(c.link_config.tokens)),
+        ("link_error_period", opt_u64(c.link_config.error_period)),
+        ("link_retry_latency", Json::Int(c.link_config.retry_latency as i128)),
+        (
+            "revision",
+            Json::Str(
+                match c.revision {
+                    SpecRevision::Gen1 => "gen1",
+                    SpecRevision::Gen2 => "gen2",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "arbitration",
+            Json::Str(
+                match c.arbitration {
+                    Arbitration::FixedPriority => "fixed_priority",
+                    Arbitration::RoundRobin => "round_robin",
+                }
+                .into(),
+            ),
+        ),
+        ("remote_quad_penalty", Json::Int(c.remote_quad_penalty as i128)),
+        ("refresh_interval", opt_u64(c.refresh.map(|r| r.interval))),
+        ("refresh_duration", opt_u64(c.refresh.map(|r| r.duration))),
+        ("fault", fault_plan_to_json(&c.fault)),
+    ])
+}
+
+/// Parses a [`DeviceConfig`] from its JSON form (strict: unknown
+/// fields are rejected; the result is additionally `validate()`d).
+pub fn device_config_from_json(v: &Json) -> Result<DeviceConfig, JsonError> {
+    let mut r = ObjReader::new("device_config", v)?;
+    let row_policy = match r.str("row_policy")? {
+        "open_page" => RowPolicy::OpenPage,
+        "closed_page" => RowPolicy::ClosedPage,
+        other => {
+            return Err(JsonError {
+                message: format!("device_config: unknown row_policy `{other}`"),
+            })
+        }
+    };
+    let revision = match r.str("revision")? {
+        "gen1" => SpecRevision::Gen1,
+        "gen2" => SpecRevision::Gen2,
+        other => {
+            return Err(JsonError {
+                message: format!("device_config: unknown revision `{other}`"),
+            })
+        }
+    };
+    let arbitration = match r.str("arbitration")? {
+        "fixed_priority" => Arbitration::FixedPriority,
+        "round_robin" => Arbitration::RoundRobin,
+        other => {
+            return Err(JsonError {
+                message: format!("device_config: unknown arbitration `{other}`"),
+            })
+        }
+    };
+    let link_tokens = match r.required("link_tokens")? {
+        Json::Null => None,
+        other => Some(other.as_u32().ok_or(JsonError {
+            message: "device_config: field `link_tokens` must be a u32 or null".into(),
+        })?),
+    };
+    let link_error_period =
+        parse_opt_u64("device_config", "link_error_period", r.required("link_error_period")?)?;
+    let refresh_interval =
+        parse_opt_u64("device_config", "refresh_interval", r.required("refresh_interval")?)?;
+    let refresh_duration =
+        parse_opt_u64("device_config", "refresh_duration", r.required("refresh_duration")?)?;
+    let refresh = match (refresh_interval, refresh_duration) {
+        (Some(interval), Some(duration)) => Some(RefreshConfig { interval, duration }),
+        (None, None) => None,
+        _ => {
+            return Err(JsonError {
+                message: "device_config: refresh_interval and refresh_duration must both be \
+                          set or both be null"
+                    .into(),
+            })
+        }
+    };
+    let config = DeviceConfig {
+        links: r.usize("links")?,
+        capacity: r.u64("capacity")?,
+        quads: r.usize("quads")?,
+        vaults_per_quad: r.usize("vaults_per_quad")?,
+        banks_per_vault: r.usize("banks_per_vault")?,
+        block_size: r.usize("block_size")?,
+        vault_queue_depth: r.usize("vault_queue_depth")?,
+        xbar_queue_depth: r.usize("xbar_queue_depth")?,
+        bank_latency: r.u64("bank_latency")?,
+        bank_timing: BankTiming {
+            row_hit: r.u64("row_hit")?,
+            row_miss: r.u64("row_miss")?,
+            policy: row_policy,
+        },
+        link_bandwidth: r.usize("link_bandwidth")?,
+        vault_bandwidth: r.usize("vault_bandwidth")?,
+        hop_latency: r.u64("hop_latency")?,
+        link_config: LinkConfig {
+            tokens: link_tokens,
+            error_period: link_error_period,
+            retry_latency: r.u64("link_retry_latency")?,
+        },
+        revision,
+        arbitration,
+        remote_quad_penalty: r.u64("remote_quad_penalty")?,
+        refresh,
+        fault: fault_plan_from_json(r.required("fault")?)?,
+    };
+    r.finish()?;
+    config.validate().map_err(|e| JsonError {
+        message: format!("device_config: parsed config is invalid: {e}"),
+    })?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_config() -> DeviceConfig {
+        let mut c = DeviceConfig::gen2_8link_8gb();
+        c.bank_latency = 3;
+        c.bank_timing = BankTiming { row_hit: 1, row_miss: 7, policy: RowPolicy::ClosedPage };
+        c.link_config = LinkConfig { tokens: Some(64), error_period: None, retry_latency: 12 };
+        c.arbitration = Arbitration::RoundRobin;
+        c.remote_quad_penalty = 2;
+        c.refresh = Some(RefreshConfig { interval: 3900, duration: 26 });
+        c.fault = FaultPlan::seeded(99)
+            .with_link_errors(LinkErrorMode::Random { per_million: 1_000 })
+            .with_poison(500)
+            .with_vault_errors(2_000)
+            .with_link_event(100, 1, false)
+            .with_link_event(200, 1, true);
+        c
+    }
+
+    #[test]
+    fn device_config_round_trips() {
+        for config in [
+            DeviceConfig::gen2_4link_4gb(),
+            DeviceConfig::gen2_2link_4gb(),
+            DeviceConfig::gen1_4link_2gb(),
+            exotic_config(),
+        ] {
+            let json = device_config_to_json(&config);
+            let back = device_config_from_json(&json).unwrap();
+            assert_eq!(config, back);
+            // And through actual text.
+            let reparsed = Json::parse(&json.render()).unwrap();
+            assert_eq!(device_config_from_json(&reparsed).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn fault_plan_round_trips() {
+        let plan = exotic_config().fault;
+        let back = fault_plan_from_json(&fault_plan_to_json(&plan)).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(
+            fault_plan_from_json(&fault_plan_to_json(&FaultPlan::none())).unwrap(),
+            FaultPlan::none()
+        );
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let mut json = device_config_to_json(&DeviceConfig::gen2_4link_4gb());
+        if let Json::Obj(fields) = &mut json {
+            fields.push(("mystery_knob".into(), Json::Int(1)));
+        }
+        let e = device_config_from_json(&json).unwrap_err();
+        assert!(e.message.contains("mystery_knob"), "{}", e.message);
+    }
+
+    #[test]
+    fn invalid_parsed_config_rejected() {
+        let mut json = device_config_to_json(&DeviceConfig::gen2_4link_4gb());
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "links" {
+                    *v = Json::Int(3);
+                }
+            }
+        }
+        let e = device_config_from_json(&json).unwrap_err();
+        assert!(e.message.contains("invalid"), "{}", e.message);
+    }
+
+    #[test]
+    fn exec_and_skip_modes_round_trip() {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 8 }] {
+            assert_eq!(exec_mode_from_json(&exec_mode_to_json(mode)).unwrap(), mode);
+        }
+        for mode in [SkipMode::Off, SkipMode::On] {
+            assert_eq!(skip_mode_from_json(&skip_mode_to_json(mode)).unwrap(), mode);
+        }
+        assert!(exec_mode_from_json(&Json::Int(0)).is_err());
+    }
+
+    #[test]
+    fn oracle_digest_distinguishes_axes() {
+        let mut a = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let mut b = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        assert_eq!(a.oracle_digest(), b.oracle_digest());
+        // Advance only `a`: cycle and fingerprint move, stats do not.
+        a.clock();
+        let da = a.oracle_digest();
+        let db = b.oracle_digest();
+        assert_ne!(da.cycle, db.cycle);
+        assert_eq!(da.stats, db.stats, "idle cycle leaves counters untouched");
+        // Traffic moves stats and latency.
+        let tag = a
+            .send_simple(0, 0, hmc_types::HmcRqst::Rd16, 0x100, vec![])
+            .unwrap()
+            .unwrap();
+        let _ = a.run_until_response(0, 0, tag, 100).unwrap();
+        b.clock_n(a.cycle() - b.cycle());
+        let da = a.oracle_digest();
+        let db = b.oracle_digest();
+        assert_eq!(da.cycle, db.cycle);
+        assert_ne!(da.stats, db.stats);
+        assert_ne!(da.latency, db.latency);
+        assert_ne!(da.fingerprint, db.fingerprint);
+    }
+}

@@ -137,8 +137,8 @@ impl HmcSim {
             })
             .collect();
         let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
-        let exec_mode = config.exec_mode.resolve_env();
-        let skip_mode = config.skip_mode.resolve_env();
+        let exec_mode = config.exec_mode.resolve_env()?;
+        let skip_mode = config.skip_mode.resolve_env()?;
         let mut sim = HmcSim {
             config,
             devices,

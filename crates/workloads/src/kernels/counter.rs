@@ -13,8 +13,8 @@
 //! denominator for the Table II comparison.
 
 use crate::driver::{HostThread, RunMetrics, ThreadDriver, ThreadIo, ThreadStatus};
-use hmc_sim::HmcSim;
-use hmc_types::{HmcError, HmcRqst};
+use hmc_sim::{HmcSim, TrackedResponse};
+use hmc_types::{HmcError, HmcResponse, HmcRqst};
 
 /// How increments are performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +60,20 @@ enum State {
     SendRead,
     WaitRead,
     SendWrite { line: Vec<u64> },
-    WaitWrite,
+    WaitWrite { line: Vec<u64> },
+}
+
+/// True when the vault answered with an error instead of executing the
+/// request (an ERROR packet or nonzero `ERRSTAT`): no side effects
+/// happened, so re-issuing the request verbatim is safe.
+fn not_executed(rsp: &TrackedResponse) -> bool {
+    matches!(rsp.rsp.head.cmd, HmcResponse::Error) || rsp.rsp.tail.errstat != 0
+}
+
+/// True when the response executed but its payload is poisoned (DINV):
+/// the data FLITs cannot be trusted, while the header remains valid.
+fn poisoned(rsp: &TrackedResponse) -> bool {
+    rsp.rsp.tail.dinv
 }
 
 struct CounterThread {
@@ -91,9 +104,14 @@ impl HostThread for CounterThread {
                     return ThreadStatus::Running;
                 }
                 State::WaitInc => {
-                    if io.response().is_none() {
-                        return ThreadStatus::Running;
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if not_executed(&rsp) {
+                        // The increment did not happen; retry it.
+                        self.state = State::SendInc;
+                        continue;
                     }
+                    // A poisoned INC8 ack is fine: the atomic executed
+                    // and we never consume its payload.
                     self.remaining -= 1;
                     if self.remaining == 0 {
                         return ThreadStatus::Done;
@@ -113,6 +131,13 @@ impl HostThread for CounterThread {
                 State::WaitRead => {
                     let Some(rsp) = io.response() else { return ThreadStatus::Running };
                     let word = ((self.addr & 63) / 8) as usize;
+                    // Reads are idempotent: re-fetch on any fault —
+                    // not executed, poisoned data, or a payload too
+                    // short to contain the counter word.
+                    if not_executed(&rsp) || poisoned(&rsp) || rsp.rsp.payload.len() <= word {
+                        self.state = State::SendRead;
+                        continue;
+                    }
                     // Modify the counter word within the fetched line,
                     // as a cache would.
                     let mut line = rsp.rsp.payload.to_vec();
@@ -122,16 +147,20 @@ impl HostThread for CounterThread {
                 State::SendWrite { ref line } => {
                     // Flush the modified cache line back.
                     match io.send(HmcRqst::Wr64, self.addr & !63, line.clone()) {
-                        Ok(_) => self.state = State::WaitWrite,
+                        Ok(_) => self.state = State::WaitWrite { line: line.clone() },
                         Err(HmcError::Stall) => {}
                         Err(e) => panic!("counter kernel send failed: {e}"),
                     }
                     return ThreadStatus::Running;
                 }
-                State::WaitWrite => {
-                    if io.response().is_none() {
-                        return ThreadStatus::Running;
+                State::WaitWrite { ref line } => {
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if not_executed(&rsp) {
+                        // The flush was dropped; re-issue the same line.
+                        self.state = State::SendWrite { line: line.clone() };
+                        continue;
                     }
+                    // Write acks carry no payload, so DINV is moot.
                     self.remaining -= 1;
                     if self.remaining == 0 {
                         return ThreadStatus::Done;
@@ -258,6 +287,45 @@ mod tests {
         // Table II: RD64 (1+5) + WR64 (5+1) = 12 FLITs.
         assert_eq!(result.link_flits, 12);
         assert_eq!(result.final_value, 1);
+    }
+
+    /// Regression for a fuzz-farm find: a fault-injected (empty
+    /// payload) read response used to panic the RMW path with an
+    /// index out of bounds. Faulted requests must be retried instead.
+    #[test]
+    fn cache_rmw_survives_injected_faults() {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = hmc_sim::FaultPlan::seeded(42)
+            .with_vault_errors(60_000)
+            .with_poison(40_000);
+        let mut sim = HmcSim::new(config).unwrap();
+        let kernel = CounterKernel::new(CounterKernelConfig {
+            threads: 5,
+            increments_per_thread: 4,
+            mode: CounterMode::CacheRmw,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert!(result.final_value >= 1);
+        assert!(result.final_value <= result.requested);
+    }
+
+    #[test]
+    fn inc8_survives_injected_faults_without_losing_increments() {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = hmc_sim::FaultPlan::seeded(7)
+            .with_vault_errors(80_000)
+            .with_poison(30_000);
+        let mut sim = HmcSim::new(config).unwrap();
+        let kernel = CounterKernel::new(CounterKernelConfig {
+            threads: 4,
+            increments_per_thread: 8,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.metrics.unfinished, 0);
+        assert_eq!(result.final_value, 32, "errored INC8s are retried, not dropped");
     }
 
     #[test]

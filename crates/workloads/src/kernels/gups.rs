@@ -11,8 +11,8 @@
 //! * [`GupsMode::Xor16Amo`] — the Gen2 `XOR16` atomic performs the
 //!   update in the logic layer (4 FLITs, one round trip, exact).
 
-use hmc_sim::HmcSim;
-use hmc_types::{HmcError, HmcRqst};
+use hmc_sim::{HmcSim, TrackedResponse};
+use hmc_types::{HmcError, HmcResponse, HmcRqst};
 use std::collections::HashMap;
 
 /// The update mechanism.
@@ -95,12 +95,25 @@ impl Iterator for HpccStream {
 
 #[derive(Debug, Clone, Copy)]
 enum Pending {
-    /// Awaiting the XOR16 response.
-    Amo,
+    /// Awaiting the XOR16 response; update value kept for retries.
+    Amo { value: u64 },
     /// Awaiting the RD16 of an RMW update; payload value to XOR.
     RmwRead { entry: usize, value: u64 },
-    /// Awaiting the WR16 ack of an RMW update.
-    RmwWrite,
+    /// Awaiting the WR16 ack of an RMW update; line kept for retries.
+    RmwWrite { entry: usize, new: [u64; 2] },
+}
+
+/// True when the vault answered with an error instead of executing the
+/// request (an ERROR packet or nonzero `ERRSTAT`): no side effects
+/// happened, so re-issuing the request verbatim is safe.
+fn not_executed(rsp: &TrackedResponse) -> bool {
+    matches!(rsp.rsp.head.cmd, HmcResponse::Error) || rsp.rsp.tail.errstat != 0
+}
+
+/// True when the response executed but its payload is poisoned (DINV):
+/// the data FLITs cannot be trusted, while the header remains valid.
+fn poisoned(rsp: &TrackedResponse) -> bool {
+    rsp.rsp.tail.dinv
 }
 
 /// The RandomAccess kernel runner.
@@ -150,6 +163,9 @@ impl GupsKernel {
         let mut owner: HashMap<(usize, u16), Pending> = HashMap::new();
         let mut write_queue: std::collections::VecDeque<(usize, [u64; 2])> =
             std::collections::VecDeque::new();
+        // Update values (XOR16 or RD16 phase) that must be re-issued
+        // after a fault-injected response.
+        let mut retry_queue: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
         let mut rr_link = 0usize;
         let mut carry: Option<u64> = None;
 
@@ -162,9 +178,30 @@ impl GupsKernel {
                     let Some(pending) = owner.remove(&(link, rsp.rsp.head.tag.value())) else {
                         continue;
                     };
+                    if not_executed(&rsp) {
+                        // The vault refused the request: nothing
+                        // happened, so replay it from scratch.
+                        match pending {
+                            Pending::Amo { value } | Pending::RmwRead { value, .. } => {
+                                retry_queue.push_back(value);
+                            }
+                            Pending::RmwWrite { entry, new } => {
+                                write_queue.push_back((entry, new));
+                            }
+                        }
+                        continue;
+                    }
                     match pending {
-                        Pending::Amo | Pending::RmwWrite => completed += 1,
+                        // AMO and write acks carry no payload we
+                        // consume, so poison cannot corrupt them.
+                        Pending::Amo { .. } | Pending::RmwWrite { .. } => completed += 1,
                         Pending::RmwRead { entry, value } => {
+                            // Reads are idempotent: re-fetch when the
+                            // payload is poisoned or truncated.
+                            if poisoned(&rsp) || rsp.rsp.payload.len() < 2 {
+                                retry_queue.push_back(value);
+                                continue;
+                            }
                             let new = [rsp.rsp.payload[0] ^ value, rsp.rsp.payload[1]];
                             write_queue.push_back((entry, new));
                         }
@@ -180,10 +217,42 @@ impl GupsKernel {
                 match sim.send_simple(0, link, HmcRqst::Wr16, addr, new.to_vec()) {
                     Ok(Some(tag)) => {
                         rr_link += 1;
-                        owner.insert((link, tag.value()), Pending::RmwWrite);
+                        owner.insert((link, tag.value()), Pending::RmwWrite { entry, new });
                         write_queue.pop_front();
                     }
                     Ok(None) => unreachable!("WR16 is acknowledged"),
+                    Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Re-issue faulted updates next: they already count toward
+            // `issued`, so they bypass that gate but still respect the
+            // window.
+            while owner.len() + write_queue.len() < cfg.window {
+                let Some(&v) = retry_queue.front() else { break };
+                let entry = (v & mask) as usize;
+                let addr = self.entry_addr(entry);
+                let link = rr_link % links;
+                let send = match cfg.mode {
+                    GupsMode::Xor16Amo => {
+                        sim.send_simple(0, link, HmcRqst::Xor16, addr, vec![v, 0])
+                    }
+                    GupsMode::ReadModifyWrite => {
+                        sim.send_simple(0, link, HmcRqst::Rd16, addr, vec![])
+                    }
+                };
+                match send {
+                    Ok(Some(tag)) => {
+                        rr_link += 1;
+                        let pending = match cfg.mode {
+                            GupsMode::Xor16Amo => Pending::Amo { value: v },
+                            GupsMode::ReadModifyWrite => Pending::RmwRead { entry, value: v },
+                        };
+                        owner.insert((link, tag.value()), pending);
+                        retry_queue.pop_front();
+                    }
+                    Ok(None) => unreachable!("neither command is posted"),
                     Err(HmcError::Stall) | Err(HmcError::TagsExhausted) => break,
                     Err(e) => return Err(e),
                 }
@@ -207,7 +276,7 @@ impl GupsKernel {
                     Ok(Some(tag)) => {
                         rr_link += 1;
                         let pending = match cfg.mode {
-                            GupsMode::Xor16Amo => Pending::Amo,
+                            GupsMode::Xor16Amo => Pending::Amo { value: v },
                             GupsMode::ReadModifyWrite => Pending::RmwRead { entry, value: v },
                         };
                         owner.insert((link, tag.value()), pending);
@@ -260,6 +329,46 @@ mod tests {
         assert_eq!(a, b);
         let unique: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(unique.len(), 16);
+    }
+
+    /// Regression for a fuzz-farm find: a fault-injected (empty
+    /// payload) RD16 response used to panic the RMW recv loop.
+    /// Faulted updates must be retried; with retries, even the AMO
+    /// oracle stays exact under heavy vault errors.
+    #[test]
+    fn amo_mode_survives_injected_faults_exactly() {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = hmc_sim::FaultPlan::seeded(9)
+            .with_vault_errors(70_000)
+            .with_poison(30_000);
+        let mut sim = HmcSim::new(config).unwrap();
+        let kernel = GupsKernel::new(GupsConfig {
+            table_entries: 1 << 8,
+            updates: 256,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.updates, 256);
+        assert_eq!(result.errors, 0, "faulted XOR16s are retried, not lost");
+    }
+
+    #[test]
+    fn rmw_mode_survives_injected_faults() {
+        let mut config = DeviceConfig::gen2_4link_4gb();
+        config.fault = hmc_sim::FaultPlan::seeded(13)
+            .with_vault_errors(50_000)
+            .with_poison(50_000);
+        let mut sim = HmcSim::new(config).unwrap();
+        let kernel = GupsKernel::new(GupsConfig {
+            table_entries: 1 << 8,
+            updates: 256,
+            mode: GupsMode::ReadModifyWrite,
+            window: 1,
+            ..Default::default()
+        });
+        let result = kernel.run(&mut sim).unwrap();
+        assert_eq!(result.updates, 256);
+        assert_eq!(result.errors, 0, "window 1 has no concurrency: exact despite faults");
     }
 
     #[test]

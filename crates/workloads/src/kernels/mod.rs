@@ -8,9 +8,11 @@
 //! * [`gups`] — HPCC RandomAccess / GUPS (prior-work kernel \[12\]).
 //! * [`bfs`] — BFS check-and-update with CAS offload (related work
 //!   \[10\]).
+//! * [`barrier`] — centralized sense-reversing barrier over `CASEQ8`.
 //! * [`histogram`] — posted vs acked vs RMW increments.
 //! * [`pchase`] — dependent-load pointer chasing (latency probe).
 
+pub mod barrier;
 pub mod bfs;
 pub mod counter;
 pub mod gups;

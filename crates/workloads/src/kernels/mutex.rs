@@ -37,8 +37,15 @@
 use crate::driver::{HostThread, RunMetrics, ThreadDriver, ThreadIo, ThreadStatus};
 use hmc_cmc::ops::mutex::{LOCK_CMD, TRYLOCK_CMD, UNLOCK_CMD};
 use hmc_cmc::ops::ticket::{TICKET_POLL_CMD, TICKET_RELEASE_CMD, TICKET_TAKE_CMD};
-use hmc_sim::HmcSim;
-use hmc_types::HmcError;
+use hmc_sim::{HmcSim, TrackedResponse};
+use hmc_types::{HmcError, HmcResponse};
+
+/// True when the vault answered with an error instead of executing the
+/// request (an ERROR packet or nonzero `ERRSTAT`): no side effects
+/// happened, so re-issuing the request verbatim is safe.
+fn not_executed(rsp: &TrackedResponse) -> bool {
+    matches!(rsp.rsp.head.cmd, HmcResponse::Error) || rsp.rsp.tail.errstat != 0
+}
 
 /// How the trylock spin loop terminates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,11 +223,26 @@ impl HostThread for MutexThread {
                 }
                 State::WaitLock => {
                     let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if not_executed(&rsp) {
+                        // The vault rejected the acquire: no side
+                        // effects (no lock taken, no ticket drawn), so
+                        // re-issuing it verbatim is safe.
+                        self.state = State::SendLock;
+                        continue;
+                    }
                     let acquired = match self.mechanism {
-                        MutexMechanism::Cmc => rsp.rsp.payload[0] == 1,
+                        MutexMechanism::Cmc => {
+                            rsp.rsp.payload.first().copied().unwrap_or(0) == 1
+                        }
                         MutexMechanism::CasEq8 => rsp.rsp.head.af,
                         MutexMechanism::Ticket => {
-                            self.my_ticket = Some(rsp.rsp.payload[0]);
+                            // The take executed, so the ticket MUST be
+                            // kept even if the response is poisoned —
+                            // abandoning a drawn ticket deadlocks every
+                            // later one. (The simulator delivers
+                            // DINV-flagged payloads intact.)
+                            self.my_ticket =
+                                Some(rsp.rsp.payload.first().copied().unwrap_or(0));
                             rsp.rsp.head.af
                         }
                     };
@@ -241,8 +263,15 @@ impl HostThread for MutexThread {
                 }
                 State::WaitTrylock => {
                     let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if not_executed(&rsp) {
+                        // Rejected, not executed: retry the same poll.
+                        self.state = State::SendTrylock;
+                        continue;
+                    }
                     let acquired = match self.mechanism {
-                        MutexMechanism::Cmc => rsp.rsp.payload[0] == self.wire_tid(),
+                        MutexMechanism::Cmc => {
+                            rsp.rsp.payload.first().copied().unwrap_or(0) == self.wire_tid()
+                        }
                         MutexMechanism::CasEq8 | MutexMechanism::Ticket => rsp.rsp.head.af,
                     };
                     if acquired {
@@ -282,10 +311,14 @@ impl HostThread for MutexThread {
                     return ThreadStatus::Running;
                 }
                 State::WaitUnlock => {
-                    if io.response().is_some() {
-                        return ThreadStatus::Done;
+                    let Some(rsp) = io.response() else { return ThreadStatus::Running };
+                    if not_executed(&rsp) {
+                        // A dropped release would leave the lock held
+                        // forever; re-issue until it lands.
+                        self.state = State::SendUnlock;
+                        continue;
                     }
-                    return ThreadStatus::Running;
+                    return ThreadStatus::Done;
                 }
             }
         }
@@ -384,6 +417,40 @@ mod tests {
         let mut sim = HmcSim::new(config).unwrap();
         sim.load_cmc_library(0, hmc_cmc::ops::MUTEX_LIBRARY).unwrap();
         sim
+    }
+
+    /// Regression for two fuzz-farm finds: a vault-errored (empty
+    /// payload) response used to panic the ticket take, and an errored
+    /// unlock was silently treated as delivered, leaving the lock held
+    /// forever. Faulted requests must be retried until they land.
+    #[test]
+    fn all_mechanisms_survive_injected_vault_errors() {
+        for mechanism in [MutexMechanism::Cmc, MutexMechanism::Ticket, MutexMechanism::CasEq8] {
+            let mut config = DeviceConfig::gen2_4link_4gb();
+            config.fault =
+                hmc_sim::FaultPlan::seeded(31).with_vault_errors(100_000).with_poison(50_000);
+            hmc_cmc::ops::register_builtin_libraries();
+            let mut sim = HmcSim::new(config).unwrap();
+            let library = match mechanism {
+                MutexMechanism::Ticket => hmc_cmc::ops::TICKET_LIBRARY,
+                _ => hmc_cmc::ops::MUTEX_LIBRARY,
+            };
+            sim.load_cmc_library(0, library).unwrap();
+            let kernel = MutexKernel::new(MutexKernelConfig {
+                threads: 5,
+                mechanism,
+                spin: SpinPolicy::until_owned(),
+                max_cycles: 500_000,
+                ..Default::default()
+            });
+            let result = kernel.run(&mut sim).unwrap();
+            assert_eq!(result.metrics.unfinished, 0, "{mechanism:?} wedged under faults");
+            assert_eq!(result.acquisitions, 5, "{mechanism:?} lost acquisitions");
+            // Cmc/CasEq8 store the owner id (0 = free); Ticket stores
+            // the next-ticket counter, which ends at one per thread.
+            let expected_word = if mechanism == MutexMechanism::Ticket { 5 } else { 0 };
+            assert_eq!(result.final_lock_word, expected_word, "{mechanism:?} lock word");
+        }
     }
 
     #[test]

@@ -12,8 +12,11 @@
 pub mod driver;
 pub mod kernels;
 pub mod runtime;
+pub mod scenario;
 pub mod tracefile;
 
 pub use driver::{ResilienceConfig, RunMetrics, ThreadDriver, ThreadFaultStats};
-pub use runtime::HostRuntime;
+pub use kernels::barrier::{BarrierKernel, BarrierKernelConfig, BarrierKernelResult};
 pub use kernels::mutex::{MutexKernel, MutexKernelConfig, MutexMechanism, SpinPolicy};
+pub use runtime::HostRuntime;
+pub use scenario::KernelDescriptor;
