@@ -56,16 +56,17 @@ pub fn scenario_digest(scenario: &Scenario) -> u64 {
 }
 
 /// Writes a shrunk reproducer into `dir` as
-/// `repro-<class>-<digest>.json` and returns the path.
+/// `repro-<class>-<digest>.json` and returns the path. The write is
+/// atomic (tmp → fsync → rename), so a crash mid-save can never leave
+/// a torn reproducer for corpus replay to choke on.
 pub fn save_reproducer(
     dir: &Path,
     scenario: &Scenario,
     outcome: &Outcome,
 ) -> io::Result<PathBuf> {
-    fs::create_dir_all(dir)?;
     let name = format!("repro-{}-{:016x}.json", outcome.class(), scenario_digest(scenario));
     let path = dir.join(name);
-    fs::write(&path, pretty_render(scenario))?;
+    hmc_sim::atomic_write(&path, pretty_render(scenario).as_bytes())?;
     Ok(path)
 }
 

@@ -1,0 +1,167 @@
+//! Crash-safe fuzz-campaign journal.
+//!
+//! A long `hmcfuzz run` is resumable: after every completed scenario
+//! the farm atomically rewrites a small journal recording the
+//! generator seed and the index of the **next** scenario to run. After
+//! a kill, `hmcfuzz run --resume` reloads the journal, fast-forwards
+//! the deterministic scenario stream to that index and continues the
+//! campaign as if it had never stopped — no scenario is skipped, none
+//! is double-counted.
+//!
+//! The journal is a single JSON object written through
+//! [`hmc_sim::atomic_write`] (tmp → fsync → rename → dir fsync), so a
+//! crash mid-write leaves the previous journal intact. It lives as
+//! `run.journal` — deliberately *not* a `.json` file, so corpus
+//! replay (`hmcfuzz replay --corpus`) never mistakes it for a
+//! reproducer.
+
+use hmc_sim::jsonv::obj;
+use hmc_sim::{Json, JsonError, ObjReader};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic string identifying a journal file.
+pub const JOURNAL_MAGIC: &str = "hmcfuzz-journal";
+
+/// Journal schema version; bump on incompatible layout changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// File name of the journal inside the campaign's `--out` directory.
+pub const JOURNAL_FILE: &str = "run.journal";
+
+/// Persistent progress of one fuzz campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunJournal {
+    /// Generator seed: a resume against a different seed is refused.
+    pub seed: u64,
+    /// Scenario-stream index of the next scenario to execute.
+    pub next_index: u64,
+    /// Scenarios executed so far.
+    pub executed: u64,
+    /// Failures found so far.
+    pub failures: u64,
+    /// Whether the `--canary` self-test divergence was already found.
+    pub canary_found: bool,
+}
+
+impl RunJournal {
+    /// The journal's path inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(JOURNAL_FILE)
+    }
+
+    /// Serializes to the (stable) journal JSON text.
+    pub fn to_json(&self) -> String {
+        obj(vec![
+            ("magic", Json::Str(JOURNAL_MAGIC.into())),
+            ("schema_version", Json::Int(JOURNAL_VERSION as i128)),
+            ("seed", Json::Int(self.seed as i128)),
+            ("next_index", Json::Int(self.next_index as i128)),
+            ("executed", Json::Int(self.executed as i128)),
+            ("failures", Json::Int(self.failures as i128)),
+            ("canary_found", Json::Bool(self.canary_found)),
+        ])
+        .render()
+    }
+
+    /// Parses journal JSON. Strict: unknown fields, missing fields,
+    /// bad magic and unsupported versions are errors.
+    pub fn from_json(text: &str) -> Result<RunJournal, JsonError> {
+        let v = Json::parse(text)?;
+        let mut r = ObjReader::new("fuzz journal", &v)?;
+        let magic = r.str("magic")?;
+        if magic != JOURNAL_MAGIC {
+            return Err(JsonError { message: format!("fuzz journal: bad magic `{magic}`") });
+        }
+        let version = r.u64("schema_version")?;
+        if version != JOURNAL_VERSION {
+            return Err(JsonError {
+                message: format!(
+                    "fuzz journal: unsupported schema_version {version} \
+                     (this build reads {JOURNAL_VERSION})"
+                ),
+            });
+        }
+        let journal = RunJournal {
+            seed: r.u64("seed")?,
+            next_index: r.u64("next_index")?,
+            executed: r.u64("executed")?,
+            failures: r.u64("failures")?,
+            canary_found: r.bool("canary_found")?,
+        };
+        r.finish()?;
+        Ok(journal)
+    }
+
+    /// Atomically persists the journal into `dir`.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        hmc_sim::atomic_write(&Self::path_in(dir), self.to_json().as_bytes())
+    }
+
+    /// Loads the journal from `dir`; `Ok(None)` if none exists yet.
+    /// A present-but-unreadable journal is an error (with the path),
+    /// never silently treated as a fresh start.
+    pub fn load(dir: &Path) -> Result<Option<RunJournal>, JsonError> {
+        let path = Self::path_in(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(JsonError {
+                    message: format!("{}: cannot read journal: {e}", path.display()),
+                })
+            }
+        };
+        Self::from_json(&text)
+            .map(Some)
+            .map_err(|e| JsonError { message: format!("{}: {}", path.display(), e.message) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("hmcfuzz-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> RunJournal {
+        RunJournal { seed: 42, next_index: 17, executed: 17, failures: 2, canary_found: false }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = temp_dir("roundtrip");
+        sample().save(&dir).unwrap();
+        assert_eq!(RunJournal::load(&dir).unwrap(), Some(sample()));
+        assert!(!dir.join(format!("{JOURNAL_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_start() {
+        let dir = temp_dir("missing").join("never-created");
+        assert_eq!(RunJournal::load(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_journal_is_an_error_with_the_path() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(RunJournal::path_in(&dir), "{\"magic\": \"nope\"}").unwrap();
+        let e = RunJournal::load(&dir).unwrap_err();
+        assert!(e.message.contains(JOURNAL_FILE), "{}", e.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let text = sample().to_json().replace("\"schema_version\":1", "\"schema_version\":9");
+        let e = RunJournal::from_json(&text).unwrap_err();
+        assert!(e.message.contains("schema_version 9"), "{}", e.message);
+    }
+}

@@ -37,11 +37,13 @@
 
 pub mod corpus;
 pub mod gen;
+pub mod journal;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
 pub use corpus::{load_scenario_file, save_reproducer};
+pub use journal::RunJournal;
 pub use gen::ScenarioGenerator;
 pub use runner::{run_scenario, Outcome, RunnerConfig};
 pub use scenario::{Scenario, SCHEMA_VERSION};

@@ -10,7 +10,7 @@ use hmc_fuzz::corpus::{load_corpus_dir, load_scenario_file, pretty_render, save_
 use hmc_fuzz::runner::{run_scenario, RunnerConfig};
 use hmc_fuzz::scenario::Scenario;
 use hmc_fuzz::shrink::shrink;
-use hmc_fuzz::ScenarioGenerator;
+use hmc_fuzz::{RunJournal, ScenarioGenerator};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -20,14 +20,17 @@ hmcfuzz — differential scenario fuzzer for hmcsim-rs
 
 USAGE:
     hmcfuzz run --seed S [--seconds N | --count N] [--canary]
-                [--out DIR] [--timeout SECS] [--shrink-runs N]
+                [--out DIR] [--timeout SECS] [--shrink-runs N] [--resume]
         Generate scenarios from seed S and run each under the paired
         engine configurations. Failures are shrunk and written to
         --out (default `corpus-new/`). With --count the scenario
         stream is a fixed length (fully deterministic, CI-friendly);
         with --seconds it is time-boxed. --canary injects a known
         seeded divergence (a stats increment dropped under skip mode)
-        and asserts the farm finds and shrinks it.
+        and asserts the farm finds and shrinks it. Progress is
+        journaled to `<out>/run.journal` after every scenario;
+        --resume continues a killed campaign from that journal
+        (same seed required) without skipping or repeating scenarios.
 
     hmcfuzz replay [--timeout SECS] FILE... | --corpus DIR
         Replay reproducer files (or a whole corpus directory); exits
@@ -65,6 +68,7 @@ struct RunArgs {
     out: PathBuf,
     timeout: u64,
     shrink_runs: usize,
+    resume: bool,
 }
 
 fn parse_value<T: std::str::FromStr>(
@@ -86,6 +90,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         out: PathBuf::from("corpus-new"),
         timeout: 30,
         shrink_runs: 400,
+        resume: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -104,6 +109,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             "--canary" => {
                 parsed.canary = true;
+                Ok(())
+            }
+            "--resume" => {
+                parsed.resume = true;
                 Ok(())
             }
             other => Err(format!("unknown flag `{other}` for run")),
@@ -126,6 +135,39 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut executed = 0u64;
     let mut failures = 0u64;
     let mut canary_found = false;
+    if parsed.resume {
+        match RunJournal::load(&parsed.out) {
+            Ok(Some(journal)) => {
+                if journal.seed != parsed.seed {
+                    return fail(format!(
+                        "--resume: journal in {} was written by seed {} but this \
+                         run uses seed {} — refusing to mix scenario streams",
+                        parsed.out.display(),
+                        journal.seed,
+                        parsed.seed
+                    ));
+                }
+                // The stream is a pure function of the seed: replaying
+                // the generator to the journaled index reproduces the
+                // exact position of the killed campaign.
+                while generator.position() < journal.next_index {
+                    let _ = generator.next_scenario();
+                }
+                executed = journal.executed;
+                failures = journal.failures;
+                canary_found = journal.canary_found;
+                println!(
+                    "hmcfuzz run: resuming at scenario {} ({} executed, {} failures)",
+                    journal.next_index, journal.executed, journal.failures
+                );
+            }
+            Ok(None) => println!(
+                "hmcfuzz run: no journal in {}: starting fresh",
+                parsed.out.display()
+            ),
+            Err(e) => return fail(e.message),
+        }
+    }
     println!(
         "hmcfuzz run: seed={} {} canary={}",
         parsed.seed,
@@ -181,6 +223,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
             {
                 canary_found = true;
             }
+        }
+        let journal = RunJournal {
+            seed: parsed.seed,
+            next_index: generator.position(),
+            executed,
+            failures,
+            canary_found,
+        };
+        if let Err(e) = journal.save(&parsed.out) {
+            return fail(format!("cannot write journal: {e}"));
         }
     }
     println!("hmcfuzz run: {executed} scenarios, {failures} failures");
@@ -278,7 +330,9 @@ fn cmd_seed_corpus(args: &[String]) -> ExitCode {
     }
     for (i, scenario) in seed_scenarios().into_iter().enumerate() {
         let path = dir.join(format!("seed-{:02}-{}.json", i, scenario.kernel.name()));
-        if let Err(e) = std::fs::write(&path, pretty_render(&scenario)) {
+        // Atomic write: a kill mid-refresh never leaves a torn seed
+        // file in the checked-in corpus.
+        if let Err(e) = hmc_sim::atomic_write(&path, pretty_render(&scenario).as_bytes()) {
             return fail(format!("cannot write {}: {e}", path.display()));
         }
         println!("wrote {}", path.display());

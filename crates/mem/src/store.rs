@@ -87,6 +87,36 @@ impl SparseMemory {
         h.finish()
     }
 
+    /// Every resident page as `(page_id, bytes)`, sorted by page id —
+    /// the checkpoint exporter's view. All materialized pages are
+    /// included, even all-zero ones, because `resident_pages` (and
+    /// therefore the `Debug` output and `content_digest`) counts them.
+    pub fn export_pages(&self) -> Vec<(u64, Box<[u8; PAGE_BYTES]>)> {
+        let mut pages: Vec<(u64, Box<[u8; PAGE_BYTES]>)> = Vec::new();
+        for shard in &self.shards {
+            for (id, page) in shard.lock().iter() {
+                pages.push((*id, page.clone()));
+            }
+        }
+        pages.sort_unstable_by_key(|(id, _)| *id);
+        pages
+    }
+
+    /// Materializes `page_id` with exactly `bytes`, replacing any
+    /// existing content (checkpoint restore). Rejects pages beyond the
+    /// store's capacity.
+    pub fn insert_page(&self, page_id: u64, bytes: &[u8; PAGE_BYTES]) -> Result<(), HmcError> {
+        let start = page_id
+            .checked_mul(PAGE_BYTES as u64)
+            .ok_or(HmcError::AddressOutOfRange(page_id))?;
+        self.check_range(start, PAGE_BYTES.min(self.capacity.saturating_sub(start) as usize))?;
+        if start >= self.capacity {
+            return Err(HmcError::AddressOutOfRange(start));
+        }
+        self.shard(page_id).lock().insert(page_id, Box::new(*bytes));
+        Ok(())
+    }
+
     fn check_range(&self, addr: u64, len: usize) -> Result<(), HmcError> {
         let end = addr
             .checked_add(len as u64)

@@ -88,7 +88,7 @@ pub struct TrackedResponse {
 pub(crate) struct Vault {
     pub(crate) rqst: BoundedQueue<TrackedRequest>,
     pub(crate) rsp: BoundedQueue<TrackedResponse>,
-    banks: Vec<Bank>,
+    pub(crate) banks: Vec<Bank>,
 }
 
 impl Vault {

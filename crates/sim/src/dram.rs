@@ -75,6 +75,22 @@ impl Bank {
         self.busy_until > cycle
     }
 
+    /// The private dynamic state `(busy_until, open_row)` for
+    /// checkpoint serialization (the hit/miss counters are public).
+    pub(crate) fn dynamic_state(&self) -> (u64, Option<u64>) {
+        (self.busy_until, self.open_row)
+    }
+
+    /// Rebuilds a bank from checkpointed state.
+    pub(crate) fn from_parts(
+        busy_until: u64,
+        open_row: Option<u64>,
+        row_hits: u64,
+        row_misses: u64,
+    ) -> Self {
+        Bank { busy_until, open_row, row_hits, row_misses }
+    }
+
     /// Performs an access to `row` at `cycle`, updating the row
     /// buffer and the busy window, and returns the access latency in
     /// cycles.

@@ -65,6 +65,23 @@ impl FaultRng {
         self.next_u64() % n
     }
 
+    /// The raw internal PRNG state (checkpoint serialization). The
+    /// value is the post-scramble xorshift state, not the user seed —
+    /// restore it with [`FaultRng::from_raw_state`], never
+    /// [`FaultRng::new`].
+    pub(crate) fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator from [`FaultRng::raw_state`] output,
+    /// resuming the stream exactly where the snapshot left it. A zero
+    /// state (impossible from `new`, possible from a corrupt
+    /// checkpoint) is forced odd to keep xorshift out of its fixed
+    /// point.
+    pub(crate) fn from_raw_state(state: u64) -> Self {
+        FaultRng { state: state | ((state == 0) as u64) }
+    }
+
     /// Bernoulli draw with probability `per_million / 1_000_000`.
     ///
     /// A zero probability returns `false` **without consuming PRNG

@@ -155,6 +155,25 @@ impl Hist {
         self.quantile(0.999)
     }
 
+    /// The raw internal state `(count, sum, min, max, buckets)` —
+    /// `min` keeps its `u64::MAX` empty sentinel, unlike the lossy
+    /// [`Hist::min`] accessor. Checkpoint serialization uses this so a
+    /// restored histogram is bit-identical.
+    pub(crate) fn raw_parts(&self) -> (u64, u64, u64, u64, &[u64; BUCKETS]) {
+        (self.count, self.sum, self.min, self.max, &self.buckets)
+    }
+
+    /// Rebuilds a histogram from [`Hist::raw_parts`] output.
+    pub(crate) fn from_raw_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    ) -> Self {
+        Hist { count, sum, min, max, buckets }
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, count)` pairs,
     /// ascending — the exporter's view.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {

@@ -47,7 +47,9 @@ pub mod regs;
 pub mod report;
 pub mod sanitizer;
 pub mod scenario;
+pub mod ckpt;
 pub mod sim;
+pub mod snapjson;
 pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
@@ -55,6 +57,7 @@ pub mod trace;
 pub mod trace_analysis;
 
 pub use addr::AddressMap;
+pub use ckpt::{atomic_write, CheckpointRecord, CheckpointStore, OpenReport, QuarantinedFile};
 pub use config::{
     Arbitration, DeviceConfig, ExecMode, LinkTopology, SimConfig, SkipMode, SpecRevision,
     EXEC_THREADS_ENV, SKIP_MODE_ENV,
@@ -72,6 +75,7 @@ pub use sanitizer::{
 };
 pub use scenario::{Fnv, OracleDigest};
 pub use sim::HmcSim;
+pub use snapjson::SNAPSHOT_SCHEMA_VERSION;
 pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::{ClassLatency, CmdClass, DeviceStats};
 pub use telemetry::{Stage, StageStamps, Telemetry, TelemetryConfig, TimeSeries};

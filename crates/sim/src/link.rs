@@ -161,6 +161,30 @@ impl LinkControl {
     pub fn retry_latency(&self) -> u64 {
         self.config.retry_latency
     }
+
+    /// The link configuration this state was created with.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Packets accepted since creation (the error-injection phase
+    /// counter — distinct from `stats.packets_sent` only in intent).
+    pub fn packet_counter(&self) -> u64 {
+        self.packet_counter
+    }
+
+    /// Rebuilds link state from checkpointed parts so a restored link
+    /// is `Debug`-identical to the snapshotted one (token pool, error
+    /// phase, SEQ and statistics all restored verbatim).
+    pub(crate) fn from_parts(
+        config: LinkConfig,
+        tokens_available: u32,
+        packet_counter: u64,
+        seq: u8,
+        stats: LinkStats,
+    ) -> Self {
+        LinkControl { config, tokens_available, packet_counter, seq, stats }
+    }
 }
 
 #[cfg(test)]

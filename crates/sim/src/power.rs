@@ -95,6 +95,28 @@ impl PowerModel {
         self.cycles += delta.cycles;
     }
 
+    /// The model's coefficients.
+    pub fn config(&self) -> PowerConfig {
+        self.config
+    }
+
+    /// The raw event counters `(link_flits, dram_accesses, logic_ops,
+    /// cycles)` for checkpoint serialization.
+    pub(crate) fn counters(&self) -> (u64, u64, u64, u64) {
+        (self.link_flits, self.dram_accesses, self.logic_ops, self.cycles)
+    }
+
+    /// Rebuilds a model from checkpointed coefficients and counters.
+    pub(crate) fn from_parts(
+        config: PowerConfig,
+        link_flits: u64,
+        dram_accesses: u64,
+        logic_ops: u64,
+        cycles: u64,
+    ) -> Self {
+        PowerModel { config, link_flits, dram_accesses, logic_ops, cycles }
+    }
+
     /// Produces the report.
     pub fn report(&self) -> PowerReport {
         let c = &self.config;

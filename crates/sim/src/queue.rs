@@ -107,6 +107,22 @@ impl<T> BoundedQueue<T> {
     pub fn pushes(&self) -> u64 {
         self.pushed
     }
+
+    /// Rebuilds a queue from previously observed parts (checkpoint
+    /// restore). `items` must not exceed `depth`; occupancy statistics
+    /// are restored verbatim so a restored queue is `Debug`-identical
+    /// to the one that was snapshotted.
+    pub(crate) fn from_parts(
+        items: VecDeque<T>,
+        depth: usize,
+        high_water: usize,
+        stalls: u64,
+        pushed: u64,
+    ) -> Self {
+        assert!(depth > 0, "queue depth must be nonzero");
+        assert!(items.len() <= depth, "restored occupancy exceeds queue depth");
+        BoundedQueue { items, depth, high_water, stalls, pushed }
+    }
 }
 
 #[cfg(test)]

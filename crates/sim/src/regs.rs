@@ -88,6 +88,13 @@ impl RegisterFile {
     pub fn ids(&self) -> Vec<u32> {
         self.regs.keys().copied().collect()
     }
+
+    /// Rebuilds a register file from checkpointed `(id, value)`
+    /// entries verbatim — bypasses the read-only write guard, which
+    /// would otherwise reject restoring `FEAT`/`RVID`.
+    pub(crate) fn from_entries(entries: impl IntoIterator<Item = (u32, u64)>) -> Self {
+        RegisterFile { regs: entries.into_iter().collect() }
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,25 @@ impl ViolationKind {
             ViolationKind::StallWatchdog => "stall-watchdog",
         }
     }
+
+    /// Parses a [`ViolationKind::name`] string back into the kind
+    /// (checkpoint deserialization). Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "token-over-return" => ViolationKind::TokenOverReturn,
+            "token-pool-overflow" => ViolationKind::TokenPoolOverflow,
+            "token-conservation" => ViolationKind::TokenConservation,
+            "tag-pool-corrupt" => ViolationKind::TagPoolCorrupt,
+            "tag-live-and-free" => ViolationKind::TagLiveAndFree,
+            "zombie-tag-leak" => ViolationKind::ZombieTagLeak,
+            "packet-conservation" => ViolationKind::PacketConservation,
+            "phantom-response" => ViolationKind::PhantomResponse,
+            "duplicate-live-tag" => ViolationKind::DuplicateLiveTag,
+            "queue-overflow" => ViolationKind::QueueOverflow,
+            "stall-watchdog" => ViolationKind::StallWatchdog,
+            _ => return None,
+        })
+    }
 }
 
 /// One detected invariant violation.

@@ -549,11 +549,11 @@ impl ForensicDump {
     }
 
     /// Writes the JSON dump to `path`, creating parent directories.
+    /// The write is atomic (tmp → fsync → rename → directory fsync, via
+    /// [`crate::ckpt::atomic_write`]) — a crash mid-dump never leaves a
+    /// torn forensic file — and every error names the offending path.
     pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_json())
+        crate::ckpt::atomic_write(path, self.to_json().as_bytes())
     }
 }
 
@@ -637,6 +637,13 @@ impl HmcSim {
             }
             san.reset_watchdog();
             self.sanitizer = Some(san);
+        }
+        // An attached telemetry collector keeps running across the
+        // restore; its delta baselines must follow the state backwards
+        // or the next sample underflows.
+        if let Some(mut tel) = self.telemetry.take() {
+            tel.rebase(self);
+            self.telemetry = Some(tel);
         }
         Ok(())
     }

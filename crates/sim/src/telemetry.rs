@@ -311,6 +311,21 @@ impl Telemetry {
         self.devices.get(dev).map(|d| &d.stages[idx])
     }
 
+    /// Re-bases the delta baselines (the `last_*` counters) on `sim`'s
+    /// current state. Called by [`HmcSim::restore`]: the restored
+    /// device counters may be *behind* the collector's recorded
+    /// baselines, and without a rebase the next [`Telemetry::sample`]
+    /// delta would underflow.
+    pub(crate) fn rebase(&mut self, sim: &HmcSim) {
+        for (dev, t) in self.devices.iter_mut().enumerate() {
+            for link in 0..t.last_link_flits.len() {
+                t.last_link_flits[link] = sim.links[dev][link].stats.flits_sent;
+            }
+            let (hits, misses) = sim.devices[dev].row_buffer_stats();
+            t.last_bank_accesses = hits + misses;
+        }
+    }
+
     /// Per-cycle sampling of the windowed series. Read-only over the
     /// simulation state; called via take/put from `clock()`.
     pub(crate) fn sample(&mut self, sim: &HmcSim, cycle: u64) {

@@ -118,6 +118,35 @@ impl TagPool {
         self.in_flight.get(tag.0 as usize).copied().unwrap_or(false)
     }
 
+    /// The free list in FIFO order (front = next tag to be handed
+    /// out). Checkpoint serialization must preserve this order — the
+    /// in-flight map is derivable, the recycling order is not.
+    pub fn free_tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.free.iter().copied()
+    }
+
+    /// Rebuilds a pool from a checkpointed capacity and ordered free
+    /// list. The in-flight map is derived as the complement of `free`.
+    /// Rejects out-of-range capacity, out-of-range tags and duplicate
+    /// free entries with a description of the inconsistency.
+    pub fn from_free_list(capacity: u32, free: Vec<Tag>) -> Result<Self, String> {
+        if capacity > TAG_SPACE {
+            return Err(format!("capacity {capacity} exceeds tag space {TAG_SPACE}"));
+        }
+        let mut in_flight = vec![true; capacity as usize];
+        for tag in &free {
+            let idx = tag.0 as usize;
+            if idx >= capacity as usize {
+                return Err(format!("free tag {} outside capacity {capacity}", tag.0));
+            }
+            if !in_flight[idx] {
+                return Err(format!("tag {} duplicated on the free list", tag.0));
+            }
+            in_flight[idx] = false;
+        }
+        Ok(TagPool { free: free.into(), in_flight, capacity })
+    }
+
     /// Checks the pool's internal consistency: the free list and the
     /// in-flight map must partition the capacity exactly, with no tag
     /// both free and marked in flight and no duplicate free entries.

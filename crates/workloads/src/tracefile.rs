@@ -18,7 +18,8 @@
 //! with a bounded global window, and reports cycles, FLITs and
 //! bandwidth.
 
-use hmc_sim::HmcSim;
+use hmc_sim::jsonv::obj;
+use hmc_sim::{HmcSim, Json, JsonError, ObjReader, SimSnapshot};
 use hmc_types::packet::payload_words;
 use hmc_types::{HmcError, HmcRqst};
 use std::collections::HashMap;
@@ -168,6 +169,105 @@ pub struct ReplayCheckpoint {
     pub snapshot: hmc_sim::SimSnapshot,
 }
 
+/// Schema version written into serialized [`ReplayCheckpoint`]s. Bump
+/// on any incompatible change to the checkpoint layout.
+pub const REPLAY_CKPT_SCHEMA_VERSION: u64 = 1;
+
+fn jerr(message: String) -> JsonError {
+    JsonError { message }
+}
+
+impl ReplayCheckpoint {
+    /// Serializes the checkpoint (cursor state + device snapshot) to a
+    /// JSON value. Inverse of [`ReplayCheckpoint::from_json_value`].
+    pub fn to_json_value(&self) -> Json {
+        let inflight = self
+            .inflight
+            .iter()
+            .map(|&(link, tag)| {
+                Json::Arr(vec![Json::Int(link as i128), Json::Int(tag as i128)])
+            })
+            .collect();
+        obj(vec![
+            ("schema_version", Json::Int(REPLAY_CKPT_SCHEMA_VERSION as i128)),
+            ("cycle", Json::Int(self.cycle as i128)),
+            ("cursor", Json::Int(self.cursor as i128)),
+            ("issued", Json::Int(self.issued as i128)),
+            ("completed", Json::Int(self.completed as i128)),
+            ("data_bytes", Json::Int(self.data_bytes as i128)),
+            ("inflight", Json::Arr(inflight)),
+            ("start_cycle", Json::Int(self.start_cycle as i128)),
+            ("flits_base", Json::Int(self.flits_base as i128)),
+            ("snapshot", self.snapshot.to_json_value()),
+        ])
+    }
+
+    /// Renders the checkpoint as a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parses a [`ReplayCheckpoint::to_json_value`] document. Strict:
+    /// unknown fields, missing fields and schema mismatches are errors.
+    pub fn from_json_value(v: &Json) -> Result<ReplayCheckpoint, JsonError> {
+        let mut r = ObjReader::new("replay checkpoint", v)?;
+        let version = r.u64("schema_version")?;
+        if version != REPLAY_CKPT_SCHEMA_VERSION {
+            return Err(jerr(format!(
+                "replay checkpoint: unsupported schema_version {version} \
+                 (this build reads {REPLAY_CKPT_SCHEMA_VERSION})"
+            )));
+        }
+        let cycle = r.u64("cycle")?;
+        let cursor = r.usize("cursor")?;
+        let issued = r.u64("issued")?;
+        let completed = r.u64("completed")?;
+        let data_bytes = r.u64("data_bytes")?;
+        let inflight = r
+            .required("inflight")?
+            .as_arr()
+            .ok_or_else(|| jerr("replay checkpoint: inflight is not an array".into()))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| {
+                        jerr("replay checkpoint: inflight entry is not a [link, tag] pair"
+                            .into())
+                    })?;
+                let link = pair[0].as_usize().ok_or_else(|| {
+                    jerr("replay checkpoint: inflight link out of range".into())
+                })?;
+                let tag = pair[1].as_u64().and_then(|t| u16::try_from(t).ok()).ok_or_else(
+                    || jerr("replay checkpoint: inflight tag out of range".into()),
+                )?;
+                Ok((link, tag))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let start_cycle = r.u64("start_cycle")?;
+        let flits_base = r.u64("flits_base")?;
+        let snapshot = SimSnapshot::from_json_value(r.required("snapshot")?)?;
+        r.finish()?;
+        Ok(ReplayCheckpoint {
+            cycle,
+            cursor,
+            issued,
+            completed,
+            data_bytes,
+            inflight,
+            start_cycle,
+            flits_base,
+            snapshot,
+        })
+    }
+
+    /// Parses a JSON string produced by [`ReplayCheckpoint::to_json`].
+    pub fn from_json(text: &str) -> Result<ReplayCheckpoint, JsonError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
 /// Outcome of a trace replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplayResult {
@@ -209,6 +309,28 @@ pub fn replay_resumable(
     config: &ReplayConfig,
     resume: Option<ReplayCheckpoint>,
 ) -> Result<(ReplayResult, Option<ReplayCheckpoint>), HmcError> {
+    replay_with_sink(sim, ops, config, resume, |_| Ok(()))
+}
+
+/// [`replay_resumable`] with a durability hook: `sink` is called with
+/// every checkpoint as it is taken, before the replay continues. A
+/// sink that persists the checkpoint (e.g. through
+/// [`hmc_sim::CheckpointStore`]) makes the replay crash-safe — after a
+/// kill, the last persisted checkpoint resumes the run. A sink error
+/// aborts the replay so a failing disk is never mistaken for coverage.
+///
+/// Checkpoint cadence: the first checkpoint fires once the replay has
+/// advanced at least `checkpoint_every` cycles past its start (never
+/// at the zero-delta start cycle, even when resuming with
+/// `start_cycle != 0`), and subsequent ones at each later multiple of
+/// `checkpoint_every` — stable under multi-cycle clock jumps.
+pub fn replay_with_sink(
+    sim: &mut HmcSim,
+    ops: &[TraceOp],
+    config: &ReplayConfig,
+    resume: Option<ReplayCheckpoint>,
+    mut sink: impl FnMut(&ReplayCheckpoint) -> Result<(), HmcError>,
+) -> Result<(ReplayResult, Option<ReplayCheckpoint>), HmcError> {
     let links = sim.device_config(0)?.links;
 
     let mut cursor;
@@ -243,6 +365,14 @@ pub fn replay_resumable(
         }
     }
     let mut last_checkpoint = None;
+    // Next relative cycle at which to checkpoint: strictly after the
+    // (possibly resumed, possibly nonzero-delta) starting point, so a
+    // zero-progress checkpoint is never taken.
+    let mut next_checkpoint = match (sim.cycle() - start_cycle).checked_div(config.checkpoint_every)
+    {
+        Some(periods) => (periods + 1) * config.checkpoint_every,
+        None => u64::MAX, // checkpointing disabled
+    };
 
     while cursor < ops.len() || !inflight.is_empty() {
         if sim.cycle() - start_cycle > config.max_cycles {
@@ -279,12 +409,13 @@ pub fn replay_resumable(
             }
         }
         sim.clock();
-        if config.checkpoint_every > 0
-            && (sim.cycle() - start_cycle).is_multiple_of(config.checkpoint_every)
-        {
+        let delta = sim.cycle() - start_cycle;
+        if delta >= next_checkpoint {
+            next_checkpoint =
+                (delta / config.checkpoint_every + 1) * config.checkpoint_every;
             let mut pending: Vec<(usize, u16)> = inflight.keys().copied().collect();
             pending.sort_unstable();
-            last_checkpoint = Some(ReplayCheckpoint {
+            let ckpt = ReplayCheckpoint {
                 cycle: sim.cycle(),
                 cursor,
                 issued,
@@ -294,7 +425,9 @@ pub fn replay_resumable(
                 start_cycle,
                 flits_base: flits_before,
                 snapshot: sim.snapshot(),
-            });
+            };
+            sink(&ckpt)?;
+            last_checkpoint = Some(ckpt);
         }
     }
     sim.drain(1_000_000);
@@ -431,6 +564,68 @@ A XOR16 0x80
             full.state_fingerprint(),
             "resumed replay is bit-identical to the uninterrupted one"
         );
+    }
+
+    #[test]
+    fn checkpoint_json_round_trips_and_resumes_identically() {
+        let config = ReplayConfig { checkpoint_every: 25, ..Default::default() };
+        let ops = synthetic_trace(4, 24, 64);
+
+        let mut full = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let (_, ckpt) = replay_resumable(&mut full, &ops, &config, None).unwrap();
+        let ckpt = ckpt.expect("checkpoints were taken");
+
+        let text = ckpt.to_json();
+        let parsed = ReplayCheckpoint::from_json(&text).unwrap();
+        assert_eq!(parsed.cycle, ckpt.cycle);
+        assert_eq!(parsed.cursor, ckpt.cursor);
+        assert_eq!(parsed.inflight, ckpt.inflight);
+        assert_eq!(
+            parsed.snapshot.fingerprint(),
+            ckpt.snapshot.fingerprint(),
+            "snapshot survives the JSON round trip bit-identically"
+        );
+
+        let mut resumed = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let (_, _) = replay_resumable(&mut resumed, &ops, &config, Some(parsed)).unwrap();
+        assert_eq!(resumed.state_fingerprint(), full.state_fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_cadence_skips_start_and_is_stable_off_zero() {
+        // Pre-age the device so the replay starts at a nonzero cycle
+        // that is NOT a multiple of the cadence.
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        for _ in 0..7 {
+            sim.clock();
+        }
+        let start = sim.cycle();
+        let config = ReplayConfig { checkpoint_every: 20, ..Default::default() };
+        let ops = synthetic_trace(4, 24, 64);
+        let mut taken = Vec::new();
+        let (_, last) = replay_with_sink(&mut sim, &ops, &config, None, |c| {
+            taken.push(c.cycle);
+            Ok(())
+        })
+        .unwrap();
+        assert!(!taken.is_empty());
+        assert_eq!(taken.last().copied(), last.map(|c| c.cycle));
+        for (i, cycle) in taken.iter().enumerate() {
+            let delta = cycle - start;
+            assert!(delta > 0, "no checkpoint at the zero-delta start cycle");
+            assert_eq!(delta, 20 * (i as u64 + 1), "cadence is relative to start");
+        }
+    }
+
+    #[test]
+    fn checkpoint_sink_error_aborts_the_replay() {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        let config = ReplayConfig { checkpoint_every: 10, ..Default::default() };
+        let ops = synthetic_trace(4, 24, 64);
+        let err = replay_with_sink(&mut sim, &ops, &config, None, |_| {
+            Err(HmcError::MalformedPacket("disk full".into()))
+        });
+        assert!(err.is_err(), "a failing sink must abort, not be ignored");
     }
 
     #[test]
