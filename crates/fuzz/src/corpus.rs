@@ -59,14 +59,34 @@ pub fn scenario_digest(scenario: &Scenario) -> u64 {
 /// `repro-<class>-<digest>.json` and returns the path. The write is
 /// atomic (tmp → fsync → rename), so a crash mid-save can never leave
 /// a torn reproducer for corpus replay to choke on.
+///
+/// When `trace_events` is given (a Perfetto trace-event JSON array
+/// from [`capture_trace_events`](crate::runner::capture_trace_events)),
+/// it is embedded under a top-level `traceEvents` key: the reproducer
+/// file then opens directly in <https://ui.perfetto.dev> as a timeline
+/// of the failing run. The loader ignores the key, and the file name
+/// digest covers the scenario alone, so embedding never forks
+/// reproducer identity.
 pub fn save_reproducer(
     dir: &Path,
     scenario: &Scenario,
     outcome: &Outcome,
+    trace_events: Option<&str>,
 ) -> io::Result<PathBuf> {
     let name = format!("repro-{}-{:016x}.json", outcome.class(), scenario_digest(scenario));
     let path = dir.join(name);
-    hmc_sim::atomic_write(&path, pretty_render(scenario).as_bytes())?;
+    let mut doc = scenario.to_json();
+    if let Some(events) = trace_events {
+        let parsed = hmc_sim::Json::parse(events).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad trace events: {}", e.message))
+        })?;
+        if let hmc_sim::Json::Obj(fields) = &mut doc {
+            fields.push(("traceEvents".into(), parsed));
+        }
+    }
+    let mut text = doc.render();
+    text.push('\n');
+    hmc_sim::atomic_write(&path, text.as_bytes())?;
     Ok(path)
 }
 
@@ -93,6 +113,7 @@ mod tests {
             skip: SkipMode::Off,
             sanitizer: false,
             telemetry: false,
+            trace: false,
         }
     }
 
@@ -108,11 +129,24 @@ mod tests {
     fn save_then_load_round_trips() {
         let dir = temp_dir("roundtrip");
         let s = sample();
-        let path = save_reproducer(&dir, &s, &Outcome::Pass).unwrap();
+        let path = save_reproducer(&dir, &s, &Outcome::Pass, None).unwrap();
         assert_eq!(load_scenario_file(&path).unwrap(), s);
         let corpus = load_corpus_dir(&dir).unwrap();
         assert_eq!(corpus.len(), 1);
         assert_eq!(corpus[0].1, s);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn embedded_trace_events_survive_save_and_are_ignored_on_load() {
+        let dir = temp_dir("traced");
+        let s = sample();
+        let events = r#"[{"name":"send","ph":"X","ts":1,"dur":1,"pid":0,"tid":0}]"#;
+        let path = save_reproducer(&dir, &s, &Outcome::Pass, Some(events)).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"), "{text}");
+        assert!(text.contains("\"ph\""), "{text}");
+        assert_eq!(load_scenario_file(&path).unwrap(), s);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -58,6 +58,9 @@ impl ScenarioGenerator {
             skip,
             sanitizer: rng.below(2) == 0,
             telemetry: rng.below(4) == 0,
+            // Drawn last so adding this axis left every older axis's
+            // per-scenario stream untouched.
+            trace: rng.below(4) == 0,
         };
         scenario.validate().expect("generator produced an invalid scenario");
         scenario
@@ -199,6 +202,8 @@ mod tests {
         assert!(scenarios.iter().any(|s| matches!(s.exec, ExecMode::Parallel { .. })));
         assert!(scenarios.iter().any(|s| !s.device.fault.link_schedule.is_empty()));
         assert!(scenarios.iter().any(|s| s.sanitizer));
+        assert!(scenarios.iter().any(|s| s.trace));
+        assert!(scenarios.iter().any(|s| !s.trace));
     }
 
     #[test]

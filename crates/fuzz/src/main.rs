@@ -7,7 +7,7 @@
 //! ```
 
 use hmc_fuzz::corpus::{load_corpus_dir, load_scenario_file, pretty_render, save_reproducer};
-use hmc_fuzz::runner::{run_scenario, RunnerConfig};
+use hmc_fuzz::runner::{capture_trace_events, run_scenario, RunnerConfig};
 use hmc_fuzz::scenario::Scenario;
 use hmc_fuzz::shrink::shrink;
 use hmc_fuzz::{RunJournal, ScenarioGenerator};
@@ -213,7 +213,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 report.scenario.weight(),
                 report.runs
             );
-            match save_reproducer(&parsed.out, &report.scenario, &report.outcome) {
+            // Attach a flight-recorder timeline to the reproducer so
+            // the failing run can be inspected in ui.perfetto.dev;
+            // sides that cannot finish simply carry no timeline.
+            let trace_events = capture_trace_events(&report.scenario, config.timeout);
+            match save_reproducer(
+                &parsed.out,
+                &report.scenario,
+                &report.outcome,
+                trace_events.as_deref(),
+            ) {
                 Ok(path) => println!("    reproducer: {}", path.display()),
                 Err(e) => return fail(format!("cannot save reproducer: {e}")),
             }
@@ -315,6 +324,18 @@ fn seed_scenarios() -> Vec<Scenario> {
         if !kernels_seen.contains(&scenario.kernel.name()) {
             kernels_seen.push(scenario.kernel.name());
             picked.push(scenario);
+        }
+    }
+    // Plus one standing anchor for the tracing axis: the first
+    // scenario that attaches the flight recorder to a parallel
+    // variant, pinning the recorder's zero-perturbation contract in
+    // corpus replay.
+    let mut generator = ScenarioGenerator::new(0xC0FFEE);
+    while generator.position() < 500 {
+        let scenario = generator.next_scenario();
+        if scenario.trace && matches!(scenario.exec, hmc_sim::ExecMode::Parallel { .. }) {
+            picked.push(scenario);
+            break;
         }
     }
     picked

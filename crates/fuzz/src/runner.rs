@@ -132,6 +132,10 @@ enum SideFailure {
     Timeout,
 }
 
+/// Per-lane flight-recorder capacity used for the fuzzed tracing axis
+/// and for reproducer timeline capture.
+const FLIGHT_CAPACITY: usize = 2048;
+
 /// Runs one side to completion on a watchdog thread.
 fn observe(
     scenario: &Scenario,
@@ -139,6 +143,7 @@ fn observe(
     skip: SkipMode,
     sanitizer: bool,
     telemetry: bool,
+    trace: bool,
     timeout: Duration,
 ) -> Result<Observation, SideFailure> {
     let scenario = scenario.clone();
@@ -156,6 +161,9 @@ fn observe(
             }
             if telemetry {
                 sim.enable_telemetry(TelemetryConfig::full());
+            }
+            if trace {
+                sim.enable_flight_recorder(FLIGHT_CAPACITY);
             }
             let workload =
                 scenario.kernel.run(&mut sim).map_err(|e| format!("kernel run failed: {e}"))?;
@@ -200,6 +208,7 @@ pub fn run_scenario(scenario: &Scenario, config: &RunnerConfig) -> Outcome {
         SkipMode::Off,
         false,
         false,
+        false,
         config.timeout,
     );
     let reference = match reference {
@@ -219,6 +228,7 @@ pub fn run_scenario(scenario: &Scenario, config: &RunnerConfig) -> Outcome {
                 scenario.skip,
                 scenario.sanitizer,
                 scenario.telemetry,
+                scenario.trace,
                 config.timeout,
             ) {
                 Err(SideFailure::Error(v_message)) if v_message == message => {
@@ -241,6 +251,7 @@ pub fn run_scenario(scenario: &Scenario, config: &RunnerConfig) -> Outcome {
         scenario.skip,
         scenario.sanitizer,
         scenario.telemetry,
+        scenario.trace,
         config.timeout,
     ) {
         Ok(obs) => obs,
@@ -279,6 +290,43 @@ pub fn run_scenario(scenario: &Scenario, config: &RunnerConfig) -> Outcome {
     Outcome::Pass
 }
 
+/// Replays the scenario's variant side with the flight recorder
+/// attached and returns the timeline as a Perfetto trace-event JSON
+/// array, for embedding into reproducer files. The recorder is
+/// zero-perturbation, so this replay exercises the same execution the
+/// reproducer pins. Returns `None` when the variant cannot finish
+/// (panic, timeout, setup error) — a reproducer is still written, it
+/// just carries no timeline.
+pub fn capture_trace_events(scenario: &Scenario, timeout: Duration) -> Option<String> {
+    let scenario = scenario.clone();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut sim = HmcSim::new(scenario.device.clone()).ok()?;
+            sim.set_exec_mode(scenario.exec);
+            sim.set_skip_mode(scenario.skip);
+            if scenario.sanitizer {
+                sim.enable_sanitizer(SanitizerConfig::report());
+            }
+            if scenario.telemetry {
+                sim.enable_telemetry(TelemetryConfig::full());
+            }
+            sim.enable_flight_recorder(FLIGHT_CAPACITY);
+            scenario.kernel.run(&mut sim).ok()?;
+            let snap = sim.flight_snapshot()?;
+            Some(hmc_sim::perfetto::trace_events(
+                &snap,
+                &hmc_sim::perfetto::PerfettoOptions::default(),
+            ))
+        }));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(events)) => events,
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +342,7 @@ mod tests {
             skip,
             sanitizer: true,
             telemetry: false,
+            trace: true,
         }
     }
 
@@ -310,6 +359,14 @@ mod tests {
             other => panic!("canary should be a stats mismatch, got {other:?}"),
         }
         assert_eq!(run_scenario(&scenario(SkipMode::Off), &config), Outcome::Pass);
+    }
+
+    #[test]
+    fn trace_capture_returns_a_nonempty_timeline() {
+        let events = capture_trace_events(&scenario(SkipMode::Off), Duration::from_secs(30))
+            .expect("clean scenario yields a timeline");
+        assert!(events.starts_with('['), "{events}");
+        assert!(events.contains("\"ph\""), "no trace events captured: {events}");
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct Scenario {
     pub sanitizer: bool,
     /// Attach full telemetry to the variant run.
     pub telemetry: bool,
+    /// Attach the flight recorder (structured trace ring) to the
+    /// variant run. The recorder is contracted to be zero-perturbation,
+    /// so this axis fuzzes that contract differentially.
+    pub trace: bool,
 }
 
 impl Scenario {
@@ -81,6 +85,7 @@ impl Scenario {
             + (fault.vault_error_per_million as u64 / 1_000)
             + fault.link_schedule.len() as u64 * 8;
         kernel + exec + fault_weight + self.sanitizer as u64 + self.telemetry as u64
+            + self.trace as u64
     }
 
     /// Serializes the scenario as a versioned self-contained JSON
@@ -95,6 +100,7 @@ impl Scenario {
             ("skip", skip_mode_to_json(self.skip)),
             ("sanitizer", Json::Bool(self.sanitizer)),
             ("telemetry", Json::Bool(self.telemetry)),
+            ("trace", Json::Bool(self.trace)),
         ])
     }
 
@@ -119,7 +125,19 @@ impl Scenario {
             skip: skip_mode_from_json(r.required("skip")?)?,
             sanitizer: r.bool("sanitizer")?,
             telemetry: r.bool("telemetry")?,
+            // Older corpus files predate the tracing axis; absent
+            // means off.
+            trace: match r.optional("trace") {
+                None => false,
+                Some(v) => v.as_bool().ok_or(JsonError {
+                    message: "scenario: field `trace` must be a bool".into(),
+                })?,
+            },
         };
+        // Reproducers may carry an embedded Perfetto timeline
+        // alongside the scenario; it is forensic context, not replay
+        // input.
+        let _ = r.optional("traceEvents");
         r.finish()?;
         scenario.validate()?;
         Ok(scenario)
@@ -144,6 +162,7 @@ mod tests {
             skip: SkipMode::On,
             sanitizer: true,
             telemetry: false,
+            trace: true,
         }
     }
 
@@ -163,6 +182,18 @@ mod tests {
         let e = Scenario::from_json_str(&s.render()).unwrap_err();
         assert!(e.message.contains("schema_version 99"), "{}", e.message);
         assert!(e.message.contains("version 1"), "{}", e.message);
+    }
+
+    #[test]
+    fn missing_trace_field_defaults_off_and_trace_events_are_ignored() {
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            fields.retain(|(k, _)| k != "trace");
+            fields.push(("traceEvents".into(), Json::Arr(vec![])));
+        }
+        let loaded = Scenario::from_json_str(&s.render()).unwrap();
+        assert!(!loaded.trace, "absent trace field must default to off");
+        assert_eq!(Scenario { trace: true, ..loaded }, sample());
     }
 
     #[test]

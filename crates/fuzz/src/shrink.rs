@@ -163,6 +163,11 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         }
     }
     // Observer axes.
+    if s.trace {
+        let mut c = s.clone();
+        c.trace = false;
+        push(c);
+    }
     if s.telemetry {
         let mut c = s.clone();
         c.telemetry = false;
@@ -252,6 +257,7 @@ mod tests {
             skip: SkipMode::On,
             sanitizer: true,
             telemetry: true,
+            trace: true,
         };
         let cs = candidates(&s);
         assert!(!cs.is_empty());
@@ -280,6 +286,7 @@ mod tests {
             skip: SkipMode::On,
             sanitizer: true,
             telemetry: true,
+            trace: true,
         };
         let config = RunnerConfig { canary: true, ..Default::default() };
         let outcome = run_scenario(&fat, &config);

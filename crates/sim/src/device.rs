@@ -27,7 +27,7 @@ use crate::power::{PowerConfig, PowerModel};
 use crate::queue::BoundedQueue;
 use crate::regs::RegisterFile;
 use crate::stats::DeviceStats;
-use crate::trace::{TraceLane, TraceLevel, Tracer};
+use crate::trace::{CmdRef, TraceKind, TraceLane, TraceLevel, TraceRecord, Tracer};
 use hmc_cmc::{CmcContext, CmcRegistry};
 use hmc_mem::SparseMemory;
 use hmc_types::packet::payload_words;
@@ -325,16 +325,12 @@ impl Device {
             }
             if self.link_up[ev.link] != ev.up {
                 self.link_up[ev.link] = ev.up;
-                tracer.event(
-                    TraceLevel::FAULT,
-                    cycle,
-                    "FAULT",
-                    format_args!(
-                        "kind={} link={}",
-                        if ev.up { "LINKUP" } else { "LINKDOWN" },
-                        ev.link
-                    ),
-                );
+                let kind = if ev.up { TraceKind::LinkUp } else { TraceKind::LinkDown };
+                tracer.emit(TraceRecord {
+                    dev: self.id as u16,
+                    link: ev.link as u8,
+                    ..TraceRecord::new(cycle, kind)
+                });
             }
             self.fault_idx += 1;
         }
@@ -422,25 +418,24 @@ impl Device {
                 };
                 if self.xbar_rsp[link].is_full() {
                     self.stats.vault_stalls += 1;
-                    tracer.event(
-                        TraceLevel::STALL,
-                        cycle,
-                        "STALL",
-                        format_args!("xbar rsp queue full: vault={v} link={link}"),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: self.id as u16,
+                        vault: v as u16,
+                        link: link as u8,
+                        ..TraceRecord::new(cycle, TraceKind::XbarRspFull)
+                    });
                     break;
                 }
                 if link != preferred {
                     self.stats.failover_responses += 1;
-                    tracer.event(
-                        TraceLevel::FAULT,
-                        cycle,
-                        "FAULT",
-                        format_args!(
-                            "kind=FAILOVER vault={v} from={preferred} to={link} tag={}",
-                            rsp.rsp.head.tag.value()
-                        ),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: self.id as u16,
+                        vault: v as u16,
+                        link: link as u8,
+                        a: preferred as u64,
+                        tag: rsp.rsp.head.tag.value(),
+                        ..TraceRecord::new(cycle, TraceKind::Failover)
+                    });
                 }
                 let mut rsp = vault.rsp.pop().expect("peeked");
                 rsp.stages.rsp_route = cycle;
@@ -520,34 +515,33 @@ impl Device {
                     let total = (config.total_vaults() * config.banks_per_vault) as u64;
                     if refresh.blocks(cycle, global_bank, total) {
                         stats.vault_stalls += 1;
-                        tracer.event(
-                            TraceLevel::BANK,
-                            cycle,
-                            "BANK",
-                            format_args!("refresh: vault={vidx} bank={bank}"),
-                        );
+                        tracer.emit(TraceRecord {
+                            dev: *id as u16,
+                            vault: vidx as u16,
+                            bank: bank as u16,
+                            ..TraceRecord::new(cycle, TraceKind::Refresh)
+                        });
                         break;
                     }
                 }
                 if vault.banks[bank].is_busy(cycle) {
                     stats.vault_stalls += 1;
-                    tracer.event(
-                        TraceLevel::BANK,
-                        cycle,
-                        "BANK",
-                        format_args!("bank busy: vault={vidx} bank={bank}"),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: *id as u16,
+                        vault: vidx as u16,
+                        bank: bank as u16,
+                        ..TraceRecord::new(cycle, TraceKind::BankBusy)
+                    });
                     break;
                 }
                 let posted = is_posted(&head.req, cmc);
                 if !posted && vault.rsp.is_full() {
                     stats.vault_stalls += 1;
-                    tracer.event(
-                        TraceLevel::STALL,
-                        cycle,
-                        "STALL",
-                        format_args!("vault rsp queue full: vault={vidx}"),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: *id as u16,
+                        vault: vidx as u16,
+                        ..TraceRecord::new(cycle, TraceKind::VaultRspFull)
+                    });
                     break;
                 }
                 let item = vault.rqst.pop().expect("peeked");
@@ -558,15 +552,13 @@ impl Device {
                 if fault_rng.chance(config.fault.vault_error_per_million) {
                     stats.vault_faults += 1;
                     stats.error_responses += 1;
-                    tracer.event(
-                        TraceLevel::FAULT,
-                        cycle,
-                        "FAULT",
-                        format_args!(
-                            "kind=VAULT vault={vidx} tag={} errstat={ERRSTAT_VAULT_FAULT:#x}",
-                            item.req.head.tag.value()
-                        ),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: *id as u16,
+                        vault: vidx as u16,
+                        tag: item.req.head.tag.value(),
+                        a: ERRSTAT_VAULT_FAULT as u64,
+                        ..TraceRecord::new(cycle, TraceKind::VaultFault)
+                    });
                     if !posted {
                         stats.responses += 1;
                         vault
@@ -596,15 +588,12 @@ impl Device {
                     {
                         rsp.tail.dinv = true;
                         stats.poisoned_responses += 1;
-                        tracer.event(
-                            TraceLevel::FAULT,
-                            cycle,
-                            "FAULT",
-                            format_args!(
-                                "kind=POISON vault={vidx} tag={}",
-                                item.req.head.tag.value()
-                            ),
-                        );
+                        tracer.emit(TraceRecord {
+                            dev: *id as u16,
+                            vault: vidx as u16,
+                            tag: item.req.head.tag.value(),
+                            ..TraceRecord::new(cycle, TraceKind::Poison)
+                        });
                     }
                     stats.responses += 1;
                     vault
@@ -809,25 +798,19 @@ impl Device {
                 self.stats.merge(&r.stats);
                 self.power.merge_counts(&r.power);
             }
+            let base = |kind| TraceRecord {
+                dev: self.id as u16,
+                vault: plan.vault as u16,
+                ..TraceRecord::new(cycle, kind)
+            };
             match plan.stall {
-                Some(StallKind::Refresh { bank }) => tracer.event(
-                    TraceLevel::BANK,
-                    cycle,
-                    "BANK",
-                    format_args!("refresh: vault={} bank={bank}", plan.vault),
-                ),
-                Some(StallKind::BankBusy { bank }) => tracer.event(
-                    TraceLevel::BANK,
-                    cycle,
-                    "BANK",
-                    format_args!("bank busy: vault={} bank={bank}", plan.vault),
-                ),
-                Some(StallKind::RspFull) => tracer.event(
-                    TraceLevel::STALL,
-                    cycle,
-                    "STALL",
-                    format_args!("vault rsp queue full: vault={}", plan.vault),
-                ),
+                Some(StallKind::Refresh { bank }) => {
+                    tracer.emit(TraceRecord { bank: bank as u16, ..base(TraceKind::Refresh) })
+                }
+                Some(StallKind::BankBusy { bank }) => {
+                    tracer.emit(TraceRecord { bank: bank as u16, ..base(TraceKind::BankBusy) })
+                }
+                Some(StallKind::RspFull) => tracer.emit(base(TraceKind::VaultRspFull)),
                 None => {}
             }
         }
@@ -864,12 +847,12 @@ impl Device {
                 };
                 if self.vaults[vault].rqst.is_full() {
                     self.stats.xbar_stalls += 1;
-                    tracer.event(
-                        TraceLevel::STALL,
-                        cycle,
-                        "STALL",
-                        format_args!("vault rqst queue full: link={link} vault={vault}"),
-                    );
+                    tracer.emit(TraceRecord {
+                        dev: self.id as u16,
+                        link: link as u8,
+                        vault: vault as u16,
+                        ..TraceRecord::new(cycle, TraceKind::VaultRqstFull)
+                    });
                     break;
                 }
                 let mut item = self.xbar_rqst[link].pop().expect("peeked");
@@ -886,15 +869,13 @@ impl Device {
                         self.stats.remote_quad_requests += 1;
                     }
                 }
-                tracer.event(
-                    TraceLevel::QUEUE,
-                    cycle,
-                    "QUEUE",
-                    format_args!(
-                        "xbar->vault: link={link} vault={vault} occ={}",
-                        self.vaults[vault].rqst.len() + 1
-                    ),
-                );
+                tracer.emit(TraceRecord {
+                    dev: self.id as u16,
+                    link: link as u8,
+                    vault: vault as u16,
+                    a: (self.vaults[vault].rqst.len() + 1) as u64,
+                    ..TraceRecord::new(cycle, TraceKind::XbarToVault)
+                });
                 self.vaults[vault]
                     .rqst
                     .push(item)
@@ -1188,33 +1169,30 @@ pub(crate) fn execute_data_request(
     let kind = cmd.kind();
     stats.count_kind(kind);
 
+    // One record template covers the whole data path: the mnemonic is
+    // derived from the command code at render time, so worker lanes
+    // never format or allocate here.
+    let cmd_rec = TraceRecord {
+        dev: dev as u16,
+        quad: loc.quad as u8,
+        vault: loc.vault as u16,
+        bank: loc.bank as u16,
+        tag: item.req.head.tag.value(),
+        cmd: CmdRef::Rqst(cmd),
+        a: addr,
+        ..TraceRecord::new(cycle, TraceKind::Cmd)
+    };
+
     // Revision gate: a Gen1 part rejects Gen2-only commands with an
     // error response (HMC-Sim 1.0 never accepted them).
     if !revision.supports(cmd) {
-        lane.event(
-            TraceLevel::CMD,
-            cycle,
-            "RQST",
-            format_args!("CMD={} rejected: not in {:?}", cmd.mnemonic(), revision),
-        );
+        lane.emit(TraceRecord {
+            b: matches!(revision, SpecRevision::Gen2) as u64,
+            ..TraceRecord { kind: TraceKind::CmdReject, ..cmd_rec }
+        });
         stats.error_responses += 1;
         return if cmd.is_posted() { None } else { Some(error_response(dev, item, 0x20)) };
     }
-
-    let trace_cmd = |lane: &mut TraceLane<'_>, name: &str| {
-        lane.event(
-            TraceLevel::CMD,
-            cycle,
-            "RQST",
-            format_args!(
-                "CMD={name} CUB={dev} QUAD={} VAULT={} BANK={} ADDR={addr:#x} TAG={}",
-                loc.quad,
-                loc.vault,
-                loc.bank,
-                item.req.head.tag.value()
-            ),
-        );
-    };
 
     let fail = |stats: &mut DeviceStats, errstat: u8, posted: bool| {
         stats.error_responses += 1;
@@ -1227,11 +1205,11 @@ pub(crate) fn execute_data_request(
 
     match kind {
         CmdKind::Flow => {
-            trace_cmd(lane, &cmd.mnemonic());
+            lane.emit(cmd_rec);
             None
         }
         CmdKind::Read => {
-            trace_cmd(lane, &cmd.mnemonic());
+            lane.emit(cmd_rec);
             let bytes = cmd.fixed_info().expect("standard").data_bytes as usize;
             match mem.read_words(addr, bytes / 8) {
                 Ok(payload) => Some(make_response(dev, item, HmcResponse::RdRs, payload, false)),
@@ -1239,7 +1217,7 @@ pub(crate) fn execute_data_request(
             }
         }
         CmdKind::Write | CmdKind::PostedWrite => {
-            trace_cmd(lane, &cmd.mnemonic());
+            lane.emit(cmd_rec);
             let posted = kind == CmdKind::PostedWrite;
             match mem.write_words(addr, &item.req.payload) {
                 Ok(()) => {
@@ -1253,7 +1231,7 @@ pub(crate) fn execute_data_request(
             }
         }
         CmdKind::Atomic | CmdKind::PostedAtomic => {
-            trace_cmd(lane, &cmd.mnemonic());
+            lane.emit(cmd_rec);
             power.add_logic_op();
             let posted = kind == CmdKind::PostedAtomic;
             match hmc_mem::amo::execute(cmd, mem, addr, &item.req.payload) {
@@ -1316,32 +1294,30 @@ fn execute_request(
     }
     stats.count_kind(kind);
 
+    // Record template, as in `execute_data_request`. Mode and CMC
+    // commands only run on the sequential path, so the CMC trace name
+    // (a dynamic string registered at load time) can be interned in
+    // the live tracer — and only when something captures it.
+    let cmd_rec = TraceRecord {
+        dev: dev as u16,
+        quad: loc.quad as u8,
+        vault: loc.vault as u16,
+        bank: loc.bank as u16,
+        tag: item.req.head.tag.value(),
+        cmd: CmdRef::Rqst(cmd),
+        a: addr,
+        ..TraceRecord::new(cycle, TraceKind::Cmd)
+    };
+
     // Revision gate, as in `execute_data_request`.
     if !config.revision.supports(cmd) {
-        tracer.event(
-            TraceLevel::CMD,
-            cycle,
-            "RQST",
-            format_args!("CMD={} rejected: not in {:?}", cmd.mnemonic(), config.revision),
-        );
+        tracer.emit(TraceRecord {
+            b: matches!(config.revision, SpecRevision::Gen2) as u64,
+            ..TraceRecord { kind: TraceKind::CmdReject, ..cmd_rec }
+        });
         stats.error_responses += 1;
         return if cmd.is_posted() { None } else { Some(error_response(dev, item, 0x20)) };
     }
-
-    let trace_cmd = |tracer: &mut Tracer, name: &str| {
-        tracer.event(
-            TraceLevel::CMD,
-            cycle,
-            "RQST",
-            format_args!(
-                "CMD={name} CUB={dev} QUAD={} VAULT={} BANK={} ADDR={addr:#x} TAG={}",
-                loc.quad,
-                loc.vault,
-                loc.bank,
-                item.req.head.tag.value()
-            ),
-        );
-    };
 
     let fail = |stats: &mut DeviceStats, errstat: u8, posted: bool| {
         stats.error_responses += 1;
@@ -1354,14 +1330,14 @@ fn execute_request(
 
     match kind {
         CmdKind::ModeRead => {
-            trace_cmd(tracer, "MD_RD");
+            tracer.emit(cmd_rec);
             match regs.read(addr as u32) {
                 Ok(v) => Some(make_response(dev, item, HmcResponse::MdRdRs, vec![v, 0], false)),
                 Err(_) => fail(stats, 0x02, false),
             }
         }
         CmdKind::ModeWrite => {
-            trace_cmd(tracer, "MD_WR");
+            tracer.emit(cmd_rec);
             let value = item.req.payload.first().copied().unwrap_or(0);
             match regs.write(addr as u32, value) {
                 Ok(()) => Some(make_response(dev, item, HmcResponse::MdWrRs, vec![], false)),
@@ -1370,18 +1346,30 @@ fn execute_request(
         }
         CmdKind::Cmc => {
             let HmcRqst::Cmc(code) = cmd else { unreachable!("kind Cmc") };
+            // Interning only happens when some destination captures
+            // command traffic — a quiet tracer keeps the hot CMC path
+            // allocation-free.
+            let named = |tracer: &Tracer, name: &str| TraceRecord {
+                cmd: if tracer.captures(TraceLevel::CMD.with(TraceLevel::CMC)) {
+                    CmdRef::Name(tracer.intern(name))
+                } else {
+                    CmdRef::None
+                },
+                ..cmd_rec
+            };
             let loaded = match cmc.lookup(code) {
                 Ok(loaded) => loaded,
                 Err(_) => {
                     // Paper §IV-C2: packets for a command not marked
                     // active return an error.
-                    trace_cmd(tracer, &format!("CMC{code}(inactive)"));
+                    tracer.emit(TraceRecord { cmd: CmdRef::Inactive(code), ..cmd_rec });
                     return fail(stats, 0x10, false);
                 }
             };
             let reg = loaded.registration().clone();
             if item.req.head.lng != reg.rqst_len {
-                trace_cmd(tracer, loaded.trace_name());
+                let rec = named(tracer, loaded.trace_name());
+                tracer.emit(rec);
                 return fail(stats, 0x11, reg.is_posted());
             }
             power.add_logic_op();
@@ -1404,18 +1392,15 @@ fn execute_request(
                 Ok(result) => {
                     // Discrete tracing: the CMC op resolves in the
                     // trace under its cmc_str name like any command.
-                    trace_cmd(tracer, loaded.trace_name());
-                    tracer.event(
-                        TraceLevel::CMC,
-                        cycle,
-                        "CMC",
-                        format_args!(
-                            "op={} cmd={code} af={} rsp_len={}",
-                            loaded.trace_name(),
-                            result.af,
-                            reg.rsp_len
-                        ),
-                    );
+                    let rec = named(tracer, loaded.trace_name());
+                    tracer.emit(rec);
+                    tracer.emit(TraceRecord {
+                        kind: TraceKind::CmcOp,
+                        quad: result.af as u8,
+                        a: code as u64,
+                        b: reg.rsp_len as u64,
+                        ..rec
+                    });
                     if reg.is_posted() {
                         None
                     } else {
@@ -1423,7 +1408,8 @@ fn execute_request(
                     }
                 }
                 Err(_) => {
-                    trace_cmd(tracer, loaded.trace_name());
+                    let rec = named(tracer, loaded.trace_name());
+                    tracer.emit(rec);
                     fail(stats, 0x12, reg.is_posted())
                 }
             }

@@ -363,6 +363,17 @@ impl HmcSim {
                 }
             }
         }
+        // Trace-sink health: lines the bounded text buffer dropped at
+        // capacity and records evicted from the flight recorder (both
+        // 0 when the corresponding sink is not attached).
+        add(
+            "trace/buffer_dropped".into(),
+            MetricValue::Counter(self.tracer.sink_dropped()),
+        );
+        add(
+            "trace/flight_dropped".into(),
+            MetricValue::Counter(self.tracer.flight().map_or(0, |f| f.dropped())),
+        );
         if let Some(report) = self.sanitizer_report() {
             add(
                 "sanitizer/violations".into(),

@@ -41,6 +41,7 @@ pub mod hist;
 pub mod jsonv;
 pub mod link;
 pub(crate) mod parallel;
+pub mod perfetto;
 pub mod power;
 pub mod queue;
 pub mod regs;
@@ -79,5 +80,9 @@ pub use snapjson::SNAPSHOT_SCHEMA_VERSION;
 pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::{ClassLatency, CmdClass, DeviceStats};
 pub use telemetry::{Stage, StageStamps, Telemetry, TelemetryConfig, TimeSeries};
-pub use trace::{TraceBuffer, TraceLevel, TraceRing, Tracer};
+pub use perfetto::PerfettoOptions;
+pub use trace::{
+    CmdRef, FlightLane, FlightLaneSnapshot, FlightRecorder, FlightSnapshot, TraceBuffer,
+    TraceKind, TraceLevel, TraceRecord, TraceRing, Tracer,
+};
 pub use trace_analysis::{TraceEvent, TraceSummary};

@@ -39,7 +39,7 @@ use crate::device::{
 };
 use crate::power::PowerModel;
 use crate::stats::DeviceStats;
-use crate::trace::{DeferredEvent, EventBuffer, TraceLane, TraceLevel, Tracer};
+use crate::trace::{EventBuffer, TraceKind, TraceLane, TraceLevel, TraceRecord, Tracer};
 use hmc_mem::SparseMemory;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -73,8 +73,8 @@ pub(crate) struct VaultResult {
     pub(crate) stats: DeviceStats,
     /// Shard-local power delta (logic ops).
     pub(crate) power: PowerModel,
-    /// Deferred trace events, in execution order.
-    pub(crate) events: Vec<DeferredEvent>,
+    /// Deferred trace records, in execution order.
+    pub(crate) events: Vec<TraceRecord>,
 }
 
 /// Executes one unit on the calling thread. This is the entire
@@ -108,7 +108,7 @@ fn execute_unit(unit: WorkUnit) -> VaultResult {
         responses,
         stats,
         power,
-        events: buffer.into_events(),
+        events: buffer.into_records(),
     }
 }
 
@@ -251,15 +251,45 @@ pub(crate) fn execute_vaults_parallel(
     }
     let mut results = pool.run(units).into_iter().peekable();
     let mut absorbed = Vec::with_capacity(devices.len());
+    // Engine-phase spans are pure observation: they depend only on
+    // the per-device plan (never on thread count or scheduling), so
+    // the structured stream stays byte-identical across pool widths.
+    let engine = tracer.captures(TraceLevel::ENGINE);
     for (idx, dev) in devices.iter_mut().enumerate() {
         match &plans[idx] {
-            None => absorbed.push(dev.execute_vaults(cycle, tracer)),
+            None => {
+                if engine && dev.pending_work() > 0 {
+                    tracer.emit(TraceRecord {
+                        dev: dev.id() as u16,
+                        ..TraceRecord::new(cycle, TraceKind::SerialFallback)
+                    });
+                }
+                absorbed.push(dev.execute_vaults(cycle, tracer));
+            }
             Some(plan) => {
                 let mut own = Vec::new();
                 while results.peek().is_some_and(|r| r.dev == dev.id()) {
                     own.push(results.next().expect("peeked"));
                 }
+                let committed = own.len() as u64;
+                let items: u64 = plan.iter().map(|p| p.take as u64).sum();
+                if engine && items > 0 {
+                    let vaults = plan.iter().filter(|p| p.take > 0).count() as u64;
+                    tracer.emit(TraceRecord {
+                        dev: dev.id() as u16,
+                        a: vaults,
+                        b: items,
+                        ..TraceRecord::new(cycle, TraceKind::PlanStage)
+                    });
+                }
                 absorbed.push(dev.commit_parallel_vaults(cycle, plan, own, tracer));
+                if engine && items > 0 {
+                    tracer.emit(TraceRecord {
+                        dev: dev.id() as u16,
+                        a: committed,
+                        ..TraceRecord::new(cycle, TraceKind::CommitStage)
+                    });
+                }
             }
         }
     }

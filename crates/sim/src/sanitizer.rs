@@ -34,7 +34,7 @@
 use crate::config::LinkTopology;
 use crate::sim::HmcSim;
 use crate::snapshot::{ForensicDump, SimSnapshot};
-use crate::trace::TraceRing;
+use crate::trace::{TraceKind, TraceLevel, TraceRecord, TraceRing};
 use hmc_types::Tag;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
@@ -420,6 +420,15 @@ impl Sanitizer {
 
         let mut fatal = None;
         if !violations.is_empty() {
+            // Stamp the audit into the structured stream *before* the
+            // dump snapshots the flight recorder, so the dump's own
+            // timeline ends with the audit that produced it.
+            if sim.tracer.captures(TraceLevel::ENGINE) {
+                sim.tracer.emit(TraceRecord {
+                    a: violations.len() as u64,
+                    ..TraceRecord::new(cycle, TraceKind::SanitizerAudit)
+                });
+            }
             self.report.total_violations += violations.len() as u64;
             for v in &violations {
                 if self.report.violations.len() < self.config.max_violations {
@@ -437,6 +446,7 @@ impl Sanitizer {
                     trace: self.ring.as_ref().map(TraceRing::lines).unwrap_or_default(),
                     checkpoint_cycle: self.last_checkpoint.as_ref().map(SimSnapshot::cycle),
                     telemetry_json: sim.telemetry_report().map(|r| r.to_json()),
+                    flight: sim.flight_snapshot(),
                 };
                 if let Some(dir) = &self.config.dump_dir {
                     let path = dir.join(format!("forensic-c{cycle}.json"));
@@ -472,6 +482,12 @@ impl Sanitizer {
         {
             self.last_checkpoint = Some(sim.snapshot_with_shadow(Some(self.shadow.clone())));
             self.report.checkpoints_taken += 1;
+            if sim.tracer.captures(TraceLevel::ENGINE) {
+                sim.tracer.emit(TraceRecord {
+                    a: cycle,
+                    ..TraceRecord::new(cycle, TraceKind::Checkpoint)
+                });
+            }
         }
 
         fatal

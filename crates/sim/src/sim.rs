@@ -14,7 +14,7 @@ use crate::parallel::{execute_vaults_parallel, WorkerPool};
 use crate::power::PowerReport;
 use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
-use crate::trace::{TraceLevel, Tracer};
+use crate::trace::{FlightRecorder, FlightSnapshot, TraceKind, TraceLevel, TraceRecord, Tracer};
 use hmc_cmc::{CmcOp, CmcRegistration};
 use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Response, Tag, TagPool};
 use std::collections::{HashSet, VecDeque};
@@ -190,13 +190,45 @@ impl HmcSim {
         self.devices.get_mut(dev).ok_or(HmcError::InvalidDevice(dev))
     }
 
-    /// Attaches a tracer. An active sanitizer's forensic trace ring
-    /// carries over to the new tracer.
+    /// Attaches a tracer. An active sanitizer's forensic trace ring,
+    /// an attached flight recorder and the interned-name table all
+    /// carry over to the new tracer, so swapping the text sink never
+    /// truncates the structured observation stream.
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
+        let old = std::mem::replace(&mut self.tracer, tracer);
+        self.tracer.adopt_stream(&old);
         if let Some(ring) = self.sanitizer.as_ref().and_then(|s| s.ring.clone()) {
             self.tracer.attach_ring(ring);
         }
+    }
+
+    /// Enables the flight recorder: a fixed-capacity, per-lane ring of
+    /// structured [`TraceRecord`]s that captures every packet
+    /// lifecycle edge and engine span regardless of the trace level.
+    /// Returns a handle sharing the recorder's storage (snapshots can
+    /// be taken from either side). Zero observable perturbation: the
+    /// recorder never changes `state_fingerprint()`.
+    pub fn enable_flight_recorder(&mut self, per_lane_capacity: usize) -> FlightRecorder {
+        let recorder = FlightRecorder::new(per_lane_capacity);
+        self.tracer.attach_flight(recorder.clone());
+        recorder
+    }
+
+    /// Attaches an existing flight-recorder handle (e.g. one shared
+    /// with an external observer).
+    pub fn attach_flight_recorder(&mut self, recorder: FlightRecorder) {
+        self.tracer.attach_flight(recorder);
+    }
+
+    /// Detaches the flight recorder, if any.
+    pub fn disable_flight_recorder(&mut self) {
+        self.tracer.detach_flight();
+    }
+
+    /// A point-in-time copy of the flight recorder's timeline, or
+    /// `None` when no recorder is attached.
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        self.tracer.flight_snapshot()
     }
 
     /// Adjusts the trace level of the attached tracer.
@@ -299,14 +331,12 @@ impl HmcSim {
                     // the retry buffer and replays after the retry
                     // exchange.
                     let ready = cycle + self.links[dev][link].retry_latency();
-                    self.tracer.event(
-                        TraceLevel::STALL,
-                        cycle,
-                        "RETRY",
-                        format_args!(
-                            "link error injected: dev={dev} link={link}, replay at {ready}"
-                        ),
-                    );
+                    self.tracer.emit(TraceRecord {
+                        dev: dev as u16,
+                        link: link as u8,
+                        a: ready,
+                        ..TraceRecord::new(cycle, TraceKind::LinkRetry)
+                    });
                     self.update_retry_regs(dev, link);
                     self.retry_pending.push(ready, RetryEntry { dev, link, item, ready });
                     Ok(())
@@ -324,6 +354,13 @@ impl HmcSim {
             }
         };
         if result.is_ok() {
+            self.tracer.emit(TraceRecord {
+                dev: dev as u16,
+                link: link as u8,
+                tag,
+                a: flits as u64,
+                ..TraceRecord::new(cycle, TraceKind::HostSend)
+            });
             // A packet entered the fabric: the skip engine must
             // re-scan the device queues before compressing again.
             self.fabric_maybe_busy = true;
@@ -356,14 +393,20 @@ impl HmcSim {
                 self.links[dev][link].stats.crc_errors += 1;
                 self.links[dev][link].stats.retries += 1;
                 let ready = cycle + self.links[dev][link].retry_latency();
-                self.tracer.event(
-                    TraceLevel::FAULT,
-                    cycle,
-                    "FAULT",
-                    format_args!(
-                        "kind=CRC dev={dev} link={link} bit={bit} replay at {ready} ({e})"
-                    ),
-                );
+                if self.tracer.captures(TraceLevel::FAULT) {
+                    // Interning the error text allocates; this path is
+                    // already cold (an injected wire fault) and only
+                    // pays when something observes the stream.
+                    let name = self.tracer.intern(&format!("{e}"));
+                    self.tracer.emit(TraceRecord {
+                        dev: dev as u16,
+                        link: link as u8,
+                        a: bit as u64,
+                        b: ready,
+                        cmd: crate::trace::CmdRef::Name(name),
+                        ..TraceRecord::new(cycle, TraceKind::LinkCrc)
+                    });
+                }
                 self.update_retry_regs(dev, link);
                 self.retry_pending.push(ready, RetryEntry { dev, link, item, ready });
                 Ok(())
@@ -405,12 +448,15 @@ impl HmcSim {
                 if matches!(e, HmcError::CrcMismatch { .. }) {
                     self.links[dev][link].stats.crc_errors += 1;
                 }
-                self.tracer.event(
-                    TraceLevel::FAULT,
-                    self.cycle,
-                    "FAULT",
-                    format_args!("kind=CRC dev={dev} link={link} rejected at ingress ({e})"),
-                );
+                if self.tracer.captures(TraceLevel::FAULT) {
+                    let name = self.tracer.intern(&format!("{e}"));
+                    self.tracer.emit(TraceRecord {
+                        dev: dev as u16,
+                        link: link as u8,
+                        cmd: crate::trace::CmdRef::Name(name),
+                        ..TraceRecord::new(self.cycle, TraceKind::IngressCrc)
+                    });
+                }
                 Err(e)
             }
         }
@@ -681,16 +727,12 @@ impl HmcSim {
                             // returns to its pool.
                             self.devices[d].count_abandoned();
                             self.release_pool_tag(d, rsp.entry_link, rsp.rsp.head.tag);
-                            self.tracer.event(
-                                TraceLevel::FAULT,
-                                cycle,
-                                "FAULT",
-                                format_args!(
-                                    "kind=ZOMBIE tag={} link={}",
-                                    rsp.rsp.head.tag.value(),
-                                    rsp.entry_link
-                                ),
-                            );
+                            self.tracer.emit(TraceRecord {
+                                dev: d as u16,
+                                tag: rsp.rsp.head.tag.value(),
+                                link: rsp.entry_link as u8,
+                                ..TraceRecord::new(cycle, TraceKind::Zombie)
+                            });
                             if let Some(san) = self.sanitizer.as_deref_mut() {
                                 san.note_zombie(d, key.0, key.1, cycle);
                             }
@@ -709,17 +751,13 @@ impl HmcSim {
                         if let Some(tel) = self.telemetry.as_deref_mut() {
                             tel.record_response(d, &rsp);
                         }
-                        self.tracer.event(
-                            TraceLevel::LATENCY,
-                            cycle,
-                            "LATENCY",
-                            format_args!(
-                                "tag={} lat={} link={}",
-                                rsp.rsp.head.tag.value(),
-                                rsp.latency,
-                                rsp.entry_link
-                            ),
-                        );
+                        self.tracer.emit(TraceRecord {
+                            dev: d as u16,
+                            tag: rsp.rsp.head.tag.value(),
+                            a: rsp.latency,
+                            link: rsp.entry_link as u8,
+                            ..TraceRecord::new(cycle, TraceKind::Deliver)
+                        });
                         self.host_rx[d][egress_link].push_back(rsp);
                     }
                     Egress::Forward(rsp) => {
@@ -872,6 +910,13 @@ impl HmcSim {
     /// [`HmcSim::skippable`].
     fn advance_idle(&mut self, k: u64) {
         let cycle = self.cycle;
+        if self.tracer.captures(TraceLevel::ENGINE) {
+            self.tracer.emit(TraceRecord {
+                a: cycle,
+                b: k,
+                ..TraceRecord::new(cycle, TraceKind::IdleSkip)
+            });
+        }
         for dev in &mut self.devices {
             dev.tick_power_n(k);
         }

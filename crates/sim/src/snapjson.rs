@@ -35,6 +35,7 @@
 //!   rebuilt on read.
 
 use crate::device::{TrackedRequest, TrackedResponse, Vault};
+use crate::trace::{CmdRef, FlightLaneSnapshot, FlightSnapshot, TraceKind, TraceRecord};
 use crate::dram::Bank;
 use crate::fault::FaultRng;
 use crate::hist::{Hist, BUCKETS};
@@ -904,6 +905,160 @@ fn shadow_from_json(v: &Json) -> Result<SanitizerShadow, JsonError> {
 }
 
 // ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// One [`TraceRecord`] as a 12-element integer array:
+/// `[cycle, kind, dev, link, quad, vault, bank, tag, cmd_kind,
+/// cmd_value, a, b]` — compact enough that a full flight ring stays a
+/// small fraction of the snapshot. `cmd_kind` disambiguates the
+/// [`CmdRef`] variants (0 none, 1 standard request, 2 CMC request,
+/// 3 interned name, 4 inactive CMC) because the wire code alone
+/// cannot (mirroring the request codec's `cmc` flag).
+fn trace_record_json(t: &TraceRecord) -> Json {
+    let (cmd_kind, cmd_value): (u64, u64) = match t.cmd {
+        CmdRef::None => (0, 0),
+        CmdRef::Rqst(HmcRqst::Cmc(code)) => (2, code as u64),
+        CmdRef::Rqst(cmd) => (1, cmd.code() as u64),
+        CmdRef::Name(idx) => (3, idx as u64),
+        CmdRef::Inactive(code) => (4, code as u64),
+    };
+    Json::Arr(vec![
+        int(t.cycle),
+        int(t.kind.code() as u64),
+        int(t.dev as u64),
+        int(t.link as u64),
+        int(t.quad as u64),
+        int(t.vault as u64),
+        int(t.bank as u64),
+        int(t.tag as u64),
+        int(cmd_kind),
+        int(cmd_value),
+        int(t.a),
+        int(t.b),
+    ])
+}
+
+fn trace_record_from_json(v: &Json) -> Result<TraceRecord, JsonError> {
+    const CTX: &str = "flight record";
+    let arr = v
+        .as_arr()
+        .filter(|a| a.len() == 12)
+        .ok_or_else(|| JsonError { message: format!("{CTX}: expected a 12-element array") })?;
+    let word = |i: usize| -> Result<u64, JsonError> {
+        arr[i]
+            .as_u64()
+            .ok_or_else(|| JsonError { message: format!("{CTX}: element {i} must be a u64") })
+    };
+    let narrow = |i: usize, max: u64| -> Result<u64, JsonError> {
+        let v = word(i)?;
+        if v > max {
+            return Err(JsonError { message: format!("{CTX}: element {i} out of range") });
+        }
+        Ok(v)
+    };
+    let kind = TraceKind::from_code(narrow(1, u8::MAX as u64)? as u8)
+        .ok_or_else(|| JsonError { message: format!("{CTX}: unknown kind code") })?;
+    let cmd_value = word(9)?;
+    let cmd = match word(8)? {
+        0 => CmdRef::None,
+        1 => CmdRef::Rqst(
+            HmcRqst::from_code(u8::try_from(cmd_value).map_err(|_| JsonError {
+                message: format!("{CTX}: command code out of range"),
+            })?)
+            .map_err(|e| JsonError { message: format!("{CTX}: bad command code: {e}") })?,
+        ),
+        2 => CmdRef::Rqst(HmcRqst::Cmc(u8::try_from(cmd_value).map_err(|_| JsonError {
+            message: format!("{CTX}: cmc code out of range"),
+        })?)),
+        3 => CmdRef::Name(u16::try_from(cmd_value).map_err(|_| JsonError {
+            message: format!("{CTX}: name index out of range"),
+        })?),
+        4 => CmdRef::Inactive(u8::try_from(cmd_value).map_err(|_| JsonError {
+            message: format!("{CTX}: inactive code out of range"),
+        })?),
+        k => return Err(JsonError { message: format!("{CTX}: unknown cmd kind {k}") }),
+    };
+    Ok(TraceRecord {
+        cycle: word(0)?,
+        kind,
+        dev: narrow(2, u16::MAX as u64)? as u16,
+        link: narrow(3, u8::MAX as u64)? as u8,
+        quad: narrow(4, u8::MAX as u64)? as u8,
+        vault: narrow(5, u16::MAX as u64)? as u16,
+        bank: narrow(6, u16::MAX as u64)? as u16,
+        tag: narrow(7, u16::MAX as u64)? as u16,
+        cmd,
+        a: word(10)?,
+        b: word(11)?,
+    })
+}
+
+fn flight_json(f: &FlightSnapshot) -> Json {
+    obj(vec![
+        ("capacity", int_usize(f.capacity)),
+        ("names", Json::Arr(f.names.iter().map(|n| Json::Str(n.clone())).collect())),
+        (
+            "lanes",
+            Json::Arr(
+                f.lanes
+                    .iter()
+                    .map(|l| {
+                        obj(vec![
+                            ("name", Json::Str(l.name.clone())),
+                            ("dropped", int(l.dropped)),
+                            (
+                                "records",
+                                Json::Arr(l.records.iter().map(trace_record_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn flight_from_json(v: &Json) -> Result<FlightSnapshot, JsonError> {
+    let mut r = ObjReader::new("flight", v)?;
+    let capacity = r.usize("capacity")?;
+    let mut names = Vec::new();
+    for n in r
+        .required("names")?
+        .as_arr()
+        .ok_or_else(|| JsonError { message: "flight: names must be an array".into() })?
+    {
+        names.push(
+            n.as_str()
+                .ok_or_else(|| JsonError { message: "flight: name must be a string".into() })?
+                .to_string(),
+        );
+    }
+    let mut lanes = Vec::new();
+    for lane in r
+        .required("lanes")?
+        .as_arr()
+        .ok_or_else(|| JsonError { message: "flight: lanes must be an array".into() })?
+    {
+        let mut lr = ObjReader::new("flight lane", lane)?;
+        let name = lr.str("name")?.to_string();
+        let dropped = lr.u64("dropped")?;
+        let mut records = Vec::new();
+        for rec in lr
+            .required("records")?
+            .as_arr()
+            .ok_or_else(|| JsonError { message: "flight lane: records must be an array".into() })?
+        {
+            records.push(trace_record_from_json(rec)?);
+        }
+        lr.finish()?;
+        lanes.push(FlightLaneSnapshot { name, records, dropped });
+    }
+    r.finish()?;
+    Ok(FlightSnapshot { capacity, lanes, names })
+}
+
+// ---------------------------------------------------------------------------
 // Device and top level
 // ---------------------------------------------------------------------------
 
@@ -1098,6 +1253,13 @@ impl SimSnapshot {
                     None => Json::Null,
                 },
             ),
+            (
+                "flight",
+                match &self.flight {
+                    Some(f) => flight_json(f),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -1175,6 +1337,12 @@ impl SimSnapshot {
             Json::Null => None,
             v => Some(shadow_from_json(v)?),
         };
+        // Optional for compatibility: schema-v1 snapshots written
+        // before the flight recorder existed have no `flight` key.
+        let flight = match r.optional("flight") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(flight_from_json(v)?),
+        };
         r.finish()?;
         Ok(SimSnapshot {
             cycle,
@@ -1187,6 +1355,7 @@ impl SimSnapshot {
             retry_pending,
             zombie_tags,
             shadow,
+            flight,
         })
     }
 

@@ -26,6 +26,7 @@ use crate::link::LinkControl;
 use crate::queue::BoundedQueue;
 use crate::sanitizer::{SanitizerShadow, Violation};
 use crate::sim::{HmcSim, RetryEntry, Transit};
+use crate::trace::FlightSnapshot;
 use hmc_types::{HmcError, TagPool};
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -62,6 +63,13 @@ pub struct SimSnapshot {
     /// was attached. Restored alongside the machine state so the
     /// conservation counters stay consistent across a replay.
     pub(crate) shadow: Option<SanitizerShadow>,
+    /// Flight-recorder timeline at snapshot time, when a recorder was
+    /// attached. Pure observation: excluded from [`fingerprint`]
+    /// (like the shadow), restored into an attached recorder so a
+    /// resumed run carries its pre-crash timeline.
+    ///
+    /// [`fingerprint`]: SimSnapshot::fingerprint
+    pub(crate) flight: Option<FlightSnapshot>,
 }
 
 impl SimSnapshot {
@@ -266,6 +274,14 @@ impl SimSnapshot {
         if let Some(shadow) = &self.shadow {
             s.push_str(",\"shadow\":");
             shadow_json(&mut s, shadow);
+        }
+        if let Some(flight) = &self.flight {
+            s.push_str(&format!(
+                ",\"flight\":{{\"capacity\":{},\"records\":{},\"dropped\":{}}}",
+                flight.capacity,
+                flight.len(),
+                flight.lanes.iter().map(|l| l.dropped).sum::<u64>()
+            ));
         }
         s.push('}');
         s
@@ -503,6 +519,10 @@ pub struct ForensicDump {
     /// Telemetry registry at violation time, pre-rendered as the JSON
     /// report (`None` when telemetry is disabled).
     pub telemetry_json: Option<String>,
+    /// Flight-recorder timeline at violation time (`None` when no
+    /// recorder is attached). Serialized as a top-level `traceEvents`
+    /// array so the dump file opens directly in `ui.perfetto.dev`.
+    pub flight: Option<FlightSnapshot>,
 }
 
 impl ForensicDump {
@@ -542,6 +562,16 @@ impl ForensicDump {
             Some(t) => s.push_str(t),
             None => s.push_str("null"),
         }
+        // Top-level traceEvents: trace viewers accept extra keys, so
+        // the forensic dump itself is a loadable Perfetto trace.
+        s.push_str(",\"traceEvents\":");
+        match &self.flight {
+            Some(f) => s.push_str(&crate::perfetto::trace_events(
+                f,
+                &crate::perfetto::PerfettoOptions::default(),
+            )),
+            None => s.push_str("[]"),
+        }
         s.push_str(",\"snapshot\":");
         s.push_str(&self.snapshot.to_json());
         s.push('}');
@@ -576,6 +606,7 @@ impl HmcSim {
             retry_pending: self.retry_pending.to_sorted_items(),
             zombie_tags: self.zombie_tags.clone(),
             shadow,
+            flight: self.tracer.flight_snapshot(),
         }
     }
 
@@ -644,6 +675,12 @@ impl HmcSim {
         if let Some(mut tel) = self.telemetry.take() {
             tel.rebase(self);
             self.telemetry = Some(tel);
+        }
+        // An attached flight recorder resumes the snapshot's timeline
+        // (no-op when the snapshot carried none or no recorder is
+        // attached — the recorder is an observer, never state).
+        if let Some(flight) = &snap.flight {
+            self.tracer.restore_flight(flight);
         }
         Ok(())
     }

@@ -1,12 +1,33 @@
 //! The trace subsystem.
 //!
 //! HMC-Sim's tracing lets users "see exactly how and where memory
-//! operations progressed through the device" (paper §IV-A). Trace
-//! output is line-oriented text, one event per line, gated by a
-//! bitmask of [`TraceLevel`]s. CMC operations trace under their
+//! operations progressed through the device" (paper §IV-A). Since the
+//! flight-recorder rework the subsystem is *structured first*: every
+//! instrumentation point emits one compact, `Copy`-able
+//! [`TraceRecord`] (cycle, lane coordinates, tag, a [`TraceKind`] and
+//! two small payload words — never a `String` on the hot path). The
+//! classic line-oriented text trace is a pure formatting view over
+//! that stream: [`TraceRecord::render_line`] reproduces the historic
+//! `HMCSIM_TRACE : <cycle> : <CLASS> : <detail>` format byte for
+//! byte, so `grep`-based analyses and the [`crate::trace_analysis`]
+//! parser keep working unchanged. CMC operations trace under their
 //! registered `cmc_str` name exactly like standard commands — the
 //! paper's *Discrete Tracing* requirement.
+//!
+//! Destinations:
+//!
+//! - a level-masked text [`Sink`] (buffer or writer) — the user-facing
+//!   trace, unchanged semantics;
+//! - an optional [`TraceRing`] of formatted lines — the sanitizer's
+//!   bounded forensic tail (captures every class);
+//! - an optional [`FlightRecorder`] — per-lane, drop-counting rings of
+//!   raw [`TraceRecord`]s, cheap enough to leave on for a whole run,
+//!   snapshot-included and exportable to Perfetto
+//!   (see [`crate::perfetto`]).
 
+use crate::config::SpecRevision;
+use hmc_types::HmcRqst;
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -35,6 +56,9 @@ impl TraceLevel {
     /// Fault injection and recovery events (CRC errors, vault
     /// faults, poisoned responses, link state changes, failover).
     pub const FAULT: TraceLevel = TraceLevel(1 << 7);
+    /// Engine-internal spans: parallel plan/commit phases, idle-skip
+    /// horizon jumps, sanitizer audits, checkpoint commits.
+    pub const ENGINE: TraceLevel = TraceLevel(1 << 8);
     /// Everything.
     pub const ALL: TraceLevel = TraceLevel(u32::MAX);
 
@@ -58,31 +82,777 @@ impl std::ops::BitOr for TraceLevel {
     }
 }
 
-/// A shared in-memory trace sink, handy for tests and analysis.
+/// A flight-recorder lane: which logical component timeline a record
+/// belongs to. Lanes have independent ring capacity so chatty bank
+/// traffic can never evict the link-fault tail (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightLane {
+    /// Host-edge events: sends, deliveries, zombies.
+    Host,
+    /// Link-protocol events: retries, CRC faults, link state.
+    Link,
+    /// Crossbar/vault-queue events: routing, queue-full, failover,
+    /// vault faults, CMC execution.
+    Vault,
+    /// Bank-service events: command execution, refresh, bank-busy.
+    Bank,
+    /// Engine-internal spans: plan/commit, idle skips, sanitizer
+    /// audits, checkpoints.
+    Engine,
+}
+
+impl FlightLane {
+    /// All lanes, in ring order.
+    pub const ALL: [FlightLane; 5] = [
+        FlightLane::Host,
+        FlightLane::Link,
+        FlightLane::Vault,
+        FlightLane::Bank,
+        FlightLane::Engine,
+    ];
+
+    /// Stable lane name (used in snapshots and Perfetto tracks).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlightLane::Host => "host",
+            FlightLane::Link => "link",
+            FlightLane::Vault => "vault",
+            FlightLane::Bank => "bank",
+            FlightLane::Engine => "engine",
+        }
+    }
+
+    #[inline]
+    pub(crate) const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The command behind a [`TraceKind::Cmd`]-family record: enough to
+/// recover the traced mnemonic without storing a string per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdRef {
+    /// No command attached.
+    None,
+    /// A standard (or CMC-coded) request; the mnemonic is derived
+    /// from the command code at render time.
+    Rqst(HmcRqst),
+    /// An interned name in the tracer's [name table] — used for the
+    /// registered `cmc_str` of loaded CMC operations and for
+    /// link-error texts, which only exist on cold paths.
+    ///
+    /// [name table]: FlightSnapshot::names
+    Name(u16),
+    /// A CMC request whose command slot has no operation loaded;
+    /// renders as `CMC<code>(inactive)`.
+    Inactive(u8),
+}
+
+/// The event kind: one variant per instrumentation point. The kind
+/// determines the trace class (level-mask bit), the text class tag
+/// and the flight-recorder lane, plus how the payload words `a`/`b`
+/// are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Host accepted a request onto a link (`a` = FLIT count).
+    HostSend,
+    /// Response delivered to the host (`a` = end-to-end latency).
+    Deliver,
+    /// Response abandoned after link failover exhaustion.
+    Zombie,
+    /// Injected link error: packet parked for retry (`a` = replay
+    /// cycle).
+    LinkRetry,
+    /// Wire corruption caught by packet CRC (`a` = flipped bit, `b` =
+    /// replay cycle, `cmd` = interned error text).
+    LinkCrc,
+    /// Corrupted packet rejected at device ingress (`cmd` = interned
+    /// error text).
+    IngressCrc,
+    /// Scheduled link outage began.
+    LinkDown,
+    /// Scheduled link outage ended.
+    LinkUp,
+    /// Crossbar response queue full (response stalls in vault).
+    XbarRspFull,
+    /// Response re-routed around a dead link (`a` = preferred link).
+    Failover,
+    /// Request routed crossbar → vault queue (`a` = new occupancy).
+    XbarToVault,
+    /// Vault request queue full (request stalls in crossbar).
+    VaultRqstFull,
+    /// Vault response queue full (bank service stalls).
+    VaultRspFull,
+    /// Injected vault fault (`a` = ERRSTAT code).
+    VaultFault,
+    /// Response payload poisoned by the fault plan.
+    Poison,
+    /// Bank refresh window closed the bank this cycle.
+    Refresh,
+    /// Bank busy: head-of-line request waits.
+    BankBusy,
+    /// A command executed at a bank (`a` = address; `cmd` carries the
+    /// mnemonic source).
+    Cmd,
+    /// A command rejected by the revision gate (`b` = spec revision
+    /// discriminant).
+    CmdReject,
+    /// A loaded CMC operation executed (`a` = command code, `quad` =
+    /// active flag, `b` = response length).
+    CmcOp,
+    /// Parallel engine planned vault work (`a` = vaults with work,
+    /// `b` = items taken).
+    PlanStage,
+    /// Parallel engine fell back to the serial path this device-cycle.
+    SerialFallback,
+    /// Parallel engine committed worker results (`a` = vaults
+    /// committed).
+    CommitStage,
+    /// Idle-skip horizon jump (`a` = first skipped cycle, `b` =
+    /// skipped-cycle extent).
+    IdleSkip,
+    /// Sanitizer audit flagged violations this cycle (`a` = count).
+    SanitizerAudit,
+    /// Sanitizer captured a periodic recovery checkpoint.
+    Checkpoint,
+}
+
+impl TraceKind {
+    /// The level-mask class this kind traces under.
+    pub const fn class(self) -> TraceLevel {
+        match self {
+            TraceKind::HostSend | TraceKind::XbarToVault => TraceLevel::QUEUE,
+            TraceKind::Deliver => TraceLevel::LATENCY,
+            TraceKind::LinkRetry
+            | TraceKind::XbarRspFull
+            | TraceKind::VaultRqstFull
+            | TraceKind::VaultRspFull => TraceLevel::STALL,
+            TraceKind::Zombie
+            | TraceKind::LinkCrc
+            | TraceKind::IngressCrc
+            | TraceKind::LinkDown
+            | TraceKind::LinkUp
+            | TraceKind::Failover
+            | TraceKind::VaultFault
+            | TraceKind::Poison => TraceLevel::FAULT,
+            TraceKind::Refresh | TraceKind::BankBusy => TraceLevel::BANK,
+            TraceKind::Cmd | TraceKind::CmdReject => TraceLevel::CMD,
+            TraceKind::CmcOp => TraceLevel::CMC,
+            TraceKind::PlanStage
+            | TraceKind::SerialFallback
+            | TraceKind::CommitStage
+            | TraceKind::IdleSkip
+            | TraceKind::SanitizerAudit
+            | TraceKind::Checkpoint => TraceLevel::ENGINE,
+        }
+    }
+
+    /// The text-format class tag (third column of a trace line).
+    pub const fn class_tag(self) -> &'static str {
+        match self {
+            TraceKind::HostSend => "SEND",
+            TraceKind::Deliver => "LATENCY",
+            TraceKind::LinkRetry => "RETRY",
+            TraceKind::Zombie
+            | TraceKind::LinkCrc
+            | TraceKind::IngressCrc
+            | TraceKind::LinkDown
+            | TraceKind::LinkUp
+            | TraceKind::Failover
+            | TraceKind::VaultFault
+            | TraceKind::Poison => "FAULT",
+            TraceKind::XbarRspFull | TraceKind::VaultRqstFull | TraceKind::VaultRspFull => "STALL",
+            TraceKind::XbarToVault => "QUEUE",
+            TraceKind::Refresh | TraceKind::BankBusy => "BANK",
+            TraceKind::Cmd | TraceKind::CmdReject => "RQST",
+            TraceKind::CmcOp => "CMC",
+            TraceKind::PlanStage
+            | TraceKind::SerialFallback
+            | TraceKind::CommitStage
+            | TraceKind::IdleSkip
+            | TraceKind::SanitizerAudit
+            | TraceKind::Checkpoint => "ENGINE",
+        }
+    }
+
+    /// The flight-recorder lane this kind records into.
+    pub const fn lane(self) -> FlightLane {
+        match self {
+            TraceKind::HostSend | TraceKind::Deliver | TraceKind::Zombie => FlightLane::Host,
+            TraceKind::LinkRetry
+            | TraceKind::LinkCrc
+            | TraceKind::IngressCrc
+            | TraceKind::LinkDown
+            | TraceKind::LinkUp => FlightLane::Link,
+            TraceKind::XbarRspFull
+            | TraceKind::Failover
+            | TraceKind::XbarToVault
+            | TraceKind::VaultRqstFull
+            | TraceKind::VaultRspFull
+            | TraceKind::VaultFault
+            | TraceKind::Poison
+            | TraceKind::CmcOp => FlightLane::Vault,
+            TraceKind::Refresh | TraceKind::BankBusy | TraceKind::Cmd | TraceKind::CmdReject => {
+                FlightLane::Bank
+            }
+            TraceKind::PlanStage
+            | TraceKind::SerialFallback
+            | TraceKind::CommitStage
+            | TraceKind::IdleSkip
+            | TraceKind::SanitizerAudit
+            | TraceKind::Checkpoint => FlightLane::Engine,
+        }
+    }
+
+    /// Stable short name (Perfetto slice names, snapshot debugging).
+    pub const fn name(self) -> &'static str {
+        match self {
+            TraceKind::HostSend => "send",
+            TraceKind::Deliver => "deliver",
+            TraceKind::Zombie => "zombie",
+            TraceKind::LinkRetry => "link_retry",
+            TraceKind::LinkCrc => "link_crc",
+            TraceKind::IngressCrc => "ingress_crc",
+            TraceKind::LinkDown => "link_down",
+            TraceKind::LinkUp => "link_up",
+            TraceKind::XbarRspFull => "xbar_rsp_full",
+            TraceKind::Failover => "failover",
+            TraceKind::XbarToVault => "xbar_to_vault",
+            TraceKind::VaultRqstFull => "vault_rqst_full",
+            TraceKind::VaultRspFull => "vault_rsp_full",
+            TraceKind::VaultFault => "vault_fault",
+            TraceKind::Poison => "poison",
+            TraceKind::Refresh => "refresh",
+            TraceKind::BankBusy => "bank_busy",
+            TraceKind::Cmd => "cmd",
+            TraceKind::CmdReject => "cmd_reject",
+            TraceKind::CmcOp => "cmc_op",
+            TraceKind::PlanStage => "plan",
+            TraceKind::SerialFallback => "serial_fallback",
+            TraceKind::CommitStage => "commit",
+            TraceKind::IdleSkip => "idle_skip",
+            TraceKind::SanitizerAudit => "sanitizer_audit",
+            TraceKind::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// Every kind, in stable wire order — the snapshot codec encodes
+    /// a kind as its index here, so the order must never change
+    /// (append new kinds at the end).
+    pub const ALL: [TraceKind; 26] = [
+        TraceKind::HostSend,
+        TraceKind::Deliver,
+        TraceKind::Zombie,
+        TraceKind::LinkRetry,
+        TraceKind::LinkCrc,
+        TraceKind::IngressCrc,
+        TraceKind::LinkDown,
+        TraceKind::LinkUp,
+        TraceKind::XbarRspFull,
+        TraceKind::Failover,
+        TraceKind::XbarToVault,
+        TraceKind::VaultRqstFull,
+        TraceKind::VaultRspFull,
+        TraceKind::VaultFault,
+        TraceKind::Poison,
+        TraceKind::Refresh,
+        TraceKind::BankBusy,
+        TraceKind::Cmd,
+        TraceKind::CmdReject,
+        TraceKind::CmcOp,
+        TraceKind::PlanStage,
+        TraceKind::SerialFallback,
+        TraceKind::CommitStage,
+        TraceKind::IdleSkip,
+        TraceKind::SanitizerAudit,
+        TraceKind::Checkpoint,
+    ];
+
+    /// The stable wire code (index in [`TraceKind::ALL`]).
+    pub fn code(self) -> u8 {
+        TraceKind::ALL.iter().position(|k| *k == self).expect("kind in ALL") as u8
+    }
+
+    /// The kind for a wire code, `None` for out-of-range codes.
+    pub fn from_code(code: u8) -> Option<TraceKind> {
+        TraceKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// One structured trace event: a compact, `Copy`-able record emitted
+/// at every packet lifecycle edge and engine phase. Unused coordinate
+/// fields are zero; `a`/`b` are kind-specific payload words (see the
+/// [`TraceKind`] variant docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation cycle the event occurred at.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Device (cube) index.
+    pub dev: u16,
+    /// Link index.
+    pub link: u8,
+    /// Quadrant index (also carries the CMC active flag for
+    /// [`TraceKind::CmcOp`]).
+    pub quad: u8,
+    /// Vault index.
+    pub vault: u16,
+    /// Bank index.
+    pub bank: u16,
+    /// Packet tag.
+    pub tag: u16,
+    /// Command reference for command-shaped kinds.
+    pub cmd: CmdRef,
+    /// First payload word (kind-specific).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+}
+
+impl TraceRecord {
+    /// A zeroed record of `kind` at `cycle`; fill the relevant fields
+    /// with struct-update syntax.
+    pub const fn new(cycle: u64, kind: TraceKind) -> Self {
+        TraceRecord {
+            cycle,
+            kind,
+            dev: 0,
+            link: 0,
+            quad: 0,
+            vault: 0,
+            bank: 0,
+            tag: 0,
+            cmd: CmdRef::None,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// The mnemonic this record traces under, resolving interned
+    /// names through `resolve`.
+    pub fn mnemonic<F: Fn(u16) -> String>(&self, resolve: F) -> String {
+        match self.cmd {
+            CmdRef::None => String::new(),
+            CmdRef::Rqst(r) => r.mnemonic(),
+            CmdRef::Name(idx) => resolve(idx),
+            CmdRef::Inactive(code) => format!("CMC{code}(inactive)"),
+        }
+    }
+
+    /// Renders the detail column of the historic text format,
+    /// byte-identical to the strings the pre-structured tracer
+    /// emitted. `resolve` maps interned name indices to strings.
+    pub fn render_detail<F: Fn(u16) -> String>(&self, resolve: F) -> String {
+        let r = self;
+        match r.kind {
+            TraceKind::HostSend => {
+                format!("send: dev={} link={} tag={} flits={}", r.dev, r.link, r.tag, r.a)
+            }
+            TraceKind::Deliver => format!("tag={} lat={} link={}", r.tag, r.a, r.link),
+            TraceKind::Zombie => format!("kind=ZOMBIE tag={} link={}", r.tag, r.link),
+            TraceKind::LinkRetry => format!(
+                "link error injected: dev={} link={}, replay at {}",
+                r.dev, r.link, r.a
+            ),
+            TraceKind::LinkCrc => format!(
+                "kind=CRC dev={} link={} bit={} replay at {} ({})",
+                r.dev,
+                r.link,
+                r.a,
+                r.b,
+                resolve(match r.cmd {
+                    CmdRef::Name(idx) => idx,
+                    _ => u16::MAX,
+                })
+            ),
+            TraceKind::IngressCrc => format!(
+                "kind=CRC dev={} link={} rejected at ingress ({})",
+                r.dev,
+                r.link,
+                resolve(match r.cmd {
+                    CmdRef::Name(idx) => idx,
+                    _ => u16::MAX,
+                })
+            ),
+            TraceKind::LinkDown => format!("kind=LINKDOWN link={}", r.link),
+            TraceKind::LinkUp => format!("kind=LINKUP link={}", r.link),
+            TraceKind::XbarRspFull => {
+                format!("xbar rsp queue full: vault={} link={}", r.vault, r.link)
+            }
+            TraceKind::Failover => format!(
+                "kind=FAILOVER vault={} from={} to={} tag={}",
+                r.vault, r.a, r.link, r.tag
+            ),
+            TraceKind::XbarToVault => {
+                format!("xbar->vault: link={} vault={} occ={}", r.link, r.vault, r.a)
+            }
+            TraceKind::VaultRqstFull => {
+                format!("vault rqst queue full: link={} vault={}", r.link, r.vault)
+            }
+            TraceKind::VaultRspFull => format!("vault rsp queue full: vault={}", r.vault),
+            TraceKind::VaultFault => format!(
+                "kind=VAULT vault={} tag={} errstat={:#x}",
+                r.vault, r.tag, r.a
+            ),
+            TraceKind::Poison => format!("kind=POISON vault={} tag={}", r.vault, r.tag),
+            TraceKind::Refresh => format!("refresh: vault={} bank={}", r.vault, r.bank),
+            TraceKind::BankBusy => format!("bank busy: vault={} bank={}", r.vault, r.bank),
+            TraceKind::Cmd => format!(
+                "CMD={} CUB={} QUAD={} VAULT={} BANK={} ADDR={:#x} TAG={}",
+                self.mnemonic(resolve),
+                r.dev,
+                r.quad,
+                r.vault,
+                r.bank,
+                r.a,
+                r.tag
+            ),
+            TraceKind::CmdReject => {
+                let rev = if r.b == 0 { SpecRevision::Gen1 } else { SpecRevision::Gen2 };
+                format!("CMD={} rejected: not in {:?}", self.mnemonic(resolve), rev)
+            }
+            TraceKind::CmcOp => format!(
+                "op={} cmd={} af={} rsp_len={}",
+                self.mnemonic(resolve),
+                r.a,
+                r.quad != 0,
+                r.b
+            ),
+            TraceKind::PlanStage => {
+                format!("plan: dev={} vaults={} items={}", r.dev, r.a, r.b)
+            }
+            TraceKind::SerialFallback => format!("serial fallback: dev={}", r.dev),
+            TraceKind::CommitStage => format!("commit: dev={} vaults={}", r.dev, r.a),
+            TraceKind::IdleSkip => format!("idle skip: from={} len={}", r.a, r.b),
+            TraceKind::SanitizerAudit => format!("sanitizer: violations={}", r.a),
+            TraceKind::Checkpoint => format!("checkpoint: cycle={}", r.a),
+        }
+    }
+
+    /// Renders the full historic trace line for this record.
+    pub fn render_line<F: Fn(u16) -> String>(&self, resolve: F) -> String {
+        format!(
+            "HMCSIM_TRACE : {} : {} : {}",
+            self.cycle,
+            self.kind.class_tag(),
+            self.render_detail(resolve)
+        )
+    }
+}
+
+/// A shared, deduplicating table of dynamic strings referenced by
+/// [`CmdRef::Name`]: registered CMC operation names and link-error
+/// texts. All producers are cold paths; the hot data path never
+/// interns.
 #[derive(Debug, Clone, Default)]
+pub(crate) struct NameTable {
+    inner: Arc<Mutex<NameInner>>,
+}
+
+#[derive(Debug, Default)]
+struct NameInner {
+    names: Vec<String>,
+    index: std::collections::HashMap<String, u16>,
+}
+
+impl NameTable {
+    /// Interns `name`, returning its stable index. A full table (more
+    /// than `u16::MAX - 1` distinct names — never in practice)
+    /// returns the `u16::MAX` sentinel, which resolves to `"?"`.
+    pub(crate) fn intern(&self, name: &str) -> u16 {
+        let mut inner = self.inner.lock().expect("name table lock");
+        if let Some(&idx) = inner.index.get(name) {
+            return idx;
+        }
+        let idx = inner.names.len();
+        if idx >= u16::MAX as usize {
+            return u16::MAX;
+        }
+        inner.names.push(name.to_owned());
+        inner.index.insert(name.to_owned(), idx as u16);
+        idx as u16
+    }
+
+    /// The string behind `idx` (`"?"` for unknown indices).
+    pub(crate) fn resolve(&self, idx: u16) -> String {
+        self.inner
+            .lock()
+            .expect("name table lock")
+            .names
+            .get(idx as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".to_owned())
+    }
+
+    /// All interned names, in index order.
+    pub(crate) fn snapshot(&self) -> Vec<String> {
+        self.inner.lock().expect("name table lock").names.clone()
+    }
+
+    /// Replaces the table contents (snapshot restore).
+    pub(crate) fn replace(&self, names: Vec<String>) {
+        let mut inner = self.inner.lock().expect("name table lock");
+        inner.index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u16))
+            .collect();
+        inner.names = names;
+    }
+}
+
+/// Default per-lane flight-recorder capacity.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+#[derive(Debug, Default)]
+struct LaneBuf {
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    lanes: [LaneBuf; 5],
+}
+
+/// The always-on causal flight recorder: one fixed-capacity ring of
+/// raw [`TraceRecord`]s per [`FlightLane`], with a drop counter per
+/// lane. Attached to a [`Tracer`] it captures every event class
+/// regardless of the level mask — no text is formatted, so it is
+/// cheap enough to leave on for whole runs. Handles are `Arc`-shared
+/// clones (like [`TraceRing`]), so the sanitizer, the fuzzer and the
+/// CLI can read the timeline the simulation wrote.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `per_lane_capacity`
+    /// records in each lane.
+    pub fn new(per_lane_capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightInner {
+                capacity: per_lane_capacity.max(1),
+                lanes: Default::default(),
+            })),
+        }
+    }
+
+    /// Per-lane ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("flight recorder lock").capacity
+    }
+
+    /// Total records currently retained across all lanes.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("flight recorder lock");
+        inner.lanes.iter().map(|l| l.records.len()).sum()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records dropped (evicted) across all lanes.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().expect("flight recorder lock");
+        inner.lanes.iter().map(|l| l.dropped).sum()
+    }
+
+    /// Clears all lanes and drop counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("flight recorder lock");
+        for lane in &mut inner.lanes {
+            lane.records.clear();
+            lane.dropped = 0;
+        }
+    }
+
+    pub(crate) fn record(&self, rec: TraceRecord) {
+        let mut inner = self.inner.lock().expect("flight recorder lock");
+        let capacity = inner.capacity;
+        let lane = &mut inner.lanes[rec.kind.lane().index()];
+        if lane.records.len() >= capacity {
+            lane.records.pop_front();
+            lane.dropped += 1;
+        }
+        lane.records.push_back(rec);
+    }
+
+    /// Point-in-time copy of the retained timeline; `names` is the
+    /// matching name table (use [`Tracer::flight_snapshot`], which
+    /// pairs them for you).
+    pub(crate) fn snapshot_with_names(&self, names: Vec<String>) -> FlightSnapshot {
+        let inner = self.inner.lock().expect("flight recorder lock");
+        FlightSnapshot {
+            capacity: inner.capacity,
+            lanes: FlightLane::ALL
+                .iter()
+                .map(|&lane| {
+                    let buf = &inner.lanes[lane.index()];
+                    FlightLaneSnapshot {
+                        name: lane.name().to_owned(),
+                        records: buf.records.iter().copied().collect(),
+                        dropped: buf.dropped,
+                    }
+                })
+                .collect(),
+            names,
+        }
+    }
+
+    /// Replaces the retained timeline with a snapshot's (checkpoint
+    /// restore). Lanes beyond the snapshot's (never, at schema v1)
+    /// are cleared.
+    pub(crate) fn restore(&self, snap: &FlightSnapshot) {
+        let mut inner = self.inner.lock().expect("flight recorder lock");
+        inner.capacity = snap.capacity.max(1);
+        for (i, lane) in inner.lanes.iter_mut().enumerate() {
+            match snap.lanes.get(i) {
+                Some(s) => {
+                    lane.records = s.records.iter().copied().collect();
+                    lane.dropped = s.dropped;
+                }
+                None => {
+                    lane.records.clear();
+                    lane.dropped = 0;
+                }
+            }
+        }
+    }
+}
+
+/// One lane of a [`FlightSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightLaneSnapshot {
+    /// Lane name (see [`FlightLane::name`]).
+    pub name: String,
+    /// Retained records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records evicted from this lane before the snapshot.
+    pub dropped: u64,
+}
+
+/// A point-in-time copy of a [`FlightRecorder`]'s retained timeline
+/// plus the name table its records reference. Embedded in
+/// [`crate::SimSnapshot`]s (excluded from the fingerprint — the
+/// recorder is an observer), in sanitizer forensic dumps and in
+/// hmcfuzz reproducers; exportable to Perfetto via
+/// [`crate::perfetto`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightSnapshot {
+    /// Per-lane ring capacity at capture time.
+    pub capacity: usize,
+    /// The lanes, in [`FlightLane::ALL`] order.
+    pub lanes: Vec<FlightLaneSnapshot>,
+    /// Interned-name table referenced by [`CmdRef::Name`] records.
+    pub names: Vec<String>,
+}
+
+impl FlightSnapshot {
+    /// Total records across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.records.len()).sum()
+    }
+
+    /// True when the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All records merged across lanes, sorted by cycle (stable: lane
+    /// order breaks ties), with the resolver needed to render them.
+    pub fn merged(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> =
+            self.lanes.iter().flat_map(|l| l.records.iter().copied()).collect();
+        all.sort_by_key(|r| r.cycle);
+        all
+    }
+
+    /// Resolves an interned name index against this snapshot's table.
+    pub fn resolve(&self, idx: u16) -> String {
+        self.names.get(idx as usize).cloned().unwrap_or_else(|| "?".to_owned())
+    }
+
+    /// The retained timeline rendered as historic text trace lines,
+    /// merged across lanes in cycle order.
+    pub fn lines(&self) -> Vec<String> {
+        self.merged().iter().map(|r| r.render_line(|i| self.resolve(i))).collect()
+    }
+}
+
+/// Default [`TraceBuffer`] capacity (lines retained before dropping).
+pub const DEFAULT_TRACE_BUFFER_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug)]
+struct BufferInner {
+    lines: Vec<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A shared in-memory trace sink, handy for tests and analysis.
+///
+/// The buffer is bounded: once `capacity` lines are retained, further
+/// lines are counted in [`TraceBuffer::dropped`] instead of growing
+/// the buffer without limit (long traced runs used to OOM here). The
+/// default capacity keeps every line of any test-sized run.
+#[derive(Debug, Clone)]
 pub struct TraceBuffer {
-    lines: Arc<Mutex<Vec<String>>>,
+    inner: Arc<Mutex<BufferInner>>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::with_capacity(DEFAULT_TRACE_BUFFER_CAPACITY)
+    }
 }
 
 impl TraceBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty buffer with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty buffer retaining at most `capacity` lines.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            inner: Arc::new(Mutex::new(BufferInner {
+                lines: Vec::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
     /// Snapshot of all recorded lines.
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().expect("trace buffer lock").clone()
+        self.inner.lock().expect("trace buffer lock").lines.clone()
     }
 
     /// Number of recorded lines.
     pub fn len(&self) -> usize {
-        self.lines.lock().expect("trace buffer lock").len()
+        self.inner.lock().expect("trace buffer lock").lines.len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lines dropped because the buffer was at capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace buffer lock").dropped
     }
 
     /// Lines containing `needle`.
@@ -94,7 +864,12 @@ impl TraceBuffer {
     }
 
     fn record(&self, line: String) {
-        self.lines.lock().expect("trace buffer lock").push(line);
+        let mut inner = self.inner.lock().expect("trace buffer lock");
+        if inner.lines.len() >= inner.capacity {
+            inner.dropped += 1;
+        } else {
+            inner.lines.push(line);
+        }
     }
 }
 
@@ -110,7 +885,7 @@ pub struct TraceRing {
 
 #[derive(Debug, Default)]
 struct RingInner {
-    lines: std::collections::VecDeque<String>,
+    lines: VecDeque<String>,
     capacity: usize,
 }
 
@@ -119,7 +894,7 @@ impl TraceRing {
     pub fn new(capacity: usize) -> Self {
         TraceRing {
             inner: Arc::new(Mutex::new(RingInner {
-                lines: std::collections::VecDeque::with_capacity(capacity),
+                lines: VecDeque::with_capacity(capacity),
                 capacity: capacity.max(1),
             })),
         }
@@ -167,12 +942,21 @@ impl fmt::Debug for Sink {
 }
 
 /// The trace recorder attached to a simulation context.
+///
+/// [`Tracer::emit`] is the single emission path: every structured
+/// [`TraceRecord`] first lands in the attached [`FlightRecorder`] (if
+/// any, unformatted), then is rendered to text at most once and fanned
+/// out to the forensic [`TraceRing`] (every class) and the level-masked
+/// sink.
 #[derive(Debug)]
 pub struct Tracer {
     level: TraceLevel,
     sink: Sink,
     /// Optional forensic ring; captures all classes when attached.
     ring: Option<TraceRing>,
+    /// Optional structured flight recorder; captures all classes.
+    flight: Option<FlightRecorder>,
+    names: NameTable,
 }
 
 impl Default for Tracer {
@@ -184,17 +968,23 @@ impl Default for Tracer {
 impl Tracer {
     /// A tracer that records nothing.
     pub fn disabled() -> Self {
-        Tracer { level: TraceLevel::NONE, sink: Sink::Null, ring: None }
+        Tracer {
+            level: TraceLevel::NONE,
+            sink: Sink::Null,
+            ring: None,
+            flight: None,
+            names: NameTable::default(),
+        }
     }
 
     /// Traces into a shared in-memory buffer.
     pub fn to_buffer(level: TraceLevel, buffer: TraceBuffer) -> Self {
-        Tracer { level, sink: Sink::Buffer(buffer), ring: None }
+        Tracer { sink: Sink::Buffer(buffer), level, ..Tracer::disabled() }
     }
 
     /// Traces into any writer (e.g. a file), one line per event.
     pub fn to_writer(level: TraceLevel, writer: Box<dyn Write + Send>) -> Self {
-        Tracer { level, sink: Sink::Writer(writer), ring: None }
+        Tracer { sink: Sink::Writer(writer), level, ..Tracer::disabled() }
     }
 
     /// Attaches a forensic ring that captures every event class
@@ -208,6 +998,37 @@ impl Tracer {
         self.ring = None;
     }
 
+    /// Attaches a flight recorder that captures every event class as
+    /// raw structured records, independently of the level mask.
+    pub fn attach_flight(&mut self, flight: FlightRecorder) {
+        self.flight = Some(flight);
+    }
+
+    /// Detaches the flight recorder, if any.
+    pub fn detach_flight(&mut self) {
+        self.flight = None;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Adopts the observation stream of `other`: its forensic ring,
+    /// flight recorder and name table. [`crate::HmcSim::set_tracer`]
+    /// uses this so replacing the tracer never silently drops the
+    /// sanitizer's ring or the flight recorder's timeline (whose
+    /// records reference the old name table).
+    pub(crate) fn adopt_stream(&mut self, other: &Tracer) {
+        if self.ring.is_none() {
+            self.ring = other.ring.clone();
+        }
+        if self.flight.is_none() {
+            self.flight = other.flight.clone();
+        }
+        self.names = other.names.clone();
+    }
+
     /// The active level mask.
     pub fn level(&self) -> TraceLevel {
         self.level
@@ -218,6 +1039,30 @@ impl Tracer {
         self.level = level;
     }
 
+    /// Interns a dynamic string (CMC names, link-error texts) for
+    /// [`CmdRef::Name`] records. Cold paths only.
+    pub(crate) fn intern(&self, name: &str) -> u16 {
+        self.names.intern(name)
+    }
+
+    /// A point-in-time copy of the flight recorder's timeline, paired
+    /// with the name table its records reference; `None` when no
+    /// recorder is attached.
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        self.flight
+            .as_ref()
+            .map(|f| f.snapshot_with_names(self.names.snapshot()))
+    }
+
+    /// Restores a flight snapshot into the attached recorder (no-op
+    /// without one) and rebases the name table to match its records.
+    pub(crate) fn restore_flight(&mut self, snap: &FlightSnapshot) {
+        if let Some(f) = &self.flight {
+            f.restore(snap);
+            self.names.replace(snap.names.clone());
+        }
+    }
+
     /// True when events of `class` would be recorded.
     #[inline]
     pub fn enabled(&self, class: TraceLevel) -> bool {
@@ -225,30 +1070,73 @@ impl Tracer {
     }
 
     /// True when events of `class` reach *any* destination — the sink
-    /// (level permitting) or an attached forensic ring (always). The
-    /// parallel engine uses this to decide whether worker lanes must
-    /// format deferred event text at all; when it is false for CMD
-    /// events the fast path skips formatting entirely, exactly like
-    /// [`Tracer::event`]'s early return.
+    /// (level permitting), an attached forensic ring or an attached
+    /// flight recorder (both capture every class). The parallel
+    /// engine uses this to decide whether worker lanes must record
+    /// deferred events at all; when it is false for CMD events the
+    /// fast path skips them entirely, exactly like [`Tracer::emit`]'s
+    /// early return.
     #[inline]
     pub fn captures(&self, class: TraceLevel) -> bool {
-        self.enabled(class) || self.ring.is_some()
+        self.enabled(class) || self.ring.is_some() || self.flight.is_some()
     }
 
-    /// Replays deferred events produced on a worker lane, in the order
-    /// given. Each event goes through [`Tracer::event`], so level
-    /// masking and ring capture behave exactly as for live events.
-    pub(crate) fn replay(&mut self, events: &[DeferredEvent]) {
-        for ev in events {
-            self.event(ev.class, ev.cycle, ev.tag, format_args!("{}", ev.detail));
+    /// Replays deferred records produced on a worker lane, in the
+    /// order given. Each record goes through [`Tracer::emit`], so
+    /// level masking, ring capture and flight capture behave exactly
+    /// as for live events.
+    pub(crate) fn replay(&mut self, records: &[TraceRecord]) {
+        for rec in records {
+            self.emit(*rec);
         }
     }
 
-    /// Records one event line in HMC-Sim's trace format:
+    /// Emits one structured record — the single emission path.
+    ///
+    /// The flight recorder receives the raw record (no formatting);
+    /// the text line is rendered at most once, fanned out to the
+    /// forensic ring (every class) and the sink (level permitting).
+    pub fn emit(&mut self, rec: TraceRecord) {
+        if let Some(flight) = &self.flight {
+            flight.record(rec);
+        }
+        let sink_on = self.enabled(rec.kind.class());
+        let ring_on = self.ring.is_some();
+        if !sink_on && !ring_on {
+            return;
+        }
+        let names = &self.names;
+        let line = rec.render_line(|idx| names.resolve(idx));
+        if let Some(ring) = &self.ring {
+            ring.record(&line);
+        }
+        if !sink_on {
+            return;
+        }
+        match &mut self.sink {
+            Sink::Null => {}
+            Sink::Buffer(buf) => buf.record(line),
+            Sink::Writer(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Lines the buffer sink dropped at capacity (0 for other sinks).
+    pub fn sink_dropped(&self) -> u64 {
+        match &self.sink {
+            Sink::Buffer(buf) => buf.dropped(),
+            _ => 0,
+        }
+    }
+
+    /// Records one free-form event line in HMC-Sim's trace format:
     /// `HMCSIM_TRACE : <cycle> : <CLASS> : <detail>`.
     ///
-    /// The sink receives the line only when `class` is enabled; an
-    /// attached forensic ring receives it unconditionally.
+    /// This is the raw text view, kept for ad-hoc annotations; it
+    /// feeds the sink (level permitting) and the forensic ring, but
+    /// **not** the flight recorder — structured instrumentation goes
+    /// through [`Tracer::emit`].
     pub fn event(&mut self, class: TraceLevel, cycle: u64, tag: &str, detail: fmt::Arguments<'_>) {
         let sink_on = self.enabled(class);
         let ring_on = self.ring.is_some();
@@ -272,53 +1160,40 @@ impl Tracer {
     }
 }
 
-/// One trace event captured on a worker lane and replayed at commit.
-#[derive(Debug, Clone)]
-pub(crate) struct DeferredEvent {
-    pub(crate) class: TraceLevel,
-    pub(crate) cycle: u64,
-    pub(crate) tag: &'static str,
-    pub(crate) detail: String,
-}
-
 /// A shard-local trace accumulator. Worker lanes cannot touch the
-/// shared [`Tracer`], so they record into one of these; the commit
-/// phase replays each vault's events in vault order, reproducing the
-/// sequential line order byte for byte. When `capture` is false the
-/// buffer drops events without formatting them (the common case:
-/// tracing off, no forensic ring).
+/// shared [`Tracer`], so they record raw [`TraceRecord`]s into one of
+/// these; the commit phase replays each vault's records in vault
+/// order, reproducing the sequential emission order byte for byte.
+/// Records are `Copy` — a worker lane never formats text or allocates
+/// per event; when `capture` is false it does not even store them
+/// (the common case: tracing off, no ring, no flight recorder).
 #[derive(Debug, Default)]
 pub(crate) struct EventBuffer {
     capture: bool,
-    events: Vec<DeferredEvent>,
+    records: Vec<TraceRecord>,
 }
 
 impl EventBuffer {
     pub(crate) fn new(capture: bool) -> Self {
-        EventBuffer { capture, events: Vec::new() }
+        EventBuffer { capture, records: Vec::new() }
     }
 
-    pub(crate) fn event(
-        &mut self,
-        class: TraceLevel,
-        cycle: u64,
-        tag: &'static str,
-        detail: fmt::Arguments<'_>,
-    ) {
+    #[inline]
+    pub(crate) fn emit(&mut self, rec: TraceRecord) {
         if self.capture {
-            self.events.push(DeferredEvent { class, cycle, tag, detail: detail.to_string() });
+            self.records.push(rec);
         }
     }
 
     #[cfg(test)]
-    pub(crate) fn events(&self) -> &[DeferredEvent] {
-        &self.events
+    pub(crate) fn records(&self) -> &[TraceRecord] {
+        &self.records
     }
 
-    /// Consumes the buffer, yielding the captured events for the
+    /// Consumes the buffer, yielding the captured records for the
     /// commit phase.
-    pub(crate) fn into_events(self) -> Vec<DeferredEvent> {
-        self.events
+    pub(crate) fn into_records(self) -> Vec<TraceRecord> {
+        self.records
     }
 }
 
@@ -326,63 +1201,73 @@ impl EventBuffer {
 /// (worker lanes): the single execution core in `device.rs` writes
 /// through this so both paths share one implementation.
 pub(crate) enum TraceLane<'a> {
-    /// Events go straight to the simulation's tracer.
+    /// Records go straight to the simulation's tracer.
     Live(&'a mut Tracer),
-    /// Events are buffered for ordered replay at commit.
+    /// Records are buffered for ordered replay at commit.
     Deferred(&'a mut EventBuffer),
 }
 
 impl TraceLane<'_> {
     #[inline]
-    pub(crate) fn event(
-        &mut self,
-        class: TraceLevel,
-        cycle: u64,
-        tag: &'static str,
-        detail: fmt::Arguments<'_>,
-    ) {
+    pub(crate) fn emit(&mut self, rec: TraceRecord) {
         match self {
-            TraceLane::Live(t) => t.event(class, cycle, tag, detail),
-            TraceLane::Deferred(b) => b.event(class, cycle, tag, detail),
+            TraceLane::Live(t) => t.emit(rec),
+            TraceLane::Deferred(b) => b.emit(rec),
         }
     }
-
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn cmd_record(cycle: u64) -> TraceRecord {
+        TraceRecord {
+            dev: 0,
+            quad: 1,
+            vault: 5,
+            bank: 2,
+            tag: 7,
+            cmd: CmdRef::Rqst(HmcRqst::Rd16),
+            a: 0x1000,
+            ..TraceRecord::new(cycle, TraceKind::Cmd)
+        }
+    }
+
     #[test]
-    fn deferred_events_replay_in_order() {
+    fn deferred_records_replay_in_order() {
         let buf = TraceBuffer::new();
         let mut t = Tracer::to_buffer(TraceLevel::CMD, buf.clone());
         let mut lane = EventBuffer::new(t.captures(TraceLevel::CMD));
-        lane.event(TraceLevel::CMD, 5, "RQST", format_args!("first"));
-        lane.event(TraceLevel::CMD, 5, "RQST", format_args!("second"));
-        t.replay(lane.events());
+        lane.emit(cmd_record(5));
+        lane.emit(TraceRecord { tag: 8, ..cmd_record(5) });
+        t.replay(lane.records());
+        let lines = buf.lines();
+        assert_eq!(lines.len(), 2);
         assert_eq!(
-            buf.lines(),
-            vec![
-                "HMCSIM_TRACE : 5 : RQST : first".to_string(),
-                "HMCSIM_TRACE : 5 : RQST : second".to_string(),
-            ]
+            lines[0],
+            "HMCSIM_TRACE : 5 : RQST : CMD=RD16 CUB=0 QUAD=1 VAULT=5 BANK=2 ADDR=0x1000 TAG=7"
         );
+        assert!(lines[1].ends_with("TAG=8"));
     }
 
     #[test]
-    fn uncaptured_buffer_skips_formatting() {
+    fn uncaptured_buffer_skips_storage() {
         let mut lane = EventBuffer::new(false);
-        lane.event(TraceLevel::CMD, 1, "RQST", format_args!("dropped"));
-        assert!(lane.events().is_empty());
+        lane.emit(cmd_record(1));
+        assert!(lane.records().is_empty());
     }
 
     #[test]
-    fn captures_tracks_sink_and_ring() {
+    fn captures_tracks_sink_ring_and_flight() {
         let mut t = Tracer::disabled();
         assert!(!t.captures(TraceLevel::CMD));
         t.attach_ring(TraceRing::new(4));
         assert!(t.captures(TraceLevel::CMD), "ring captures every class");
+        t.detach_ring();
+        assert!(!t.captures(TraceLevel::CMD));
+        t.attach_flight(FlightRecorder::new(4));
+        assert!(t.captures(TraceLevel::CMD), "flight captures every class");
         let t2 = Tracer::to_buffer(TraceLevel::CMD, TraceBuffer::new());
         assert!(t2.captures(TraceLevel::CMD));
         assert!(!t2.captures(TraceLevel::BANK));
@@ -395,6 +1280,7 @@ mod tests {
         assert!(m.contains(TraceLevel::STALL));
         assert!(!m.contains(TraceLevel::BANK));
         assert!(TraceLevel::ALL.contains(TraceLevel::POWER));
+        assert!(TraceLevel::ALL.contains(TraceLevel::ENGINE));
         assert!(!TraceLevel::NONE.contains(TraceLevel::CMD));
     }
 
@@ -402,18 +1288,39 @@ mod tests {
     fn buffer_records_enabled_events_only() {
         let buf = TraceBuffer::new();
         let mut t = Tracer::to_buffer(TraceLevel::CMD, buf.clone());
-        t.event(TraceLevel::CMD, 10, "RQST", format_args!("CMD=INC8 VAULT=3"));
-        t.event(TraceLevel::STALL, 11, "STALL", format_args!("xbar full"));
+        t.emit(TraceRecord {
+            cmd: CmdRef::Name(t.intern("INC8")),
+            vault: 3,
+            ..TraceRecord::new(10, TraceKind::Cmd)
+        });
+        t.emit(TraceRecord { vault: 1, link: 0, ..TraceRecord::new(11, TraceKind::XbarRspFull) });
         assert_eq!(buf.len(), 1);
-        assert_eq!(buf.lines()[0], "HMCSIM_TRACE : 10 : RQST : CMD=INC8 VAULT=3");
+        assert_eq!(
+            buf.lines()[0],
+            "HMCSIM_TRACE : 10 : RQST : CMD=INC8 CUB=0 QUAD=0 VAULT=3 BANK=0 ADDR=0x0 TAG=0"
+        );
         assert_eq!(buf.grep("INC8").len(), 1);
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops() {
+        let buf = TraceBuffer::with_capacity(2);
+        let mut t = Tracer::to_buffer(TraceLevel::ALL, buf.clone());
+        for i in 0..5 {
+            t.emit(cmd_record(i));
+        }
+        assert_eq!(buf.len(), 2, "capacity bounds retained lines");
+        assert_eq!(buf.dropped(), 3, "overflow is counted, not stored");
+        assert_eq!(t.sink_dropped(), 3);
+        assert!(buf.lines()[0].contains(" 0 "), "oldest lines are kept");
     }
 
     #[test]
     fn disabled_tracer_is_silent() {
         let mut t = Tracer::disabled();
         assert!(!t.enabled(TraceLevel::CMD));
+        t.emit(cmd_record(0));
         t.event(TraceLevel::CMD, 0, "RQST", format_args!("dropped"));
     }
 
@@ -424,15 +1331,112 @@ mod tests {
         t.attach_ring(ring.clone());
         // The level mask is NONE, but the ring still captures events.
         for i in 0..5 {
-            t.event(TraceLevel::FAULT, i, "FAULT", format_args!("ev{i}"));
+            t.emit(TraceRecord { vault: i as u16, tag: i as u16, ..TraceRecord::new(i, TraceKind::Poison) });
         }
         assert_eq!(ring.len(), 3, "ring retains only the newest lines");
         let lines = ring.lines();
-        assert!(lines[0].contains("ev2"));
-        assert!(lines[2].contains("ev4"));
+        assert!(lines[0].contains("vault=2"));
+        assert!(lines[2].contains("vault=4"));
         t.detach_ring();
-        t.event(TraceLevel::FAULT, 9, "FAULT", format_args!("after detach"));
+        t.emit(TraceRecord::new(9, TraceKind::Poison));
         assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn flight_recorder_captures_raw_records_per_lane() {
+        let flight = FlightRecorder::new(2);
+        let mut t = Tracer::disabled();
+        t.attach_flight(flight.clone());
+        // Bank lane: three Cmd records into a 2-slot ring.
+        for i in 0..3 {
+            t.emit(cmd_record(i));
+        }
+        // Host lane: one delivery.
+        t.emit(TraceRecord { tag: 7, a: 3, link: 2, ..TraceRecord::new(9, TraceKind::Deliver) });
+        assert_eq!(flight.len(), 3);
+        assert_eq!(flight.dropped(), 1, "bank lane evicted one record");
+        let snap = t.flight_snapshot().unwrap();
+        assert_eq!(snap.capacity, 2);
+        assert_eq!(snap.lanes.len(), 5);
+        let bank = snap.lanes.iter().find(|l| l.name == "bank").unwrap();
+        assert_eq!(bank.records.len(), 2);
+        assert_eq!(bank.records[0].cycle, 1, "oldest retained after eviction");
+        assert_eq!(bank.dropped, 1);
+        let lines = snap.lines();
+        assert_eq!(lines.last().unwrap(), "HMCSIM_TRACE : 9 : LATENCY : tag=7 lat=3 link=2");
+        t.detach_flight();
+        t.emit(cmd_record(10));
+        assert_eq!(flight.len(), 3, "detached recorder sees nothing");
+    }
+
+    #[test]
+    fn flight_snapshot_restores_byte_identically() {
+        let flight = FlightRecorder::new(4);
+        let mut t = Tracer::disabled();
+        t.attach_flight(flight.clone());
+        let name = t.intern("hmc_lock");
+        t.emit(TraceRecord {
+            cmd: CmdRef::Name(name),
+            a: 20,
+            b: 1,
+            quad: 1,
+            ..TraceRecord::new(3, TraceKind::CmcOp)
+        });
+        let snap = t.flight_snapshot().unwrap();
+        assert_eq!(
+            snap.lines(),
+            vec!["HMCSIM_TRACE : 3 : CMC : op=hmc_lock cmd=20 af=true rsp_len=1".to_string()]
+        );
+        flight.clear();
+        assert!(flight.is_empty());
+        t.restore_flight(&snap);
+        assert_eq!(t.flight_snapshot().unwrap(), snap);
+    }
+
+    #[test]
+    fn renders_match_legacy_formats() {
+        let cases: Vec<(TraceRecord, &str)> = vec![
+            (
+                TraceRecord { dev: 0, link: 2, a: 17, ..TraceRecord::new(4, TraceKind::LinkRetry) },
+                "HMCSIM_TRACE : 4 : RETRY : link error injected: dev=0 link=2, replay at 17",
+            ),
+            (
+                TraceRecord { link: 1, ..TraceRecord::new(8, TraceKind::LinkDown) },
+                "HMCSIM_TRACE : 8 : FAULT : kind=LINKDOWN link=1",
+            ),
+            (
+                TraceRecord { vault: 9, tag: 3, a: 0x0b, ..TraceRecord::new(2, TraceKind::VaultFault) },
+                "HMCSIM_TRACE : 2 : FAULT : kind=VAULT vault=9 tag=3 errstat=0xb",
+            ),
+            (
+                TraceRecord { link: 0, vault: 12, a: 4, ..TraceRecord::new(6, TraceKind::XbarToVault) },
+                "HMCSIM_TRACE : 6 : QUEUE : xbar->vault: link=0 vault=12 occ=4",
+            ),
+            (
+                TraceRecord { vault: 7, bank: 3, ..TraceRecord::new(1, TraceKind::BankBusy) },
+                "HMCSIM_TRACE : 1 : BANK : bank busy: vault=7 bank=3",
+            ),
+            (
+                TraceRecord {
+                    cmd: CmdRef::Rqst(HmcRqst::Cmc(20)),
+                    b: 1,
+                    ..TraceRecord::new(5, TraceKind::CmdReject)
+                },
+                "HMCSIM_TRACE : 5 : RQST : CMD=CMC20 rejected: not in Gen2",
+            ),
+            (
+                TraceRecord { cmd: CmdRef::Inactive(33), ..TraceRecord::new(5, TraceKind::Cmd) },
+                "HMCSIM_TRACE : 5 : RQST : CMD=CMC33(inactive) CUB=0 QUAD=0 VAULT=0 BANK=0 ADDR=0x0 TAG=0",
+            ),
+            (
+                TraceRecord { a: 100, b: 40, ..TraceRecord::new(100, TraceKind::IdleSkip) },
+                "HMCSIM_TRACE : 100 : ENGINE : idle skip: from=100 len=40",
+            ),
+        ];
+        for (rec, want) in cases {
+            assert_eq!(rec.render_line(|_| "?".into()), want);
+            assert_eq!(rec.kind.lane().name(), rec.kind.lane().name());
+        }
     }
 
     #[test]
@@ -453,8 +1457,24 @@ mod tests {
             TraceLevel::LATENCY,
             Box::new(SharedWriter(shared.clone())),
         );
-        t.event(TraceLevel::LATENCY, 99, "LAT", format_args!("tag7 lat=3"));
+        t.emit(TraceRecord { tag: 7, a: 3, link: 0, ..TraceRecord::new(99, TraceKind::Deliver) });
         let out = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
-        assert_eq!(out, "HMCSIM_TRACE : 99 : LAT : tag7 lat=3\n");
+        assert_eq!(out, "HMCSIM_TRACE : 99 : LATENCY : tag=7 lat=3 link=0\n");
+    }
+
+    #[test]
+    fn name_table_interns_and_round_trips() {
+        let names = NameTable::default();
+        let a = names.intern("hmc_lock");
+        let b = names.intern("hmc_unlock");
+        assert_eq!(names.intern("hmc_lock"), a, "dedup");
+        assert_ne!(a, b);
+        assert_eq!(names.resolve(a), "hmc_lock");
+        assert_eq!(names.resolve(999), "?");
+        let snap = names.snapshot();
+        let other = NameTable::default();
+        other.replace(snap);
+        assert_eq!(other.resolve(b), "hmc_unlock");
+        assert_eq!(other.intern("hmc_lock"), a, "index survives replace");
     }
 }

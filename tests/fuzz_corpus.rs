@@ -132,6 +132,7 @@ fn canary_divergence_is_found_and_shrunk() {
         skip: SkipMode::On,
         sanitizer: false,
         telemetry: true,
+        trace: true,
     };
     let config = RunnerConfig { canary: true, ..Default::default() };
     let outcome = run_scenario(&fat, &config);

@@ -176,6 +176,44 @@ fn skip_mode_is_zero_perturbation() {
     }
 }
 
+/// The flight recorder is a pure observer: attaching it must leave
+/// the pinned mutex evaluation bit-identical — same metrics, same
+/// cycle count, same device-state fingerprint — on every engine
+/// combination, while still retaining a non-empty structured
+/// timeline.
+#[test]
+fn flight_recorder_is_zero_perturbation() {
+    ops::register_builtin_libraries();
+    let run = |mode: ExecMode, skip: SkipMode, record: bool| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_exec_mode(mode);
+        sim.set_skip_mode(skip);
+        if record {
+            sim.enable_flight_recorder(1024);
+        }
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        let retained = sim.flight_snapshot().map(|snap| snap.len());
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint(), retained)
+    };
+    for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 8 }] {
+        for skip in [SkipMode::Off, SkipMode::On] {
+            let off = run(mode, skip, false);
+            let on = run(mode, skip, true);
+            assert_eq!(off.0, on.0, "min latency unchanged: {mode:?} {skip:?}");
+            assert_eq!(off.1, on.1, "max latency unchanged: {mode:?} {skip:?}");
+            assert_eq!(off.2, on.2, "avg latency unchanged: {mode:?} {skip:?}");
+            assert_eq!(off.3, on.3, "cycle count unchanged: {mode:?} {skip:?}");
+            assert_eq!(off.4, on.4, "device state bit-identical: {mode:?} {skip:?}");
+            assert_eq!(off.5, None);
+            assert!(on.5.unwrap() > 0, "recorder retained a timeline: {mode:?} {skip:?}");
+        }
+    }
+}
+
 /// Sanitizer report mode stays zero-perturbation when stage 3 runs on
 /// the parallel engine: same fingerprint as the unsanitized parallel
 /// run, and the packet-conservation audit stays clean.
