@@ -1,18 +1,32 @@
 //! Ablation of the timing extensions (paper §VII future work):
-//! row-buffer policy, DRAM refresh and crossbar arbitration, measured
-//! on the streaming (Triad), random (GUPS) and dependent-load
-//! (pointer-chase) kernels. Prints simulated metrics per variant
-//! alongside the wall-clock measurement.
+//! row-buffer policy, DRAM refresh, crossbar arbitration, and the
+//! timing-backend seam itself, measured on the streaming (Triad),
+//! random (GUPS) and dependent-load (pointer-chase) kernels. Prints
+//! simulated metrics per variant alongside the wall-clock measurement.
+//!
+//! Row-buffer policy and refresh row-closing are properties of the
+//! `row_buffer` timing backend, so those groups pin the backend
+//! explicitly; the `timing_backend` group measures the seam itself —
+//! `fixed` vs `row_buffer` on an identical row-heavy configuration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hmc_sim::{Arbitration, BankTiming, DeviceConfig, HmcSim, RefreshConfig, RowPolicy};
+use hmc_sim::{
+    Arbitration, BankTiming, DeviceConfig, HmcSim, RefreshConfig, RowPolicy, TimingSelect,
+};
+use hmc_workloads::kernels::gups::{GupsConfig, GupsKernel};
 use hmc_workloads::kernels::pchase::{PointerChaseConfig, PointerChaseKernel};
 use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn triad_cycles(config: &DeviceConfig) -> u64 {
+fn sim_with(config: &DeviceConfig, timing: TimingSelect) -> HmcSim {
     let mut sim = HmcSim::new(config.clone()).unwrap();
+    sim.set_timing_model(timing);
+    sim
+}
+
+fn triad_cycles(config: &DeviceConfig, timing: TimingSelect) -> u64 {
+    let mut sim = sim_with(config, timing);
     let r = TriadKernel::new(TriadConfig { elements: 2048, ..Default::default() })
         .run(&mut sim)
         .unwrap();
@@ -20,8 +34,17 @@ fn triad_cycles(config: &DeviceConfig) -> u64 {
     r.cycles
 }
 
-fn pchase_cpl(config: &DeviceConfig) -> f64 {
-    let mut sim = HmcSim::new(config.clone()).unwrap();
+fn gups_cycles(config: &DeviceConfig, timing: TimingSelect) -> u64 {
+    let mut sim = sim_with(config, timing);
+    let r = GupsKernel::new(GupsConfig { updates: 2_000, ..Default::default() })
+        .run(&mut sim)
+        .unwrap();
+    assert_eq!(r.errors, 0);
+    r.cycles
+}
+
+fn pchase_cpl(config: &DeviceConfig, timing: TimingSelect) -> f64 {
+    let mut sim = sim_with(config, timing);
     let r = PointerChaseKernel::new(PointerChaseConfig {
         nodes: 256,
         steps: 256,
@@ -41,10 +64,12 @@ fn bench_row_policy(c: &mut Criterion) {
         config.bank_timing = BankTiming { row_hit: 1, row_miss: 6, policy };
         println!(
             "row policy {name:>12}: triad {} cycles, pchase {:.2} cycles/hop",
-            triad_cycles(&config),
-            pchase_cpl(&config)
+            triad_cycles(&config, TimingSelect::RowBuffer),
+            pchase_cpl(&config, TimingSelect::RowBuffer)
         );
-        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(triad_cycles(&config, TimingSelect::RowBuffer)))
+        });
     }
     group.finish();
 }
@@ -59,8 +84,13 @@ fn bench_refresh(c: &mut Criterion) {
     ] {
         let mut config = DeviceConfig::gen2_4link_4gb();
         config.refresh = refresh;
-        println!("refresh {name:>18}: triad {} cycles", triad_cycles(&config));
-        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+        println!(
+            "refresh {name:>18}: triad {} cycles",
+            triad_cycles(&config, TimingSelect::RowBuffer)
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(triad_cycles(&config, TimingSelect::RowBuffer)))
+        });
     }
     group.finish();
 }
@@ -74,11 +104,42 @@ fn bench_arbitration(c: &mut Criterion) {
     ] {
         let mut config = DeviceConfig::gen2_4link_4gb();
         config.arbitration = arb;
-        println!("arbitration {name:>15}: triad {} cycles", triad_cycles(&config));
-        group.bench_function(name, |b| b.iter(|| black_box(triad_cycles(&config))));
+        println!(
+            "arbitration {name:>15}: triad {} cycles",
+            triad_cycles(&config, TimingSelect::FixedLatency)
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(triad_cycles(&config, TimingSelect::FixedLatency)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_row_policy, bench_refresh, bench_arbitration);
+/// The backend seam itself: identical row-heavy configuration, only
+/// the timing model swapped. Reports both the wall-clock cost of the
+/// richer model and the simulated cycle delta it predicts.
+fn bench_timing_backend(c: &mut Criterion) {
+    let mut config = DeviceConfig::gen2_4link_4gb();
+    config.bank_timing = BankTiming { row_hit: 1, row_miss: 6, policy: RowPolicy::OpenPage };
+    config.refresh = Some(RefreshConfig { interval: 512, duration: 16 });
+    let mut group = c.benchmark_group("timing_backend");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for timing in [TimingSelect::FixedLatency, TimingSelect::RowBuffer] {
+        println!(
+            "backend {:>10}: triad {} cycles, gups {} cycles",
+            timing.name(),
+            triad_cycles(&config, timing),
+            gups_cycles(&config, timing)
+        );
+        group.bench_function(format!("triad/{}", timing.name()), |b| {
+            b.iter(|| black_box(triad_cycles(&config, timing)))
+        });
+        group.bench_function(format!("gups/{}", timing.name()), |b| {
+            b.iter(|| black_box(gups_cycles(&config, timing)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_policy, bench_refresh, bench_arbitration, bench_timing_backend);
 criterion_main!(benches);

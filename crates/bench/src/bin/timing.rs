@@ -1,0 +1,179 @@
+//! Timing-backend measurement.
+//!
+//! Runs the streaming (Triad) and random-access (GUPS) kernels on a
+//! row-heavy configuration under the `fixed` and `row_buffer` timing
+//! backends, then emits `BENCH_timing.json`: wall time, simulated
+//! cycles and cycles/second per (workload, backend) row, the simulated
+//! slowdown the row-buffer model attributes to row misses and refresh,
+//! and the validation gate.
+//!
+//! ```text
+//! cargo run --release -p hmc-bench --bin timing
+//! cargo run --release -p hmc-bench --bin timing -- --out BENCH_timing.json
+//! cargo run --release -p hmc-bench --bin timing -- --reps 5
+//! ```
+//!
+//! The exit code reflects only the determinism gate: for every
+//! workload, a `validated` run (fixed primary + row-buffer shadow)
+//! must land on the exact simulated cycle count and state fingerprint
+//! of the `fixed` run — the shadow model is contracted to observe,
+//! never steer. Backend cycle deltas are the model difference being
+//! measured and are recorded, not gated.
+
+use hmc_sim::{DeviceConfig, HmcSim, RefreshConfig, RowPolicy, TimingSelect};
+use hmc_workloads::kernels::gups::{GupsConfig, GupsKernel};
+use hmc_workloads::kernels::triad::{TriadConfig, TriadKernel};
+use std::time::Instant;
+
+/// Row timing and refresh live, so the backends actually differ.
+fn config() -> DeviceConfig {
+    let mut d = DeviceConfig::gen2_4link_4gb();
+    d.bank_timing.policy = RowPolicy::OpenPage;
+    d.bank_timing.row_hit = 1;
+    d.bank_timing.row_miss = 6;
+    d.refresh = Some(RefreshConfig { interval: 512, duration: 16 });
+    d
+}
+
+fn run_triad(sim: &mut HmcSim) -> u64 {
+    let r = TriadKernel::new(TriadConfig { elements: 2048, ..Default::default() })
+        .run(sim)
+        .unwrap();
+    assert_eq!(r.errors, 0);
+    r.cycles
+}
+
+fn run_gups(sim: &mut HmcSim) -> u64 {
+    let r = GupsKernel::new(GupsConfig { updates: 2_000, ..Default::default() })
+        .run(sim)
+        .unwrap();
+    assert_eq!(r.errors, 0);
+    r.cycles
+}
+
+struct Sample {
+    workload: &'static str,
+    backend: TimingSelect,
+    sim_cycles: u64,
+    best_wall_s: f64,
+    fingerprint: u64,
+}
+
+impl Sample {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.best_wall_s
+    }
+}
+
+/// Best-of-`reps` wall time; device construction stays outside the
+/// timed region so short runs measure engine throughput, not setup.
+fn measure(
+    workload: &'static str,
+    backend: TimingSelect,
+    reps: usize,
+    run: impl Fn(&mut HmcSim) -> u64,
+) -> Sample {
+    let mut best_wall_s = f64::INFINITY;
+    let mut sim_cycles = 0;
+    let mut fingerprint = 0;
+    for _ in 0..reps {
+        let mut sim = HmcSim::new(config()).unwrap();
+        sim.set_timing_model(backend);
+        let start = Instant::now();
+        let cycles = run(&mut sim);
+        let wall = start.elapsed().as_secs_f64();
+        best_wall_s = best_wall_s.min(wall);
+        sim_cycles = cycles;
+        fingerprint = sim.state_fingerprint();
+    }
+    Sample { workload, backend, sim_cycles, best_wall_s, fingerprint }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<String> {
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+    };
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_timing.json".into());
+    let reps: usize = arg("--reps").and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    type Run = Box<dyn Fn(&mut HmcSim) -> u64>;
+    let workloads: [(&'static str, Run); 2] =
+        [("triad_2048", Box::new(run_triad)), ("gups_2000", Box::new(run_gups))];
+
+    let mut samples = Vec::new();
+    let mut validated_matches_fixed = true;
+    for (name, run) in &workloads {
+        for backend in [TimingSelect::FixedLatency, TimingSelect::RowBuffer] {
+            samples.push(measure(name, backend, reps, run));
+        }
+        // The gate: one validated run per workload, which must be
+        // bit-identical to the fixed run it shadows.
+        let validated = measure(name, TimingSelect::Validated, 1, run);
+        let fixed = samples
+            .iter()
+            .find(|s| s.workload == *name && s.backend == TimingSelect::FixedLatency)
+            .expect("fixed sample recorded above");
+        if validated.sim_cycles != fixed.sim_cycles
+            || validated.fingerprint != fixed.fingerprint
+        {
+            validated_matches_fixed = false;
+            eprintln!(
+                "VALIDATED DIVERGENCE: {} fixed=({} cycles, {:#018x}) \
+                 validated=({} cycles, {:#018x})",
+                name,
+                fixed.sim_cycles,
+                fixed.fingerprint,
+                validated.sim_cycles,
+                validated.fingerprint
+            );
+        }
+    }
+
+    let cycles_of = |name: &str, backend: TimingSelect| -> u64 {
+        samples
+            .iter()
+            .find(|s| s.workload == name && s.backend == backend)
+            .map(|s| s.sim_cycles)
+            .unwrap_or(0)
+    };
+    let mut entries = Vec::new();
+    for s in &samples {
+        let slowdown =
+            s.sim_cycles as f64 / cycles_of(s.workload, TimingSelect::FixedLatency) as f64;
+        println!(
+            "{:<12} backend={:<10} : {:>9} cycles in {:>8.2} ms -> {:>12.0} cycles/s \
+             (sim slowdown {:.3}x)",
+            s.workload,
+            s.backend.name(),
+            s.sim_cycles,
+            s.best_wall_s * 1e3,
+            s.cycles_per_sec(),
+            slowdown,
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"sim_cycles\": {}, \
+             \"best_wall_s\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"sim_slowdown_vs_fixed\": {:.4}, \"fingerprint\": \"{:#018x}\"}}",
+            s.workload,
+            s.backend.name(),
+            s.sim_cycles,
+            s.best_wall_s,
+            s.cycles_per_sec(),
+            slowdown,
+            s.fingerprint
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"timing\",\n  \"reps\": {reps},\n  \
+         \"validated_matches_fixed\": {validated_matches_fixed},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("wrote {out_path}");
+
+    if !validated_matches_fixed {
+        std::process::exit(1);
+    }
+}

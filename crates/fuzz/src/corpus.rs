@@ -114,6 +114,7 @@ mod tests {
             sanitizer: false,
             telemetry: false,
             trace: false,
+            timing: hmc_sim::TimingSelect::FixedLatency,
         }
     }
 

@@ -9,7 +9,8 @@
 
 use crate::scenario::Scenario;
 use hmc_sim::{
-    Arbitration, DeviceConfig, ExecMode, FaultPlan, FaultRng, LinkErrorMode, RowPolicy, SkipMode,
+    Arbitration, DeviceConfig, ExecMode, FaultPlan, FaultRng, LinkErrorMode, RefreshConfig,
+    RowPolicy, SkipMode, TimingSelect,
 };
 use hmc_workloads::{KernelDescriptor, MutexMechanism};
 
@@ -50,7 +51,7 @@ impl ScenarioGenerator {
             _ => ExecMode::Parallel { threads: 8 },
         };
         let skip = if rng.below(2) == 0 { SkipMode::Off } else { SkipMode::On };
-        let scenario = Scenario {
+        let mut scenario = Scenario {
             seed: scenario_seed,
             device,
             kernel,
@@ -61,8 +62,28 @@ impl ScenarioGenerator {
             // Drawn last so adding this axis left every older axis's
             // per-scenario stream untouched.
             trace: rng.below(4) == 0,
+            // Timing axis drawn after `trace` (same stream-stability
+            // argument). Half the stream stays on the pre-trait fixed
+            // backend; the rest splits between the new ones.
+            timing: match rng.below(4) {
+                0 => TimingSelect::RowBuffer,
+                1 => TimingSelect::Validated,
+                _ => TimingSelect::FixedLatency,
+            },
         };
+        // Refresh only matters to the row-buffer model, so its draw is
+        // gated on (and sampled after) the timing axis — older streams
+        // never drew it and keep their exact device configs.
+        if scenario.timing != TimingSelect::FixedLatency && rng.below(2) == 0 {
+            let interval = 64 + rng.below(448);
+            let duration = 1 + rng.below(interval.min(32) - 1);
+            scenario.device.refresh = Some(RefreshConfig { interval, duration });
+        }
         scenario.validate().expect("generator produced an invalid scenario");
+        scenario
+            .device
+            .validate()
+            .expect("generator produced an invalid device config");
         scenario
     }
 }
@@ -204,6 +225,27 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.sanitizer));
         assert!(scenarios.iter().any(|s| s.trace));
         assert!(scenarios.iter().any(|s| !s.trace));
+        for timing in
+            [TimingSelect::FixedLatency, TimingSelect::RowBuffer, TimingSelect::Validated]
+        {
+            assert!(
+                scenarios.iter().any(|s| s.timing == timing),
+                "timing axis diversity: no {timing:?} scenario in 200 draws"
+            );
+        }
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.timing != TimingSelect::FixedLatency && s.device.refresh.is_some()),
+            "refresh must appear alongside the row-aware backends"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .filter(|s| s.timing == TimingSelect::FixedLatency)
+                .all(|s| s.device.refresh.is_none()),
+            "fixed-backend scenarios never draw refresh"
+        );
     }
 
     #[test]

@@ -338,6 +338,21 @@ fn seed_scenarios() -> Vec<Scenario> {
             break;
         }
     }
+    // And one for the timing axis: the first scenario that pairs the
+    // row-buffer backend with a refresh plan AND a live fault plan,
+    // pinning refresh-aware bank timing under fault injection in
+    // corpus replay.
+    let mut generator = ScenarioGenerator::new(0xC0FFEE);
+    while generator.position() < 500 {
+        let scenario = generator.next_scenario();
+        if scenario.timing == hmc_sim::TimingSelect::RowBuffer
+            && scenario.device.refresh.is_some()
+            && !scenario.device.fault.is_none()
+        {
+            picked.push(scenario);
+            break;
+        }
+    }
     picked
 }
 

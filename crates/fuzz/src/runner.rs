@@ -156,6 +156,12 @@ fn observe(
                 .map_err(|e| format!("device setup failed: {e}"))?;
             sim.set_exec_mode(exec);
             sim.set_skip_mode(skip);
+            // The timing backend is behaviour, not an engine variant:
+            // reference and variant both run under the scenario's
+            // backend, and the engine axes must stay bit-identical
+            // beneath it. Applied explicitly, so an HMCSIM_TIMING set
+            // in the fuzzing environment cannot skew one side.
+            sim.set_timing_model(scenario.timing);
             if sanitizer {
                 sim.enable_sanitizer(SanitizerConfig::report());
             }
@@ -305,6 +311,7 @@ pub fn capture_trace_events(scenario: &Scenario, timeout: Duration) -> Option<St
             let mut sim = HmcSim::new(scenario.device.clone()).ok()?;
             sim.set_exec_mode(scenario.exec);
             sim.set_skip_mode(scenario.skip);
+            sim.set_timing_model(scenario.timing);
             if scenario.sanitizer {
                 sim.enable_sanitizer(SanitizerConfig::report());
             }
@@ -343,6 +350,7 @@ mod tests {
             sanitizer: true,
             telemetry: false,
             trace: true,
+            timing: hmc_sim::TimingSelect::RowBuffer,
         }
     }
 

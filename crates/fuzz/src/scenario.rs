@@ -3,9 +3,9 @@
 use hmc_sim::jsonv::obj;
 use hmc_sim::scenario::{
     device_config_from_json, device_config_to_json, exec_mode_from_json, exec_mode_to_json,
-    skip_mode_from_json, skip_mode_to_json,
+    skip_mode_from_json, skip_mode_to_json, timing_select_from_json, timing_select_to_json,
 };
-use hmc_sim::{DeviceConfig, ExecMode, Json, JsonError, ObjReader, SkipMode};
+use hmc_sim::{DeviceConfig, ExecMode, Json, JsonError, ObjReader, SkipMode, TimingSelect};
 use hmc_workloads::KernelDescriptor;
 
 /// Version tag written into every scenario file. Bump when the format
@@ -41,6 +41,11 @@ pub struct Scenario {
     /// variant run. The recorder is contracted to be zero-perturbation,
     /// so this axis fuzzes that contract differentially.
     pub trace: bool,
+    /// Bank-timing backend. Unlike the engine axes, this one affects
+    /// behaviour, so it is applied to the reference AND the variant:
+    /// the differential contract is that exec/skip/observer axes stay
+    /// bit-identical *under every backend*.
+    pub timing: TimingSelect,
 }
 
 impl Scenario {
@@ -84,8 +89,13 @@ impl Scenario {
         let fault_weight = (fault.poison_per_million as u64 / 1_000)
             + (fault.vault_error_per_million as u64 / 1_000)
             + fault.link_schedule.len() as u64 * 8;
+        let timing = match self.timing {
+            TimingSelect::FixedLatency => 0,
+            TimingSelect::RowBuffer => 1,
+            TimingSelect::Validated => 2,
+        };
         kernel + exec + fault_weight + self.sanitizer as u64 + self.telemetry as u64
-            + self.trace as u64
+            + self.trace as u64 + timing
     }
 
     /// Serializes the scenario as a versioned self-contained JSON
@@ -101,6 +111,7 @@ impl Scenario {
             ("sanitizer", Json::Bool(self.sanitizer)),
             ("telemetry", Json::Bool(self.telemetry)),
             ("trace", Json::Bool(self.trace)),
+            ("timing", timing_select_to_json(self.timing)),
         ])
     }
 
@@ -133,6 +144,13 @@ impl Scenario {
                     message: "scenario: field `trace` must be a bool".into(),
                 })?,
             },
+            // Older corpus files predate the timing axis; absent means
+            // the default FixedLatency backend. A present-but-unknown
+            // backend name still fails loudly in the parser.
+            timing: match r.optional("timing") {
+                None => TimingSelect::FixedLatency,
+                Some(v) => timing_select_from_json(v)?,
+            },
         };
         // Reproducers may carry an embedded Perfetto timeline
         // alongside the scenario; it is forensic context, not replay
@@ -163,6 +181,7 @@ mod tests {
             sanitizer: true,
             telemetry: false,
             trace: true,
+            timing: TimingSelect::RowBuffer,
         }
     }
 
@@ -194,6 +213,31 @@ mod tests {
         let loaded = Scenario::from_json_str(&s.render()).unwrap();
         assert!(!loaded.trace, "absent trace field must default to off");
         assert_eq!(Scenario { trace: true, ..loaded }, sample());
+    }
+
+    #[test]
+    fn missing_timing_field_defaults_fixed_and_unknown_backends_reject() {
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            fields.retain(|(k, _)| k != "timing");
+        }
+        let loaded = Scenario::from_json_str(&s.render()).unwrap();
+        assert_eq!(
+            loaded.timing,
+            TimingSelect::FixedLatency,
+            "absent timing field must default to the fixed backend"
+        );
+
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            for (k, v) in fields.iter_mut() {
+                if k == "timing" {
+                    *v = Json::Str("warp_drive".into());
+                }
+            }
+        }
+        let e = Scenario::from_json_str(&s.render()).unwrap_err();
+        assert!(e.message.contains("unknown timing backend"), "{}", e.message);
     }
 
     #[test]

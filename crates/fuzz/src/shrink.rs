@@ -13,7 +13,7 @@
 
 use crate::runner::{run_scenario, Outcome, RunnerConfig};
 use crate::scenario::Scenario;
-use hmc_sim::{ExecMode, FaultPlan, LinkErrorMode, SkipMode};
+use hmc_sim::{ExecMode, FaultPlan, LinkErrorMode, SkipMode, TimingSelect};
 use hmc_workloads::KernelDescriptor;
 
 /// Result of a shrink session.
@@ -178,6 +178,20 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         c.sanitizer = false;
         push(c);
     }
+    // Timing axis: fall back to the fixed backend (clearing refresh
+    // with it, since only the row-aware backends react to refresh), or
+    // clear just the refresh plan.
+    if s.timing != TimingSelect::FixedLatency {
+        let mut c = s.clone();
+        c.timing = TimingSelect::FixedLatency;
+        c.device.refresh = None;
+        push(c);
+    }
+    if s.device.refresh.is_some() {
+        let mut c = s.clone();
+        c.device.refresh = None;
+        push(c);
+    }
     // Engine axes.
     if let ExecMode::Parallel { threads } = s.exec {
         let mut c = s.clone();
@@ -250,6 +264,7 @@ mod tests {
                     .with_vault_errors(20_000)
                     .with_link_event(100, 1, false)
                     .with_link_event(200, 1, true);
+                d.refresh = Some(hmc_sim::RefreshConfig { interval: 128, duration: 4 });
                 d
             },
             kernel: KernelDescriptor::RawOps { ops: 64, seed: 9, gap: 8, drain: 256 },
@@ -258,6 +273,7 @@ mod tests {
             sanitizer: true,
             telemetry: true,
             trace: true,
+            timing: TimingSelect::Validated,
         };
         let cs = candidates(&s);
         assert!(!cs.is_empty());
@@ -287,6 +303,7 @@ mod tests {
             sanitizer: true,
             telemetry: true,
             trace: true,
+            timing: TimingSelect::RowBuffer,
         };
         let config = RunnerConfig { canary: true, ..Default::default() };
         let outcome = run_scenario(&fat, &config);

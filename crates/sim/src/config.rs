@@ -8,6 +8,7 @@
 use crate::dram::{BankTiming, RefreshConfig};
 use crate::fault::FaultPlan;
 use crate::link::LinkConfig;
+use crate::timing::TimingSelect;
 use hmc_types::{CmdKind, HmcError, HmcRqst};
 
 /// Crossbar link-service arbitration.
@@ -204,6 +205,27 @@ impl DeviceConfig {
         }
         if self.capacity < (self.total_vaults() * self.banks_per_vault * self.block_size) as u64 {
             return bad("capacity smaller than one block per bank".into());
+        }
+        if let Some(r) = &self.refresh {
+            // A configured refresh model must actually refresh: a zero
+            // interval or zero duration silently degenerates to "never
+            // blocks" (see `RefreshConfig::blocks`), and a duration at
+            // or above the interval leaves no service window at all.
+            // `refresh: None` is the way to spell "no refresh".
+            if r.interval == 0 || r.duration == 0 {
+                return bad(format!(
+                    "refresh interval and duration must be nonzero \
+                     (got interval={}, duration={}); use refresh: None to disable",
+                    r.interval, r.duration
+                ));
+            }
+            if r.duration >= r.interval {
+                return bad(format!(
+                    "refresh duration {} must be shorter than interval {} \
+                     or banks can never serve",
+                    r.duration, r.interval
+                ));
+            }
         }
         self.fault.validate(self.links)?;
         Ok(())
@@ -417,6 +439,10 @@ pub struct SimConfig {
     /// `HMCSIM_SKIP` environment variable can upgrade the default, see
     /// [`SkipMode::resolve_env`]).
     pub skip_mode: SkipMode,
+    /// DRAM bank timing backend ([`TimingSelect::FixedLatency`] by
+    /// default; the `HMCSIM_TIMING` environment variable can upgrade
+    /// the default, see [`TimingSelect::resolve_env`]).
+    pub timing: TimingSelect,
 }
 
 impl SimConfig {
@@ -429,6 +455,7 @@ impl SimConfig {
             telemetry: Default::default(),
             exec_mode: Default::default(),
             skip_mode: Default::default(),
+            timing: Default::default(),
         }
     }
 
@@ -441,6 +468,7 @@ impl SimConfig {
             telemetry: Default::default(),
             exec_mode: Default::default(),
             skip_mode: Default::default(),
+            timing: Default::default(),
         }
     }
 
@@ -522,8 +550,40 @@ mod tests {
             telemetry: Default::default(),
             exec_mode: Default::default(),
             skip_mode: Default::default(),
+            timing: Default::default(),
         };
         assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_refresh_configs_rejected() {
+        let ok = |interval, duration| {
+            let mut c = DeviceConfig::gen2_4link_4gb();
+            c.refresh = Some(RefreshConfig { interval, duration });
+            c.validate()
+        };
+        assert!(ok(100, 10).is_ok());
+        assert!(ok(2, 1).is_ok(), "duration one below interval is the edge of legal");
+        for (interval, duration) in [(0, 10), (100, 0), (0, 0), (100, 100), (100, 101)] {
+            let err = ok(interval, duration)
+                .expect_err(&format!("interval={interval} duration={duration} must be rejected"));
+            let msg = err.to_string();
+            assert!(msg.contains("refresh"), "error names the refresh model: {msg}");
+        }
+        // None stays the way to disable refresh entirely.
+        assert!(DeviceConfig::gen2_4link_4gb().validate().is_ok());
+    }
+
+    #[test]
+    fn timing_select_defaults_fixed_in_sim_config() {
+        assert_eq!(SimConfig::single(DeviceConfig::default()).timing, TimingSelect::FixedLatency);
+        assert_eq!(SimConfig::chain(DeviceConfig::default(), 2).timing, TimingSelect::FixedLatency);
+        // An explicit non-default selection is never overridden by the
+        // environment (mirrors ExecMode/SkipMode).
+        assert_eq!(
+            TimingSelect::RowBuffer.resolve_env().unwrap(),
+            TimingSelect::RowBuffer
+        );
     }
 
     #[test]

@@ -21,8 +21,9 @@
 
 use crate::addr::AddressMap;
 use crate::config::{DeviceConfig, SpecRevision};
-use crate::dram::{Bank, BankTiming};
+use crate::dram::Bank;
 use crate::fault::{FaultRng, ERRSTAT_VAULT_FAULT};
+use crate::timing::{TimingEngine, TimingSelect, TimingStats};
 use crate::power::{PowerConfig, PowerModel};
 use crate::queue::BoundedQueue;
 use crate::regs::RegisterFile;
@@ -149,15 +150,16 @@ pub(crate) enum StallKind {
 }
 
 /// The per-vault outcome of the pure planning pass: how many queued
-/// requests the vault retires this cycle, their decoded locations,
-/// the post-access bank states to write back at take time, and the
-/// stall (if any) that terminated the window.
+/// requests the vault retires this cycle, their decoded locations, and
+/// the stall (if any) that terminated the window. The take stage
+/// replays the planned accesses through the timing engine, so bank
+/// evolution (and observation recording) happens exactly once, in
+/// vault order.
 #[derive(Debug)]
 pub(crate) struct VaultPlan {
     pub(crate) vault: usize,
     pub(crate) take: usize,
     pub(crate) locs: Vec<crate::addr::Location>,
-    pub(crate) banks: Vec<(usize, Bank)>,
     pub(crate) stall: Option<StallKind>,
 }
 
@@ -186,8 +188,8 @@ pub struct Device {
     regs: RegisterFile,
     stats: DeviceStats,
     power: PowerModel,
-    /// Row-buffer timing with the flat `bank_latency` folded in.
-    bank_timing: BankTiming,
+    /// The bank-service timing backend (see [`crate::timing`]).
+    timing: TimingEngine,
     /// Seeded PRNG for the fault plan's probabilistic draws.
     fault_rng: FaultRng,
     /// Current link state driven by the fault plan's schedule.
@@ -197,14 +199,20 @@ pub struct Device {
 }
 
 impl Device {
-    /// Builds a device with the given cube id and configuration.
+    /// Builds a device with the given cube id and configuration, using
+    /// the default [`TimingSelect::FixedLatency`] backend.
     pub fn new(id: usize, config: DeviceConfig) -> Result<Self, HmcError> {
+        Self::with_timing(id, config, TimingSelect::FixedLatency)
+    }
+
+    /// Builds a device with an explicit bank-timing backend.
+    pub fn with_timing(
+        id: usize,
+        config: DeviceConfig,
+        select: TimingSelect,
+    ) -> Result<Self, HmcError> {
         config.validate()?;
-        let bank_timing = BankTiming {
-            row_hit: config.bank_timing.row_hit + config.bank_latency,
-            row_miss: config.bank_timing.row_miss + config.bank_latency,
-            policy: config.bank_timing.policy,
-        };
+        let timing = TimingEngine::new(select, &config);
         Ok(Device {
             id,
             map: AddressMap::new(&config),
@@ -220,7 +228,7 @@ impl Device {
             regs: RegisterFile::new(config.capacity, config.links),
             stats: DeviceStats::default(),
             power: PowerModel::new(PowerConfig::default()),
-            bank_timing,
+            timing,
             fault_rng: FaultRng::new(config.fault.seed.wrapping_add(id as u64)),
             link_up: vec![true; config.links],
             fault_idx: 0,
@@ -251,6 +259,24 @@ impl Device {
     /// The accumulated power model.
     pub fn power(&self) -> &PowerModel {
         &self.power
+    }
+
+    /// The active bank-timing backend.
+    pub fn timing_select(&self) -> TimingSelect {
+        self.timing.select()
+    }
+
+    /// The timing backend's observation counters (latency-class
+    /// histograms, validated-mode divergence).
+    pub fn timing_stats(&self) -> &TimingStats {
+        self.timing.stats()
+    }
+
+    /// Swaps the bank-timing backend, resetting its observation
+    /// counters and (for [`TimingSelect::Validated`]) its shadow bank
+    /// array. Bank state proper is untouched.
+    pub fn set_timing_model(&mut self, select: TimingSelect) {
+        self.timing = TimingEngine::new(select, &self.config);
     }
 
     /// The CMC registration table.
@@ -342,6 +368,15 @@ impl Device {
     /// path on time.
     pub(crate) fn next_fault_event(&self) -> Option<u64> {
         self.config.fault.link_schedule.get(self.fault_idx).map(|ev| ev.cycle)
+    }
+
+    /// Earliest cycle strictly after `cycle` at which any bank the
+    /// timing backend tracks (live or shadow) changes availability.
+    /// The event-horizon engine may not skip past this cycle: a bank
+    /// release can unblock a stalled vault queue head.
+    pub(crate) fn next_timing_event(&self, cycle: u64) -> Option<u64> {
+        self.timing
+            .next_event_cycle(&mut self.vaults.iter().flat_map(|v| v.banks.iter()), cycle)
     }
 
     /// True when `link`'s crossbar request queue can accept a packet.
@@ -488,7 +523,7 @@ impl Device {
             regs,
             stats,
             power,
-            bank_timing,
+            timing,
             fault_rng,
             ..
         } = self;
@@ -510,8 +545,8 @@ impl Device {
                     }
                 };
                 let bank = loc.bank as usize % config.banks_per_vault;
+                let global_bank = (vidx * config.banks_per_vault + bank) as u64;
                 if let Some(refresh) = &config.refresh {
-                    let global_bank = (vidx * config.banks_per_vault + bank) as u64;
                     let total = (config.total_vaults() * config.banks_per_vault) as u64;
                     if refresh.blocks(cycle, global_bank, total) {
                         stats.vault_stalls += 1;
@@ -574,7 +609,7 @@ impl Device {
                     }
                     continue;
                 }
-                vault.banks[bank].access(cycle, loc.row, bank_timing);
+                timing.serve(&mut vault.banks[bank], cycle, loc.row, global_bank);
                 power.add_dram_access();
                 let rsp = execute_request(
                     *id, config, &item, &loc, mem, cmc, regs, stats, power, cycle, tracer,
@@ -640,9 +675,12 @@ impl Device {
                 vault: vidx,
                 take: 0,
                 locs: Vec::new(),
-                banks: Vec::new(),
                 stall: None,
             };
+            // Plan-local advanced bank copies: the window's earlier
+            // accesses must be visible to its later busy checks, but
+            // live banks stay untouched until take time.
+            let mut banks: Vec<(usize, Bank)> = Vec::new();
             // Virtual response-queue occupancy: grows as planned
             // requests promise responses, exactly as the real queue
             // grows during sequential execution.
@@ -668,8 +706,8 @@ impl Device {
                     },
                 };
                 let bank = loc.bank as usize % self.config.banks_per_vault;
+                let global_bank = (vidx * self.config.banks_per_vault + bank) as u64;
                 if let Some(refresh) = &self.config.refresh {
-                    let global_bank = (vidx * self.config.banks_per_vault + bank) as u64;
                     let total =
                         (self.config.total_vaults() * self.config.banks_per_vault) as u64;
                     if refresh.blocks(cycle, global_bank, total) {
@@ -679,8 +717,7 @@ impl Device {
                 }
                 // Check the plan-local bank copy if this window
                 // already touched the bank, else the live bank.
-                let bank_state = plan
-                    .banks
+                let bank_state = banks
                     .iter()
                     .find(|(b, _)| *b == bank)
                     .map(|(_, s)| s)
@@ -705,13 +742,14 @@ impl Device {
                 if let Some((start, end, write)) = data_footprint(&head.req) {
                     footprints.push((start, end, write, vidx));
                 }
-                // Advance a copy of the bank exactly as execution
-                // will at take time.
+                // Advance a copy of the bank exactly as the timing
+                // backend will at take time (plan/serve equality is a
+                // trait contract, pinned by the timing unit tests).
                 let mut state = bank_state.clone();
-                state.access(cycle, loc.row, &self.bank_timing);
-                match plan.banks.iter_mut().find(|(b, _)| *b == bank) {
+                self.timing.plan_serve(&mut state, cycle, loc.row, global_bank);
+                match banks.iter_mut().find(|(b, _)| *b == bank) {
                     Some(slot) => slot.1 = state,
-                    None => plan.banks.push((bank, state)),
+                    None => banks.push((bank, state)),
                 }
                 plan.locs.push(loc);
                 plan.take += 1;
@@ -737,26 +775,27 @@ impl Device {
     }
 
     /// Applies the *take* side of a plan: pops the planned requests,
-    /// writes the advanced bank states back, and books the stall and
+    /// replays their bank accesses through the timing backend (so live
+    /// banks advance — and observations record — exactly as the
+    /// sequential path would, in vault order), and books the stall and
     /// DRAM-access accounting the sequential path performs inline.
     /// Must run on the coordinating thread before the compute phase.
-    pub(crate) fn take_parallel_work(&mut self, plans: &[VaultPlan]) -> Vec<VaultWork> {
+    pub(crate) fn take_parallel_work(&mut self, cycle: u64, plans: &[VaultPlan]) -> Vec<VaultWork> {
+        let Device { config, vaults, timing, stats, power, .. } = self;
         let mut work = Vec::with_capacity(plans.len());
         for plan in plans {
-            let vault = &mut self.vaults[plan.vault];
+            let vault = &mut vaults[plan.vault];
             let mut items = Vec::with_capacity(plan.take);
             for loc in &plan.locs {
                 let item = vault.rqst.pop().expect("planned item present");
+                let bank = loc.bank as usize % config.banks_per_vault;
+                let global_bank = (plan.vault * config.banks_per_vault + bank) as u64;
+                timing.serve(&mut vault.banks[bank], cycle, loc.row, global_bank);
+                power.add_dram_access();
                 items.push((item, *loc));
             }
-            for (bank, state) in &plan.banks {
-                vault.banks[*bank] = state.clone();
-            }
-            for _ in 0..plan.take {
-                self.power.add_dram_access();
-            }
             if plan.stall.is_some() {
-                self.stats.vault_stalls += 1;
+                stats.vault_stalls += 1;
             }
             work.push(VaultWork { vault: plan.vault, items });
         }
@@ -978,6 +1017,7 @@ impl Device {
             fault_rng: self.fault_rng.clone(),
             link_up: self.link_up.clone(),
             fault_idx: self.fault_idx,
+            timing: self.timing.snapshot(),
         }
     }
 
@@ -994,6 +1034,7 @@ impl Device {
         self.fault_rng = s.fault_rng.clone();
         self.link_up = s.link_up.clone();
         self.fault_idx = s.fault_idx;
+        self.timing = TimingEngine::from_snapshot(&s.timing, &self.config);
     }
 
     /// Test backdoor: pushes a response directly into a crossbar

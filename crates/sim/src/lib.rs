@@ -54,6 +54,7 @@ pub mod snapjson;
 pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
+pub mod timing;
 pub mod trace;
 pub mod trace_analysis;
 
@@ -80,6 +81,7 @@ pub use snapjson::SNAPSHOT_SCHEMA_VERSION;
 pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::{ClassLatency, CmdClass, DeviceStats};
 pub use telemetry::{Stage, StageStamps, Telemetry, TelemetryConfig, TimeSeries};
+pub use timing::{TimingSelect, TimingSnapshot, TimingStats, TIMING_ENV};
 pub use perfetto::PerfettoOptions;
 pub use trace::{
     CmdRef, FlightLane, FlightLaneSnapshot, FlightRecorder, FlightSnapshot, TraceBuffer,

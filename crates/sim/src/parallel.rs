@@ -234,7 +234,7 @@ pub(crate) fn execute_vaults_parallel(
         let revision = dev.config().revision;
         let id = dev.id();
         let mem = dev.mem_arc();
-        for VaultWork { vault, items } in dev.take_parallel_work(plan) {
+        for VaultWork { vault, items } in dev.take_parallel_work(cycle, plan) {
             if items.is_empty() {
                 continue;
             }

@@ -14,6 +14,7 @@ use crate::parallel::{execute_vaults_parallel, WorkerPool};
 use crate::power::PowerReport;
 use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
+use crate::timing::{TimingSelect, TimingStats};
 use crate::trace::{FlightRecorder, FlightSnapshot, TraceKind, TraceLevel, TraceRecord, Tracer};
 use hmc_cmc::{CmcOp, CmcRegistration};
 use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Response, Tag, TagPool};
@@ -88,6 +89,14 @@ pub struct HmcSim {
     /// a scan proves every queue empty. Not simulation state — not
     /// snapshotted, never observable in results.
     fabric_maybe_busy: bool,
+    /// Cached timing-backend event horizon (`None` = stale, must be
+    /// recomputed; `Some(h)` = the earliest bank-availability change
+    /// across all devices, computed while every queue was provably
+    /// empty, with `Some(None)` meaning all banks settled). Bank state
+    /// only changes on full clocks and restores, which invalidate the
+    /// cache alongside [`HmcSim::fabric_maybe_busy`]. Not simulation
+    /// state.
+    timing_horizon: Option<Option<u64>>,
 }
 
 impl HmcSim {
@@ -99,11 +108,12 @@ impl HmcSim {
     /// Creates a context from a full simulation configuration.
     pub fn with_config(config: SimConfig) -> Result<Self, HmcError> {
         config.validate()?;
+        let timing = config.timing.resolve_env()?;
         let devices = config
             .devices
             .iter()
             .enumerate()
-            .map(|(i, c)| Device::new(i, c.clone()))
+            .map(|(i, c)| Device::with_timing(i, c.clone(), timing))
             .collect::<Result<Vec<_>, _>>()?;
         let host_rx = config
             .devices
@@ -157,6 +167,7 @@ impl HmcSim {
             telemetry: None,
             skip_mode,
             fabric_maybe_busy: true,
+            timing_horizon: None,
         };
         if sim.config.sanitizer.enabled {
             sim.enable_sanitizer(sim.config.sanitizer.clone());
@@ -260,13 +271,38 @@ impl HmcSim {
     /// state, so switching mid-run is safe.
     pub fn set_skip_mode(&mut self, mode: SkipMode) {
         self.skip_mode = mode;
-        self.fabric_maybe_busy = true;
+        self.mark_fabric_busy();
+    }
+
+    /// The effective bank-timing backend (after environment
+    /// resolution; uniform across devices unless set per device).
+    pub fn timing_select(&self) -> TimingSelect {
+        self.devices.first().map(|d| d.timing_select()).unwrap_or_default()
+    }
+
+    /// A device's timing-backend observation counters (latency-class
+    /// histograms; divergence record under
+    /// [`TimingSelect::Validated`]).
+    pub fn timing_stats(&self, dev: usize) -> Result<&TimingStats, HmcError> {
+        Ok(self.device(dev)?.timing_stats())
+    }
+
+    /// Switches every device's bank-timing backend, resetting the
+    /// backends' observation counters (bank state proper, and thus the
+    /// state fingerprint, is untouched). Takes effect on the next
+    /// `clock()`.
+    pub fn set_timing_model(&mut self, select: TimingSelect) {
+        for dev in &mut self.devices {
+            dev.set_timing_model(select);
+        }
+        self.mark_fabric_busy();
     }
 
     /// Invalidates the skip engine's empty-queue cache (state was
     /// mutated outside the clock, e.g. a snapshot restore).
     pub(crate) fn mark_fabric_busy(&mut self) {
         self.fabric_maybe_busy = true;
+        self.timing_horizon = None;
     }
 
     // ------------------------------------------------------------------
@@ -849,9 +885,11 @@ impl HmcSim {
             self.run_sanitizer(cycle);
         }
 
-        // Packets may have moved into device queues this cycle: the
-        // skip engine must re-scan before compressing.
+        // Packets may have moved into device queues (and bank busy
+        // windows may have changed) this cycle: the skip engine must
+        // re-scan before compressing.
         self.fabric_maybe_busy = true;
+        self.timing_horizon = None;
         self.cycle += 1;
         self.cycle
     }
@@ -892,6 +930,21 @@ impl HmcSim {
                 }
                 k = k.min(at - cycle);
             }
+        }
+        // Timing-backend horizon: a bank (or validated-shadow bank)
+        // release is an availability change the full path must observe
+        // on time, so the skip window is clamped to it. Cached because
+        // bank state cannot change while every queue stays empty.
+        let horizon = match self.timing_horizon {
+            Some(h) if h.is_none_or(|t| t > cycle) => h,
+            _ => {
+                let h = self.devices.iter().filter_map(|d| d.next_timing_event(cycle)).min();
+                self.timing_horizon = Some(h);
+                h
+            }
+        };
+        if let Some(t) = horizon {
+            k = k.min(t - cycle);
         }
         if self.sanitizer.is_some() {
             let allow = self.sanitizer_skip_allowance(cycle, k);
@@ -945,6 +998,7 @@ impl HmcSim {
             .into_iter()
             .chain(self.retry_pending.peek_ready())
             .chain(self.devices.iter().filter_map(|d| d.next_fault_event()))
+            .chain(self.devices.iter().filter_map(|d| d.next_timing_event(self.cycle)))
             .min()
             .map(|c| c.max(self.cycle))
     }

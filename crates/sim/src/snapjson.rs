@@ -1059,6 +1059,40 @@ fn flight_from_json(v: &Json) -> Result<FlightSnapshot, JsonError> {
 }
 
 // ---------------------------------------------------------------------------
+// Timing backend
+// ---------------------------------------------------------------------------
+
+fn timing_json(t: &crate::timing::TimingSnapshot) -> Json {
+    obj(vec![
+        ("select", Json::Str(t.select.name().to_string())),
+        ("hit_latency", hist_json(&t.stats.hit_latency)),
+        ("miss_latency", hist_json(&t.stats.miss_latency)),
+        ("divergence", hist_json(&t.stats.divergence)),
+        ("shadow_late", int(t.stats.shadow_late)),
+        ("shadow_early", int(t.stats.shadow_early)),
+        ("shadow_agree", int(t.stats.shadow_agree)),
+        ("shadow", Json::Arr(t.shadow.iter().map(bank_json).collect())),
+    ])
+}
+
+fn timing_from_json(v: &Json) -> Result<crate::timing::TimingSnapshot, JsonError> {
+    let mut r = ObjReader::new("timing", v)?;
+    let select = crate::timing::TimingSelect::from_name(r.str("select")?)
+        .map_err(|e| JsonError { message: format!("timing: {e}") })?;
+    let stats = crate::timing::TimingStats {
+        hit_latency: hist_from_json(r.required("hit_latency")?)?,
+        miss_latency: hist_from_json(r.required("miss_latency")?)?,
+        divergence: hist_from_json(r.required("divergence")?)?,
+        shadow_late: r.u64("shadow_late")?,
+        shadow_early: r.u64("shadow_early")?,
+        shadow_agree: r.u64("shadow_agree")?,
+    };
+    let shadow = json_vec(r.required("shadow")?, "timing shadow", bank_from_json)?;
+    r.finish()?;
+    Ok(crate::timing::TimingSnapshot { select, stats, shadow })
+}
+
+// ---------------------------------------------------------------------------
 // Device and top level
 // ---------------------------------------------------------------------------
 
@@ -1094,6 +1128,7 @@ fn device_json(d: &DeviceSnapshot) -> Json {
         ("fault_rng", int(d.fault_rng.raw_state())),
         ("link_up", Json::Arr(d.link_up.iter().map(|&b| Json::Bool(b)).collect())),
         ("fault_idx", int_usize(d.fault_idx)),
+        ("timing", timing_json(&d.timing)),
     ])
 }
 
@@ -1129,6 +1164,13 @@ fn device_from_json(v: &Json) -> Result<DeviceSnapshot, JsonError> {
         })
         .collect::<Result<Vec<bool>, _>>()?;
     let fault_idx = r.usize("fault_idx")?;
+    // Legacy snapshots (schema ≤ the pre-timing-backend era) carry no
+    // "timing" field: default to a fresh FixedLatency record, matching
+    // the behaviour those snapshots were produced under.
+    let timing = match r.optional("timing") {
+        Some(v) => timing_from_json(v)?,
+        None => crate::timing::TimingSnapshot::default(),
+    };
     r.finish()?;
     Ok(DeviceSnapshot {
         xbar_rqst,
@@ -1141,6 +1183,7 @@ fn device_from_json(v: &Json) -> Result<DeviceSnapshot, JsonError> {
         fault_rng,
         link_up,
         fault_idx,
+        timing,
     })
 }
 

@@ -45,6 +45,12 @@ pub struct DeviceSnapshot {
     pub(crate) fault_rng: crate::fault::FaultRng,
     pub(crate) link_up: Vec<bool>,
     pub(crate) fault_idx: usize,
+    /// Timing-backend state: selection, observation counters and (for
+    /// the validated backend) the shadow bank array. Pure observation
+    /// apart from `select` — excluded from
+    /// [`SimSnapshot::fingerprint`], restored so a resumed run keeps
+    /// its backend and its telemetry continues seamlessly.
+    pub(crate) timing: crate::timing::TimingSnapshot,
 }
 
 /// A deep copy of all dynamic simulation state at one cycle boundary.

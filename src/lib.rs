@@ -51,7 +51,7 @@ pub mod prelude {
     pub use hmc_cmc::{CmcContext, CmcOp, CmcRegistration};
     pub use hmc_sim::{
         DeviceConfig, ExecMode, HmcSim, LinkTopology, SanitizerConfig, SanitizerPolicy,
-        SkipMode, TelemetryConfig, TraceLevel,
+        SkipMode, TelemetryConfig, TimingSelect, TraceLevel,
     };
     pub use hmc_types::{
         Cub, Flit, HmcError, HmcResponse, HmcRqst, Request, Response, Slid, Tag,

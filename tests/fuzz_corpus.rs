@@ -33,8 +33,8 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn corpus_is_present_and_replays_clean() {
     let corpus = load_corpus_dir(&corpus_dir()).expect("corpus must load");
     assert!(
-        corpus.len() >= 6,
-        "expected the seeded corpus (>= 6 scenarios), found {}",
+        corpus.len() >= 7,
+        "expected the seeded corpus (>= 7 scenarios), found {}",
         corpus.len()
     );
     let config = RunnerConfig { timeout: Duration::from_secs(120), canary: false };
@@ -57,6 +57,21 @@ fn corpus_covers_every_kernel_kind() {
     for expected in ["raw_ops", "counter", "gups", "triad", "mutex", "barrier"] {
         assert!(kernels.contains(expected), "no corpus scenario exercises `{expected}`");
     }
+}
+
+/// The timing axis must stay anchored in the corpus: at least one
+/// checked-in seed replays the row-buffer backend with a refresh plan
+/// under a live fault plan, so refresh-aware bank timing keeps its
+/// standing differential regression.
+#[test]
+fn corpus_anchors_row_buffer_timing_under_faults() {
+    let corpus = load_corpus_dir(&corpus_dir()).unwrap();
+    assert!(
+        corpus.iter().any(|(_, s)| s.timing == hmc_sim::TimingSelect::RowBuffer
+            && s.device.refresh.is_some()
+            && !s.device.fault.is_none()),
+        "no corpus scenario pairs RowBuffer timing with refresh and faults"
+    );
 }
 
 #[test]
@@ -133,6 +148,7 @@ fn canary_divergence_is_found_and_shrunk() {
         sanitizer: false,
         telemetry: true,
         trace: true,
+        timing: hmc_sim::TimingSelect::RowBuffer,
     };
     let config = RunnerConfig { canary: true, ..Default::default() };
     let outcome = run_scenario(&fat, &config);

@@ -214,6 +214,33 @@ fn flight_recorder_is_zero_perturbation() {
     }
 }
 
+/// The timing-model seam is itself zero-perturbation: on the stock
+/// configuration (flat `bank_latency`, row knobs zero, refresh off)
+/// all three backends collapse to the paper's model, so swapping them
+/// must leave the pinned mutex evaluation bit-identical. The backends
+/// are only allowed to differ once row timing or refresh is
+/// configured — see `tests/timing_determinism.rs` for that matrix.
+#[test]
+fn timing_backends_are_inert_on_the_default_config() {
+    ops::register_builtin_libraries();
+    let run = |timing: TimingSelect| {
+        let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+        sim.set_timing_model(timing);
+        sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
+        let m = MutexKernel::new(MutexKernelConfig { threads: 16, ..Default::default() })
+            .run(&mut sim)
+            .unwrap()
+            .metrics;
+        (m.min_cycle(), m.max_cycle(), m.avg_cycle(), sim.cycle(), sim.state_fingerprint())
+    };
+    let fixed = run(TimingSelect::FixedLatency);
+    assert_eq!(fixed.0, 19, "pinned mutex minimum");
+    assert_eq!(fixed.1, 49, "pinned mutex maximum");
+    for timing in [TimingSelect::RowBuffer, TimingSelect::Validated] {
+        assert_eq!(run(timing), fixed, "{timing:?} perturbed the stock model");
+    }
+}
+
 /// Sanitizer report mode stays zero-perturbation when stage 3 runs on
 /// the parallel engine: same fingerprint as the unsanitized parallel
 /// run, and the packet-conservation audit stays clean.

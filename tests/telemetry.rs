@@ -93,6 +93,10 @@ proptest! {
 fn deterministic_run() -> HmcSim {
     ops::register_builtin_libraries();
     let mut sim = HmcSim::new(DeviceConfig::gen2_4link_4gb()).unwrap();
+    // The golden exports include the timing backend's metrics; pin the
+    // backend so an `HMCSIM_TIMING` override (the CI timing matrix)
+    // cannot drift the golden files.
+    sim.set_timing_model(TimingSelect::FixedLatency);
     sim.enable_telemetry(TelemetryConfig::with_window(16));
     sim.load_cmc_library(0, ops::MUTEX_LIBRARY).unwrap();
 
