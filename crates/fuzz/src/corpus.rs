@@ -115,6 +115,7 @@ mod tests {
             telemetry: false,
             trace: false,
             timing: hmc_sim::TimingSelect::FixedLatency,
+            fabric: crate::scenario::FabricTopology::Single,
         }
     }
 

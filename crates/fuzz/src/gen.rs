@@ -7,7 +7,7 @@
 //! `(seed, index)`, so shrinking or replaying scenario `i` never
 //! perturbs scenario `i + 1`.
 
-use crate::scenario::Scenario;
+use crate::scenario::{FabricTopology, Scenario};
 use hmc_sim::{
     Arbitration, DeviceConfig, ExecMode, FaultPlan, FaultRng, LinkErrorMode, RefreshConfig,
     RowPolicy, SkipMode, TimingSelect,
@@ -70,6 +70,7 @@ impl ScenarioGenerator {
                 1 => TimingSelect::Validated,
                 _ => TimingSelect::FixedLatency,
             },
+            fabric: FabricTopology::Single,
         };
         // Refresh only matters to the row-buffer model, so its draw is
         // gated on (and sampled after) the timing axis — older streams
@@ -79,6 +80,17 @@ impl ScenarioGenerator {
             let duration = 1 + rng.below(interval.min(32) - 1);
             scenario.device.refresh = Some(RefreshConfig { interval, duration });
         }
+        // Fabric axis drawn last (same stream-stability argument as
+        // `trace`). Half the stream keeps the historic single cube;
+        // the rest splits across small chains, rings and a 2×2 mesh —
+        // kernels inject at cube 0 only, so the extra cubes fuzz the
+        // idle-cube horizon and fault machinery.
+        scenario.fabric = match rng.below(6) {
+            0..=2 => FabricTopology::Single,
+            3 => FabricTopology::Chain { cubes: 2 + rng.below(3) as u8 },
+            4 => FabricTopology::Ring { cubes: 3 + rng.below(3) as u8 },
+            _ => FabricTopology::Mesh { cols: 2, rows: 2 },
+        };
         scenario.validate().expect("generator produced an invalid scenario");
         scenario
             .device
@@ -245,6 +257,16 @@ mod tests {
                 .filter(|s| s.timing == TimingSelect::FixedLatency)
                 .all(|s| s.device.refresh.is_none()),
             "fixed-backend scenarios never draw refresh"
+        );
+        assert!(scenarios.iter().any(|s| s.fabric == FabricTopology::Single));
+        assert!(scenarios.iter().any(|s| matches!(s.fabric, FabricTopology::Chain { .. })));
+        assert!(scenarios.iter().any(|s| matches!(s.fabric, FabricTopology::Ring { .. })));
+        assert!(scenarios.iter().any(|s| matches!(s.fabric, FabricTopology::Mesh { .. })));
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.fabric != FabricTopology::Single && s.skip == SkipMode::On),
+            "fabric × skip must co-occur: idle remote cubes under skip is the risky corner"
         );
     }
 

@@ -152,7 +152,10 @@ fn observe(
     // and the stuck thread dies with the process.
     thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut sim = HmcSim::new(scenario.device.clone())
+            // Both sides instantiate the scenario's full fabric, so a
+            // topology-dependent divergence shows up on the digest
+            // axes, never as a setup asymmetry.
+            let mut sim = HmcSim::with_config(scenario.sim_config())
                 .map_err(|e| format!("device setup failed: {e}"))?;
             sim.set_exec_mode(exec);
             sim.set_skip_mode(skip);
@@ -308,7 +311,7 @@ pub fn capture_trace_events(scenario: &Scenario, timeout: Duration) -> Option<St
     let (tx, rx) = mpsc::channel();
     thread::spawn(move || {
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            let mut sim = HmcSim::new(scenario.device.clone()).ok()?;
+            let mut sim = HmcSim::with_config(scenario.sim_config()).ok()?;
             sim.set_exec_mode(scenario.exec);
             sim.set_skip_mode(scenario.skip);
             sim.set_timing_model(scenario.timing);
@@ -351,6 +354,7 @@ mod tests {
             telemetry: false,
             trace: true,
             timing: hmc_sim::TimingSelect::RowBuffer,
+            fabric: crate::scenario::FabricTopology::Ring { cubes: 4 },
         }
     }
 

@@ -5,8 +5,103 @@ use hmc_sim::scenario::{
     device_config_from_json, device_config_to_json, exec_mode_from_json, exec_mode_to_json,
     skip_mode_from_json, skip_mode_to_json, timing_select_from_json, timing_select_to_json,
 };
-use hmc_sim::{DeviceConfig, ExecMode, Json, JsonError, ObjReader, SkipMode, TimingSelect};
+use hmc_sim::{
+    DeviceConfig, ExecMode, Json, JsonError, ObjReader, SimConfig, SkipMode, TimingSelect,
+};
 use hmc_workloads::KernelDescriptor;
+
+/// The multi-cube fabric a scenario instantiates. Kernels inject all
+/// traffic at cube 0, so the extra cubes of a non-[`Single`] fabric
+/// run idle — which is exactly the machinery the axis fuzzes: per-cube
+/// event horizons, idle-skip over populated-but-quiet devices, and
+/// fault delivery on cubes the workload never touches.
+///
+/// [`Single`]: FabricTopology::Single
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricTopology {
+    /// One cube, host-only links (the historic configuration).
+    Single,
+    /// A daisy chain of `cubes` devices.
+    Chain {
+        /// Device count (2–16).
+        cubes: u8,
+    },
+    /// A ring of `cubes` devices.
+    Ring {
+        /// Device count (3–16).
+        cubes: u8,
+    },
+    /// A `cols` × `rows` 2D mesh, row-major.
+    Mesh {
+        /// Grid width.
+        cols: u8,
+        /// Grid height.
+        rows: u8,
+    },
+}
+
+impl FabricTopology {
+    /// Number of cubes this fabric instantiates.
+    pub fn cube_count(&self) -> usize {
+        match *self {
+            FabricTopology::Single => 1,
+            FabricTopology::Chain { cubes } | FabricTopology::Ring { cubes } => cubes as usize,
+            FabricTopology::Mesh { cols, rows } => cols as usize * rows as usize,
+        }
+    }
+
+    /// The simulation configuration for this fabric around `device`
+    /// (every cube gets an identical copy, fault plan included).
+    pub fn sim_config(&self, device: DeviceConfig) -> SimConfig {
+        match *self {
+            FabricTopology::Single => SimConfig::single(device),
+            FabricTopology::Chain { cubes } => SimConfig::chain(device, cubes as usize),
+            FabricTopology::Ring { cubes } => SimConfig::ring(device, cubes as usize),
+            FabricTopology::Mesh { cols, rows } => {
+                SimConfig::mesh(device, cols as usize, rows as usize)
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            FabricTopology::Single => obj(vec![("kind", Json::Str("single".into()))]),
+            FabricTopology::Chain { cubes } => obj(vec![
+                ("kind", Json::Str("chain".into())),
+                ("cubes", Json::Int(cubes as i128)),
+            ]),
+            FabricTopology::Ring { cubes } => obj(vec![
+                ("kind", Json::Str("ring".into())),
+                ("cubes", Json::Int(cubes as i128)),
+            ]),
+            FabricTopology::Mesh { cols, rows } => obj(vec![
+                ("kind", Json::Str("mesh".into())),
+                ("cols", Json::Int(cols as i128)),
+                ("rows", Json::Int(rows as i128)),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let mut r = ObjReader::new("fabric", value)?;
+        let kind = r.str("kind")?.to_string();
+        let out = match kind.as_str() {
+            "single" => FabricTopology::Single,
+            "chain" => FabricTopology::Chain { cubes: r.u64("cubes")? as u8 },
+            "ring" => FabricTopology::Ring { cubes: r.u64("cubes")? as u8 },
+            "mesh" => {
+                FabricTopology::Mesh { cols: r.u64("cols")? as u8, rows: r.u64("rows")? as u8 }
+            }
+            other => {
+                return Err(JsonError {
+                    message: format!("fabric: unknown kind `{other}`"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
 
 /// Version tag written into every scenario file. Bump when the format
 /// changes shape; the loader rejects any other value loudly.
@@ -46,6 +141,10 @@ pub struct Scenario {
     /// the differential contract is that exec/skip/observer axes stay
     /// bit-identical *under every backend*.
     pub timing: TimingSelect,
+    /// Multi-cube fabric. Like `timing` this is behaviour, not an
+    /// engine variant: both sides instantiate the same fabric, and the
+    /// engine axes must stay bit-identical across its idle cubes.
+    pub fabric: FabricTopology,
 }
 
 impl Scenario {
@@ -63,7 +162,20 @@ impl Scenario {
                 ),
             });
         }
+        // The fabric's own preconditions (ring size, full mesh grid,
+        // cube cap) live in the simulator's validator; surface them
+        // here so a hand-edited corpus file fails at load, not replay.
+        self.fabric
+            .sim_config(self.device.clone())
+            .validate()
+            .map_err(|e| JsonError { message: format!("scenario: invalid fabric: {e}") })?;
         Ok(())
+    }
+
+    /// The simulation configuration both differential sides run: the
+    /// scenario's fabric instantiated around its device config.
+    pub fn sim_config(&self) -> SimConfig {
+        self.fabric.sim_config(self.device.clone())
     }
 
     /// A rough size metric used to judge shrink quality (smaller is
@@ -94,8 +206,11 @@ impl Scenario {
             TimingSelect::RowBuffer => 1,
             TimingSelect::Validated => 2,
         };
+        // A single cube weighs nothing (the historic shape); every
+        // extra cube counts, so shrinking pulls toward Single.
+        let fabric = self.fabric.cube_count() as u64 - 1;
         kernel + exec + fault_weight + self.sanitizer as u64 + self.telemetry as u64
-            + self.trace as u64 + timing
+            + self.trace as u64 + timing + fabric
     }
 
     /// Serializes the scenario as a versioned self-contained JSON
@@ -112,6 +227,7 @@ impl Scenario {
             ("telemetry", Json::Bool(self.telemetry)),
             ("trace", Json::Bool(self.trace)),
             ("timing", timing_select_to_json(self.timing)),
+            ("fabric", self.fabric.to_json()),
         ])
     }
 
@@ -151,6 +267,12 @@ impl Scenario {
                 None => TimingSelect::FixedLatency,
                 Some(v) => timing_select_from_json(v)?,
             },
+            // Older corpus files predate the fabric axis; absent means
+            // the historic single-cube shape.
+            fabric: match r.optional("fabric") {
+                None => FabricTopology::Single,
+                Some(v) => FabricTopology::from_json(v)?,
+            },
         };
         // Reproducers may carry an embedded Perfetto timeline
         // alongside the scenario; it is forensic context, not replay
@@ -182,6 +304,7 @@ mod tests {
             telemetry: false,
             trace: true,
             timing: TimingSelect::RowBuffer,
+            fabric: FabricTopology::Chain { cubes: 3 },
         }
     }
 
@@ -257,5 +380,34 @@ mod tests {
         assert!(s.validate().is_err());
         s.kernel = KernelDescriptor::RawOps { ops: 8, seed: 1, gap: 0, drain: 32 };
         assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_fabric_field_defaults_single_and_invalid_fabrics_reject() {
+        let mut s = sample().to_json();
+        if let Json::Obj(fields) = &mut s {
+            fields.retain(|(k, _)| k != "fabric");
+        }
+        let loaded = Scenario::from_json_str(&s.render()).unwrap();
+        assert_eq!(
+            loaded.fabric,
+            FabricTopology::Single,
+            "absent fabric field must default to one cube"
+        );
+
+        // A two-cube ring fails the simulator's precondition; the
+        // loader must refuse it rather than defer the blowup to replay.
+        let mut bad = sample();
+        bad.fabric = FabricTopology::Ring { cubes: 2 };
+        let text = bad.to_json().render();
+        let e = Scenario::from_json_str(&text).unwrap_err();
+        assert!(e.message.contains("invalid fabric"), "{}", e.message);
+    }
+
+    #[test]
+    fn fabric_axis_weighs_by_extra_cubes() {
+        let single = Scenario { fabric: FabricTopology::Single, ..sample() };
+        let mesh = Scenario { fabric: FabricTopology::Mesh { cols: 2, rows: 2 }, ..sample() };
+        assert_eq!(mesh.weight() - single.weight(), 3, "three extra cubes");
     }
 }

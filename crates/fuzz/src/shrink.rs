@@ -12,7 +12,7 @@
 //! first, so shrinking is always bounded.
 
 use crate::runner::{run_scenario, Outcome, RunnerConfig};
-use crate::scenario::Scenario;
+use crate::scenario::{FabricTopology, Scenario};
 use hmc_sim::{ExecMode, FaultPlan, LinkErrorMode, SkipMode, TimingSelect};
 use hmc_workloads::KernelDescriptor;
 
@@ -137,6 +137,14 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     let mut stock = s.clone();
     stock.device = hmc_sim::DeviceConfig::gen2_4link_4gb();
     push(stock);
+    // Fabric axis: collapse to a single cube early — most findings
+    // won't need the fabric, and one cube removes whole subsystems
+    // (routing, transit queues, per-cube horizons) from the repro.
+    if s.fabric != FabricTopology::Single {
+        let mut c = s.clone();
+        c.fabric = FabricTopology::Single;
+        push(c);
+    }
     if !s.device.fault.is_none() {
         let mut no_fault = s.clone();
         no_fault.device.fault = FaultPlan::none();
@@ -274,6 +282,7 @@ mod tests {
             telemetry: true,
             trace: true,
             timing: TimingSelect::Validated,
+            fabric: FabricTopology::Mesh { cols: 2, rows: 2 },
         };
         let cs = candidates(&s);
         assert!(!cs.is_empty());
@@ -304,6 +313,7 @@ mod tests {
             telemetry: true,
             trace: true,
             timing: TimingSelect::RowBuffer,
+            fabric: FabricTopology::Ring { cubes: 4 },
         };
         let config = RunnerConfig { canary: true, ..Default::default() };
         let outcome = run_scenario(&fat, &config);
@@ -311,6 +321,11 @@ mod tests {
         let report = shrink(&fat, &outcome, &config, 400);
         assert_eq!(report.outcome.class(), "mismatch-stats");
         assert_eq!(report.scenario.skip, SkipMode::On, "canary requires skip mode");
+        assert_eq!(
+            report.scenario.fabric,
+            FabricTopology::Single,
+            "the canary does not need the fabric, so shrinking must collapse it"
+        );
         assert!(
             report.scenario.weight() <= 24,
             "shrunk scenario still fat (weight {}): {:?}",

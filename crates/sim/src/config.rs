@@ -406,6 +406,10 @@ impl SkipMode {
 }
 
 /// How multiple devices are wired together.
+///
+/// Shortest-path routing tables for every variant are computed once at
+/// construction by [`crate::topology::Topology`]; the per-hop next
+/// device is a table lookup, never a runtime search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LinkTopology {
     /// A single host-attached device (the paper's evaluation setup).
@@ -415,6 +419,16 @@ pub enum LinkTopology {
     /// packets for cube *n* traverse *n* hops (paper §II's chaining
     /// support carried forward from HMC-Sim 1.0).
     Chain,
+    /// Devices in a cycle: device *i* neighbours `(i±1) mod n`.
+    /// Requires at least 3 cubes (a 2-cube ring is just a chain).
+    Ring,
+    /// A 2-D row-major mesh with `cols` columns and `n / cols` rows;
+    /// each device neighbours its N/S/E/W grid neighbours. Requires
+    /// the device count to be a multiple of `cols`.
+    Mesh {
+        /// Mesh width (devices per row).
+        cols: usize,
+    },
 }
 
 /// Configuration of a whole simulation context.
@@ -461,9 +475,24 @@ impl SimConfig {
 
     /// A chain of `n` identical devices.
     pub fn chain(device: DeviceConfig, n: usize) -> Self {
+        Self::fabric(device, n, LinkTopology::Chain)
+    }
+
+    /// A ring of `n` identical devices (`n >= 3`).
+    pub fn ring(device: DeviceConfig, n: usize) -> Self {
+        Self::fabric(device, n, LinkTopology::Ring)
+    }
+
+    /// A `cols × rows` row-major mesh of identical devices.
+    pub fn mesh(device: DeviceConfig, cols: usize, rows: usize) -> Self {
+        Self::fabric(device, cols * rows, LinkTopology::Mesh { cols })
+    }
+
+    /// `n` identical devices under an arbitrary wiring.
+    pub fn fabric(device: DeviceConfig, n: usize, topology: LinkTopology) -> Self {
         SimConfig {
             devices: std::iter::repeat_n(device, n).collect(),
-            topology: LinkTopology::Chain,
+            topology,
             sanitizer: Default::default(),
             telemetry: Default::default(),
             exec_mode: Default::default(),
@@ -472,15 +501,18 @@ impl SimConfig {
         }
     }
 
-    /// Validates every device plus topology constraints (at most 8
-    /// cubes — the CUB field is 3 bits).
+    /// Validates every device plus topology constraints (at most 16
+    /// cubes — the 4-bit extended CUB field; see `hmc_types::Cub`),
+    /// including the routing-table preconditions of the chosen
+    /// [`LinkTopology`].
     pub fn validate(&self) -> Result<(), HmcError> {
         if self.devices.is_empty() {
             return Err(HmcError::MalformedPacket("no devices configured".into()));
         }
-        if self.devices.len() > 8 {
-            return Err(HmcError::InvalidCube(self.devices.len() as u8));
+        if self.devices.len() > hmc_types::Cub::MAX_CUBES {
+            return Err(HmcError::InvalidCube(self.devices.len().min(255) as u8));
         }
+        crate::topology::Topology::new(self.topology, self.devices.len())?;
         for d in &self.devices {
             d.validate()?;
         }
@@ -542,7 +574,15 @@ mod tests {
     fn sim_config_bounds() {
         assert!(SimConfig::single(DeviceConfig::default()).validate().is_ok());
         assert!(SimConfig::chain(DeviceConfig::default(), 8).validate().is_ok());
-        assert!(SimConfig::chain(DeviceConfig::default(), 9).validate().is_err());
+        assert!(SimConfig::chain(DeviceConfig::default(), 16).validate().is_ok());
+        assert!(SimConfig::chain(DeviceConfig::default(), 17).validate().is_err());
+        assert!(SimConfig::ring(DeviceConfig::default(), 3).validate().is_ok());
+        assert!(SimConfig::ring(DeviceConfig::default(), 2).validate().is_err());
+        assert!(SimConfig::mesh(DeviceConfig::default(), 4, 4).validate().is_ok());
+        assert!(SimConfig::mesh(DeviceConfig::default(), 4, 2).validate().is_ok());
+        let mut skewed = SimConfig::mesh(DeviceConfig::default(), 3, 2);
+        skewed.devices.pop(); // 5 devices under cols=3: not a full grid
+        assert!(skewed.validate().is_err());
         let empty = SimConfig {
             devices: vec![],
             topology: LinkTopology::HostOnly,

@@ -1133,7 +1133,7 @@ fn error_response(dev: usize, item: &TrackedRequest, errstat: u8) -> Response {
             tag: item.req.head.tag,
             af: false,
             slid: Slid::new((item.entry_link % 8) as u8).expect("link < 8"),
-            cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
+            cub: Cub::new(dev as u8).expect("contexts hold at most Cub::MAX_CUBES devices"),
         },
         payload: PayloadBuf::new(),
         tail: RspTail { errstat, ..RspTail::default() },
@@ -1157,7 +1157,7 @@ fn make_response(
             tag: item.req.head.tag,
             af,
             slid: Slid::new((item.entry_link % 8) as u8).expect("link < 8"),
-            cub: Cub::new((dev % 8) as u8).expect("dev < 8"),
+            cub: Cub::new(dev as u8).expect("contexts hold at most Cub::MAX_CUBES devices"),
         },
         payload,
         tail: RspTail::default(),

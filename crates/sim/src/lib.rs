@@ -55,6 +55,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod timing;
+pub mod topology;
 pub mod trace;
 pub mod trace_analysis;
 
@@ -82,6 +83,7 @@ pub use snapshot::{ForensicDump, SimSnapshot};
 pub use stats::{ClassLatency, CmdClass, DeviceStats};
 pub use telemetry::{Stage, StageStamps, Telemetry, TelemetryConfig, TimeSeries};
 pub use timing::{TimingSelect, TimingSnapshot, TimingStats, TIMING_ENV};
+pub use topology::Topology;
 pub use perfetto::PerfettoOptions;
 pub use trace::{
     CmdRef, FlightLane, FlightLaneSnapshot, FlightRecorder, FlightSnapshot, TraceBuffer,

@@ -50,9 +50,12 @@ fn included(rec: &TraceRecord, opts: &PerfettoOptions) -> bool {
 fn flow_phase(kind: TraceKind) -> Option<char> {
     match kind {
         TraceKind::HostSend => Some('s'),
-        TraceKind::Cmd | TraceKind::CmcOp | TraceKind::XbarToVault | TraceKind::Failover => {
-            Some('t')
-        }
+        TraceKind::Cmd
+        | TraceKind::CmcOp
+        | TraceKind::XbarToVault
+        | TraceKind::Failover
+        | TraceKind::HopRqst
+        | TraceKind::HopRsp => Some('t'),
         TraceKind::Deliver | TraceKind::Zombie => Some('f'),
         _ => None,
     }

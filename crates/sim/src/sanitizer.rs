@@ -667,7 +667,9 @@ impl Sanitizer {
         for d in &sim.devices {
             d.occupancy_signature(&mut h);
         }
-        sim.in_transit.len().hash(&mut h);
+        for q in &sim.transit_queues {
+            q.len().hash(&mut h);
+        }
         sim.retry_pending.len().hash(&mut h);
         for q in sim.host_rx.iter().flatten() {
             q.len().hash(&mut h);

@@ -15,16 +15,17 @@ use crate::power::PowerReport;
 use crate::regs::{REG_GRLL, REG_LRLL};
 use crate::stats::DeviceStats;
 use crate::timing::{TimingSelect, TimingStats};
+use crate::topology::Topology;
 use crate::trace::{FlightRecorder, FlightSnapshot, TraceKind, TraceLevel, TraceRecord, Tracer};
 use hmc_cmc::{CmcOp, CmcRegistration};
 use hmc_types::{Cub, Flit, HmcError, HmcRqst, Request, Response, Tag, TagPool};
 use std::collections::{HashSet, VecDeque};
 
-/// A packet crossing between chained devices.
+/// A packet crossing a fabric edge between devices.
 #[derive(Debug, Clone)]
 pub(crate) enum Transit {
-    Rqst { to_dev: usize, link: usize, item: TrackedRequest, ready: u64 },
-    Rsp { to_dev: usize, link: usize, item: TrackedResponse, ready: u64 },
+    Rqst { from_dev: usize, to_dev: usize, link: usize, item: TrackedRequest, ready: u64 },
+    Rsp { from_dev: usize, to_dev: usize, link: usize, item: TrackedResponse, ready: u64 },
 }
 
 impl Transit {
@@ -32,6 +33,23 @@ impl Transit {
     pub(crate) fn ready(&self) -> u64 {
         match self {
             Transit::Rqst { ready, .. } | Transit::Rsp { ready, .. } => *ready,
+        }
+    }
+
+    /// The directed fabric edge this transit travels.
+    pub(crate) fn edge(&self) -> (usize, usize) {
+        match self {
+            Transit::Rqst { from_dev, to_dev, .. } | Transit::Rsp { from_dev, to_dev, .. } => {
+                (*from_dev, *to_dev)
+            }
+        }
+    }
+
+    /// Rewrites the sender (used when restoring pre-fabric snapshots
+    /// whose transits carried no sender).
+    pub(crate) fn set_from_dev(&mut self, dev: usize) {
+        match self {
+            Transit::Rqst { from_dev, .. } | Transit::Rsp { from_dev, .. } => *from_dev = dev,
         }
     }
 }
@@ -55,10 +73,15 @@ pub struct HmcSim {
     pub(crate) host_rx: Vec<Vec<VecDeque<TrackedResponse>>>,
     pub(crate) tag_pools: Vec<Vec<TagPool>>,
     pub(crate) pool_tags: Vec<Vec<HashSet<u16>>>,
-    /// Inter-device transits, ordered by `(ready cycle, insertion)`
-    /// so a clock only touches due entries and the event-horizon
-    /// engine can read the earliest due cycle in O(1).
-    pub(crate) in_transit: EventHeap<Transit>,
+    /// The fabric wiring: routing tables and the directed edge list.
+    pub(crate) topology: Topology,
+    /// Inter-device transits, one queue per directed fabric edge (in
+    /// [`Topology::edges`] order), each ordered by `(ready cycle,
+    /// insertion)`. Committing edges in list order gives cross-device
+    /// delivery a total order independent of execution mode, and the
+    /// event-horizon engine reads each queue's earliest due cycle in
+    /// O(1).
+    pub(crate) transit_queues: Vec<EventHeap<Transit>>,
     pub(crate) links: Vec<Vec<LinkControl>>,
     /// Link-layer retry replays, ordered like [`HmcSim::in_transit`].
     pub(crate) retry_pending: EventHeap<RetryEntry>,
@@ -83,20 +106,23 @@ pub struct HmcSim {
     pub(crate) telemetry: Option<Box<crate::telemetry::Telemetry>>,
     /// Whether `clock()` may compress provably-idle cycle runs.
     pub(crate) skip_mode: SkipMode,
-    /// Cache for the skip engine's device-queue scan: `true` means a
-    /// device queue *may* hold packets and must be re-scanned before
-    /// skipping. Set on every injection and full clock; cleared when
-    /// a scan proves every queue empty. Not simulation state — not
-    /// snapshotted, never observable in results.
-    fabric_maybe_busy: bool,
-    /// Cached timing-backend event horizon (`None` = stale, must be
-    /// recomputed; `Some(h)` = the earliest bank-availability change
-    /// across all devices, computed while every queue was provably
-    /// empty, with `Some(None)` meaning all banks settled). Bank state
-    /// only changes on full clocks and restores, which invalidate the
-    /// cache alongside [`HmcSim::fabric_maybe_busy`]. Not simulation
-    /// state.
-    timing_horizon: Option<Option<u64>>,
+    /// Per-cube cache for the skip engine's device-queue scan: `true`
+    /// means that device's queues *may* hold packets and must be
+    /// re-scanned before skipping. Set on injection into the device
+    /// and on every full clock where the device ends with pending
+    /// work; cleared when a scan proves its queues empty. A fully
+    /// idle cube therefore contributes O(1) to the global horizon —
+    /// idle-skip jumps never rescan quiet devices. Not simulation
+    /// state — not snapshotted, never observable in results.
+    dev_maybe_busy: Vec<bool>,
+    /// Per-cube cached timing-backend event horizon (`None` = stale,
+    /// must be recomputed; `Some(h)` = that device's earliest
+    /// bank-availability change, with `Some(None)` meaning all its
+    /// banks settled). A device's bank state only changes on full
+    /// clocks where it held or received work, and on restores — both
+    /// invalidate the cache alongside [`HmcSim::dev_maybe_busy`].
+    /// Not simulation state.
+    dev_timing_horizon: Vec<Option<Option<u64>>>,
 }
 
 impl HmcSim {
@@ -108,6 +134,7 @@ impl HmcSim {
     /// Creates a context from a full simulation configuration.
     pub fn with_config(config: SimConfig) -> Result<Self, HmcError> {
         config.validate()?;
+        let topology = Topology::new(config.topology, config.devices.len())?;
         let timing = config.timing.resolve_env()?;
         let devices = config
             .devices
@@ -149,6 +176,8 @@ impl HmcSim {
         let zombie_tags = config.devices.iter().map(|_| HashSet::new()).collect();
         let exec_mode = config.exec_mode.resolve_env()?;
         let skip_mode = config.skip_mode.resolve_env()?;
+        let n = devices.len();
+        let transit_queues = (0..topology.edge_count()).map(|_| EventHeap::new()).collect();
         let mut sim = HmcSim {
             config,
             devices,
@@ -156,7 +185,8 @@ impl HmcSim {
             host_rx,
             tag_pools,
             pool_tags,
-            in_transit: EventHeap::new(),
+            topology,
+            transit_queues,
             links,
             retry_pending: EventHeap::new(),
             zombie_tags,
@@ -166,8 +196,8 @@ impl HmcSim {
             sanitizer: None,
             telemetry: None,
             skip_mode,
-            fabric_maybe_busy: true,
-            timing_horizon: None,
+            dev_maybe_busy: vec![true; n],
+            dev_timing_horizon: vec![None; n],
         };
         if sim.config.sanitizer.enabled {
             sim.enable_sanitizer(sim.config.sanitizer.clone());
@@ -298,11 +328,23 @@ impl HmcSim {
         self.mark_fabric_busy();
     }
 
-    /// Invalidates the skip engine's empty-queue cache (state was
+    /// Invalidates every device's skip-engine caches (state was
     /// mutated outside the clock, e.g. a snapshot restore).
     pub(crate) fn mark_fabric_busy(&mut self) {
-        self.fabric_maybe_busy = true;
-        self.timing_horizon = None;
+        self.dev_maybe_busy.fill(true);
+        self.dev_timing_horizon.fill(None);
+    }
+
+    /// Invalidates one device's skip-engine caches (a packet entered
+    /// that device's queues outside the full clock).
+    fn mark_device_busy(&mut self, dev: usize) {
+        self.dev_maybe_busy[dev] = true;
+        self.dev_timing_horizon[dev] = None;
+    }
+
+    /// The fabric's routing tables and edge list.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     // ------------------------------------------------------------------
@@ -397,9 +439,9 @@ impl HmcSim {
                 a: flits as u64,
                 ..TraceRecord::new(cycle, TraceKind::HostSend)
             });
-            // A packet entered the fabric: the skip engine must
-            // re-scan the device queues before compressing again.
-            self.fabric_maybe_busy = true;
+            // A packet entered this device: the skip engine must
+            // re-scan its queues before compressing again.
+            self.mark_device_busy(dev);
             if let Some(san) = self.sanitizer.as_deref_mut() {
                 san.note_injected(dev, link, tag, tracked, cycle);
             }
@@ -580,16 +622,26 @@ impl HmcSim {
         }
     }
 
-    /// Builds and sends a request through the link's tag pool:
+    /// Builds and sends a request through the entry link's tag pool:
     /// acquires a tag for response-bearing commands, rolls it back on
     /// any failure, and registers it for automatic release at `recv`.
+    /// `cub` is the target cube (the entry device itself for the
+    /// simple local sends; any fabric-reachable cube otherwise).
     fn send_with_pool(
         &mut self,
         dev: usize,
         link: usize,
         posted: bool,
+        cub: Cub,
         build: impl FnOnce(Tag, Cub) -> Result<Request, HmcError>,
     ) -> Result<Option<Tag>, HmcError> {
+        // Reject out-of-range device indices up front: the old code
+        // built the CUB as `dev % 8`, silently aliasing device 9 onto
+        // cube 1. Validation caps contexts at `Cub::MAX_CUBES`
+        // devices, so any in-range index is addressable exactly.
+        if dev >= self.devices.len() {
+            return Err(HmcError::InvalidDevice(dev));
+        }
         let tag = if posted {
             Tag::new(0).expect("tag 0")
         } else {
@@ -599,7 +651,6 @@ impl HmcSim {
                 .ok_or(HmcError::InvalidLink(link))?
                 .acquire()?
         };
-        let cub = Cub::new((dev % 8) as u8).expect("dev < 8");
         let result = build(tag, cub).and_then(|req| self.send(dev, link, req));
         match result {
             Ok(()) => {
@@ -634,7 +685,31 @@ impl HmcSim {
         // Flow packets are absorbed by the link layer and answer
         // nothing, so they must not hold a tag.
         let posted = cmd.is_posted() || cmd.kind() == hmc_types::CmdKind::Flow;
-        self.send_with_pool(dev, link, posted, |tag, cub| {
+        if dev >= self.devices.len() {
+            return Err(HmcError::InvalidDevice(dev));
+        }
+        let cub = Cub::new(dev as u8).expect("validated contexts hold at most 16 devices");
+        self.send_with_pool(dev, link, posted, cub, |tag, cub| {
+            Request::new(cmd, tag, addr, cub, payload)
+        })
+    }
+
+    /// Builds and sends a standard-command request addressed to an
+    /// arbitrary cube, entering the fabric on `dev`'s host link
+    /// `link`. The packet hops along the topology's routing tables to
+    /// `cub`, executes there, and the response returns to the entry
+    /// link. Returns the tag for non-posted commands.
+    pub fn send_to_cube(
+        &mut self,
+        dev: usize,
+        link: usize,
+        cub: Cub,
+        cmd: HmcRqst,
+        addr: u64,
+        payload: Vec<u64>,
+    ) -> Result<Option<Tag>, HmcError> {
+        let posted = cmd.is_posted() || cmd.kind() == hmc_types::CmdKind::Flow;
+        self.send_with_pool(dev, link, posted, cub, |tag, cub| {
             Request::new(cmd, tag, addr, cub, payload)
         })
     }
@@ -651,7 +726,8 @@ impl HmcSim {
         payload: Vec<u64>,
     ) -> Result<Option<Tag>, HmcError> {
         let reg = self.device(dev)?.cmc().lookup(code)?.registration().clone();
-        self.send_with_pool(dev, link, reg.is_posted(), |tag, cub| {
+        let cub = Cub::new(dev as u8).expect("validated contexts hold at most 16 devices");
+        self.send_with_pool(dev, link, reg.is_posted(), cub, |tag, cub| {
             Request::new_cmc(code, reg.rqst_len, tag, addr, cub, payload)
         })
     }
@@ -725,25 +801,32 @@ impl HmcSim {
             self.retry_pending.reinsert(key, entry);
         }
 
-        // Inter-device transits whose hop latency elapsed.
-        let mut deferred = Vec::new();
-        while let Some((key, t)) = self.in_transit.pop_ready(cycle) {
-            match t {
-                Transit::Rqst { to_dev, link, item, ready } => {
-                    if let Err((item, _)) = self.devices[to_dev].accept_forward(link, item) {
-                        // Destination queue full: retry next cycle.
-                        deferred.push((key, Transit::Rqst { to_dev, link, item, ready }));
+        // Inter-device transits whose hop latency elapsed, committed
+        // edge by edge in the topology's fixed edge order (then
+        // (ready, insertion) order within an edge) — a total delivery
+        // order that no execution mode or thread count can perturb.
+        for e in 0..self.transit_queues.len() {
+            let mut deferred = Vec::new();
+            while let Some((key, t)) = self.transit_queues[e].pop_ready(cycle) {
+                match t {
+                    Transit::Rqst { from_dev, to_dev, link, item, ready } => {
+                        if let Err((item, _)) = self.devices[to_dev].accept_forward(link, item) {
+                            // Destination queue full: retry next cycle.
+                            deferred
+                                .push((key, Transit::Rqst { from_dev, to_dev, link, item, ready }));
+                        }
                     }
-                }
-                Transit::Rsp { to_dev, link, item, ready } => {
-                    if let Err((item, _)) = self.devices[to_dev].accept_return(link, item) {
-                        deferred.push((key, Transit::Rsp { to_dev, link, item, ready }));
+                    Transit::Rsp { from_dev, to_dev, link, item, ready } => {
+                        if let Err((item, _)) = self.devices[to_dev].accept_return(link, item) {
+                            deferred
+                                .push((key, Transit::Rsp { from_dev, to_dev, link, item, ready }));
+                        }
                     }
                 }
             }
-        }
-        for (key, t) in deferred {
-            self.in_transit.reinsert(key, t);
+            for (key, t) in deferred {
+                self.transit_queues[e].reinsert(key, t);
+            }
         }
 
         // Stage 1: vault responses -> crossbar response queues.
@@ -797,17 +880,26 @@ impl HmcSim {
                         self.host_rx[d][egress_link].push_back(rsp);
                     }
                     Egress::Forward(rsp) => {
-                        let to_dev = toward(d, rsp.entry_device);
+                        let to_dev = self
+                            .topology
+                            .next_hop(d, rsp.entry_device)
+                            .expect("forwarded response has a route to its entry device");
                         let hop = self.devices[d].config().hop_latency;
-                        self.in_transit.push(
-                            cycle + hop,
-                            Transit::Rsp {
-                                to_dev,
-                                link: rsp.entry_link,
-                                item: rsp,
-                                ready: cycle + hop,
-                            },
-                        );
+                        self.tracer.emit(TraceRecord {
+                            dev: d as u16,
+                            link: rsp.entry_link as u8,
+                            tag: rsp.rsp.head.tag.value(),
+                            a: to_dev as u64,
+                            b: cycle + hop,
+                            ..TraceRecord::new(cycle, TraceKind::HopRsp)
+                        });
+                        self.push_transit(Transit::Rsp {
+                            from_dev: d,
+                            to_dev,
+                            link: rsp.entry_link,
+                            item: rsp,
+                            ready: cycle + hop,
+                        });
                     }
                 }
             }
@@ -852,19 +944,28 @@ impl HmcSim {
             }
             for fwd in outcome.forwards {
                 let target = fwd.item.req.head.cub.value() as usize;
-                let to_dev = toward(d, target);
+                let to_dev = self
+                    .topology
+                    .next_hop(d, target)
+                    .expect("forwarded request has a route to its target cube");
                 let hop = self.devices[d].config().hop_latency;
                 let mut item = fwd.item;
                 item.hops += 1;
-                self.in_transit.push(
-                    cycle + hop,
-                    Transit::Rqst {
-                        to_dev,
-                        link: fwd.from_link,
-                        item,
-                        ready: cycle + hop,
-                    },
-                );
+                self.tracer.emit(TraceRecord {
+                    dev: d as u16,
+                    link: fwd.from_link as u8,
+                    tag: item.req.head.tag.value(),
+                    a: to_dev as u64,
+                    b: cycle + hop,
+                    ..TraceRecord::new(cycle, TraceKind::HopRqst)
+                });
+                self.push_transit(Transit::Rqst {
+                    from_dev: d,
+                    to_dev,
+                    link: fwd.from_link,
+                    item,
+                    ready: cycle + hop,
+                });
             }
         }
 
@@ -885,13 +986,32 @@ impl HmcSim {
             self.run_sanitizer(cycle);
         }
 
-        // Packets may have moved into device queues (and bank busy
-        // windows may have changed) this cycle: the skip engine must
-        // re-scan before compressing.
-        self.fabric_maybe_busy = true;
-        self.timing_horizon = None;
+        // Per-cube skip caches: an exact end-of-cycle scan (cheap
+        // relative to the pipeline that just ran). A device's bank
+        // state can only have changed this cycle if it held work at
+        // the cycle boundary — deliveries land in crossbar queues and
+        // execute no earlier than the *next* cycle — so a device that
+        // was provably empty and stayed empty keeps its cached timing
+        // horizon.
+        for (i, dev) in self.devices.iter().enumerate() {
+            let busy = dev.pending_work() != 0;
+            if self.dev_maybe_busy[i] || busy {
+                self.dev_timing_horizon[i] = None;
+            }
+            self.dev_maybe_busy[i] = busy;
+        }
         self.cycle += 1;
         self.cycle
+    }
+
+    /// Enqueues a transit on its directed fabric edge's queue.
+    fn push_transit(&mut self, t: Transit) {
+        let (from, to) = t.edge();
+        let e = self
+            .topology
+            .edge_id(from, to)
+            .expect("transits only travel along fabric edges");
+        self.transit_queues[e].push(t.ready(), t);
     }
 
     /// How many of the next `max` cycles are provably idle — nothing
@@ -905,18 +1025,24 @@ impl HmcSim {
             return None;
         }
         let cycle = self.cycle;
-        if self.fabric_maybe_busy {
-            if self.devices.iter().any(|d| d.pending_work() != 0) {
-                return None;
+        // Only devices flagged maybe-busy are scanned; a cleared flag
+        // is a proof the device's queues are empty (it stays cleared
+        // until an injection or a full clock that leaves work behind
+        // re-sets it), so quiet cubes cost nothing here.
+        for i in 0..self.devices.len() {
+            if self.dev_maybe_busy[i] {
+                if self.devices[i].pending_work() != 0 {
+                    return None;
+                }
+                self.dev_maybe_busy[i] = false;
             }
-            // Every queue is empty, and it stays that way until the
-            // next injection or full clock — both re-set the flag.
-            self.fabric_maybe_busy = false;
         }
         let mut k = max;
-        for ready in [self.in_transit.peek_ready(), self.retry_pending.peek_ready()]
-            .into_iter()
-            .flatten()
+        for ready in self
+            .transit_queues
+            .iter()
+            .filter_map(|q| q.peek_ready())
+            .chain(self.retry_pending.peek_ready())
         {
             if ready <= cycle {
                 return None;
@@ -933,18 +1059,22 @@ impl HmcSim {
         }
         // Timing-backend horizon: a bank (or validated-shadow bank)
         // release is an availability change the full path must observe
-        // on time, so the skip window is clamped to it. Cached because
-        // bank state cannot change while every queue stays empty.
-        let horizon = match self.timing_horizon {
-            Some(h) if h.is_none_or(|t| t > cycle) => h,
-            _ => {
-                let h = self.devices.iter().filter_map(|d| d.next_timing_event(cycle)).min();
-                self.timing_horizon = Some(h);
-                h
+        // on time, so the skip window is clamped to it. Cached per
+        // device because a device's bank state cannot change while
+        // its queues stay empty — an idle cube's horizon is a cache
+        // hit, never a bank rescan.
+        for i in 0..self.devices.len() {
+            let horizon = match self.dev_timing_horizon[i] {
+                Some(h) if h.is_none_or(|t| t > cycle) => h,
+                _ => {
+                    let h = self.devices[i].next_timing_event(cycle);
+                    self.dev_timing_horizon[i] = Some(h);
+                    h
+                }
+            };
+            if let Some(t) = horizon {
+                k = k.min(t - cycle);
             }
-        };
-        if let Some(t) = horizon {
-            k = k.min(t - cycle);
         }
         if self.sanitizer.is_some() {
             let allow = self.sanitizer_skip_allowance(cycle, k);
@@ -990,15 +1120,30 @@ impl HmcSim {
     /// cycle (e.g. a retry finds its link down) — and independent of
     /// [`SkipMode`].
     pub fn next_event_cycle(&self) -> Option<u64> {
-        if self.devices.iter().any(|d| d.pending_work() != 0) {
+        // Only maybe-busy devices can hold packets (a cleared flag is
+        // a proof of emptiness), so idle cubes are never rescanned.
+        if self
+            .devices
+            .iter()
+            .zip(&self.dev_maybe_busy)
+            .any(|(d, &busy)| busy && d.pending_work() != 0)
+        {
             return Some(self.cycle);
         }
-        self.in_transit
-            .peek_ready()
-            .into_iter()
+        self.transit_queues
+            .iter()
+            .filter_map(|q| q.peek_ready())
             .chain(self.retry_pending.peek_ready())
             .chain(self.devices.iter().filter_map(|d| d.next_fault_event()))
-            .chain(self.devices.iter().filter_map(|d| d.next_timing_event(self.cycle)))
+            .chain(self.devices.iter().enumerate().filter_map(|(i, d)| {
+                // Read the per-cube horizon cache where valid; this
+                // accessor is immutable, so a stale entry falls back
+                // to a fresh (uncached) computation.
+                match self.dev_timing_horizon[i] {
+                    Some(h) if h.is_none_or(|t| t > self.cycle) => h,
+                    _ => d.next_timing_event(self.cycle),
+                }
+            }))
             .min()
             .map(|c| c.max(self.cycle))
     }
@@ -1043,7 +1188,7 @@ impl HmcSim {
     /// inter-device transit or link-layer retry buffer (delivered
     /// host responses may still be waiting in the receive buffers).
     pub fn is_quiescent(&self) -> bool {
-        self.in_transit.is_empty()
+        self.transit_queues.iter().all(|q| q.is_empty())
             && self.retry_pending.is_empty()
             && self.devices.iter().all(|d| d.pending_work() == 0)
     }
@@ -1064,7 +1209,7 @@ impl HmcSim {
     /// (delivered host responses excluded).
     pub(crate) fn live_packets(&self) -> u64 {
         self.devices.iter().map(|d| d.pending_work() as u64).sum::<u64>()
-            + self.in_transit.len() as u64
+            + self.transit_queues.iter().map(|q| q.len() as u64).sum::<u64>()
             + self.retry_pending.len() as u64
     }
 
@@ -1118,8 +1263,8 @@ impl HmcSim {
         };
         self.devices[dev].debug_inject_response(link, item);
         // The planted response sits in a device queue: the skip
-        // engine must re-scan before compressing.
-        self.fabric_maybe_busy = true;
+        // engine must re-scan that device before compressing.
+        self.mark_device_busy(dev);
     }
 
     // ------------------------------------------------------------------
@@ -1248,16 +1393,6 @@ fn request_expects_response(devices: &[Device], req: &Request) -> bool {
     }
 }
 
-/// The next device on the chain from `from` toward `target`.
-fn toward(from: usize, target: usize) -> usize {
-    use std::cmp::Ordering;
-    match target.cmp(&from) {
-        Ordering::Greater => from + 1,
-        Ordering::Less => from - 1,
-        Ordering::Equal => from,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1361,6 +1496,64 @@ mod tests {
         assert_eq!(rsp.rsp.payload[0], 0x77);
         assert!(rsp.latency > 3, "chained access is slower than local");
         assert_eq!(sim.stats(0).unwrap().forwarded, 1);
+    }
+
+    #[test]
+    fn send_simple_does_not_alias_cube_ids_past_eight() {
+        // Regression: send_with_pool used to build the CUB as
+        // `dev % 8`, silently aliasing device 9 onto cube 1.
+        let mut sim =
+            HmcSim::with_config(SimConfig::chain(DeviceConfig::gen2_4link_4gb(), 10)).unwrap();
+        sim.mem_write_u64(9, 0x40, 0x99).unwrap();
+        sim.mem_write_u64(1, 0x40, 0x11).unwrap();
+        let tag = sim
+            .send_simple(9, 0, HmcRqst::Rd16, 0x40, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(9, 0, tag, 100).unwrap();
+        assert_eq!(rsp.rsp.payload[0], 0x99, "request executed on device 9, not cube 1");
+        assert_eq!(rsp.rsp.head.cub.value(), 9);
+        // Out-of-range device indices are rejected, not wrapped.
+        assert!(matches!(
+            sim.send_simple(10, 0, HmcRqst::Rd16, 0x40, vec![]),
+            Err(HmcError::InvalidDevice(10))
+        ));
+    }
+
+    #[test]
+    fn ring_routes_the_short_way_and_round_trips() {
+        let mut sim =
+            HmcSim::with_config(SimConfig::ring(DeviceConfig::gen2_4link_4gb(), 6)).unwrap();
+        sim.mem_write_u64(5, 0x40, 0xAB).unwrap();
+        // Cube 5 is one hop backwards from cube 0 on the ring; the
+        // chain walk would have taken five hops forward.
+        let tag = sim
+            .send_to_cube(0, 0, Cub::new(5).unwrap(), HmcRqst::Rd16, 0x40, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 0, tag, 50).unwrap();
+        assert_eq!(rsp.rsp.payload[0], 0xAB);
+        // One hop out, one hop back: far cheaper than the five-hops-
+        // each-way walk the chain routing would have taken (≥ 20
+        // cycles of hop+crossbar latency alone).
+        assert!(rsp.latency > 3, "remote access is slower than local");
+        assert!(rsp.latency <= 12, "ring takes the short way round, got {}", rsp.latency);
+    }
+
+    #[test]
+    fn mesh_round_trip_across_sixteen_cubes() {
+        let mut sim =
+            HmcSim::with_config(SimConfig::mesh(DeviceConfig::gen2_4link_4gb(), 4, 4)).unwrap();
+        sim.mem_write_u64(15, 0x80, 0xF0F0).unwrap();
+        let tag = sim
+            .send_to_cube(0, 1, Cub::new(15).unwrap(), HmcRqst::Rd16, 0x80, vec![])
+            .unwrap()
+            .unwrap();
+        let rsp = sim.run_until_response(0, 1, tag, 200).unwrap();
+        assert_eq!(rsp.rsp.payload[0], 0xF0F0);
+        assert_eq!(rsp.rsp.head.cub.value(), 15, "executed on the far corner");
+        assert!(rsp.latency > 3, "six hops each way cost real cycles");
+        assert!(sim.stats(0).unwrap().forwarded >= 1);
     }
 
     #[test]

@@ -739,15 +739,17 @@ fn tag_pool_from_json(v: &Json) -> Result<TagPool, JsonError> {
 
 fn transit_json(t: &Transit) -> Json {
     match t {
-        Transit::Rqst { to_dev, link, item, ready } => obj(vec![
+        Transit::Rqst { from_dev, to_dev, link, item, ready } => obj(vec![
             ("kind", Json::Str("rqst".into())),
+            ("from_dev", int_usize(*from_dev)),
             ("to_dev", int_usize(*to_dev)),
             ("link", int_usize(*link)),
             ("ready", int(*ready)),
             ("item", tracked_request_json(item)),
         ]),
-        Transit::Rsp { to_dev, link, item, ready } => obj(vec![
+        Transit::Rsp { from_dev, to_dev, link, item, ready } => obj(vec![
             ("kind", Json::Str("rsp".into())),
+            ("from_dev", int_usize(*from_dev)),
             ("to_dev", int_usize(*to_dev)),
             ("link", int_usize(*link)),
             ("ready", int(*ready)),
@@ -760,12 +762,24 @@ fn transit_from_json(v: &Json) -> Result<Transit, JsonError> {
     let mut r = ObjReader::new("transit", v)?;
     let kind = r.str("kind")?.to_string();
     let to_dev = r.usize("to_dev")?;
+    // Pre-fabric snapshots carry no sender; restore() re-derives the
+    // edge deterministically when the field is absent.
+    let from_dev = match r.optional("from_dev") {
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| JsonError { message: "transit: field `from_dev` must be a usize".into() })?,
+        None => usize::MAX,
+    };
     let link = r.usize("link")?;
     let ready = r.u64("ready")?;
     let item = r.required("item")?;
     let out = match kind.as_str() {
-        "rqst" => Transit::Rqst { to_dev, link, item: tracked_request_from_json(item)?, ready },
-        "rsp" => Transit::Rsp { to_dev, link, item: tracked_response_from_json(item)?, ready },
+        "rqst" => {
+            Transit::Rqst { from_dev, to_dev, link, item: tracked_request_from_json(item)?, ready }
+        }
+        "rsp" => {
+            Transit::Rsp { from_dev, to_dev, link, item: tracked_response_from_json(item)?, ready }
+        }
         other => return jerr(format!("transit: unknown kind `{other}`")),
     };
     r.finish()?;

@@ -250,14 +250,14 @@ impl SimSnapshot {
                 s.push(',');
             }
             match t {
-                Transit::Rqst { to_dev, link, item, ready } => s.push_str(&format!(
-                    "{{\"kind\":\"rqst\",\"to_dev\":{to_dev},\"link\":{link},\"ready\":{ready},\
-                     \"tag\":{}}}",
+                Transit::Rqst { from_dev, to_dev, link, item, ready } => s.push_str(&format!(
+                    "{{\"kind\":\"rqst\",\"from_dev\":{from_dev},\"to_dev\":{to_dev},\
+                     \"link\":{link},\"ready\":{ready},\"tag\":{}}}",
                     item.req.head.tag.value()
                 )),
-                Transit::Rsp { to_dev, link, item, ready } => s.push_str(&format!(
-                    "{{\"kind\":\"rsp\",\"to_dev\":{to_dev},\"link\":{link},\"ready\":{ready},\
-                     \"tag\":{}}}",
+                Transit::Rsp { from_dev, to_dev, link, item, ready } => s.push_str(&format!(
+                    "{{\"kind\":\"rsp\",\"from_dev\":{from_dev},\"to_dev\":{to_dev},\
+                     \"link\":{link},\"ready\":{ready},\"tag\":{}}}",
                     item.rsp.head.tag.value()
                 )),
             }
@@ -605,9 +605,15 @@ impl HmcSim {
             tag_pools: self.tag_pools.clone(),
             pool_tags: self.pool_tags.clone(),
             // The event heaps flatten to their deterministic
-            // `(ready, insertion)` order, so two identical simulation
+            // `(ready, insertion)` order; concatenating the per-edge
+            // queues in commit (edge-id) order keeps the flat form a
+            // pure function of simulation state, so two identical
             // states always snapshot (and fingerprint) identically.
-            in_transit: self.in_transit.to_sorted_items(),
+            in_transit: self
+                .transit_queues
+                .iter()
+                .flat_map(|q| q.to_sorted_items())
+                .collect(),
             links: self.links.clone(),
             retry_pending: self.retry_pending.to_sorted_items(),
             zombie_tags: self.zombie_tags.clone(),
@@ -652,10 +658,36 @@ impl HmcSim {
         self.host_rx = snap.host_rx.clone();
         self.tag_pools = snap.tag_pools.clone();
         self.pool_tags = snap.pool_tags.clone();
-        // Rebuild the event heaps from the snapshot's flat form; the
-        // renumbered insertion sequence preserves the recorded order.
-        self.in_transit =
-            crate::events::EventHeap::from_ordered(snap.in_transit.iter().cloned(), Transit::ready);
+        // Rebuild the per-edge transit heaps from the snapshot's flat
+        // form; the renumbered insertion sequence preserves the
+        // recorded per-edge order. Pre-fabric snapshots carry no
+        // sender (`from_dev == usize::MAX`) — those packets are
+        // re-homed onto the lowest-numbered in-edge of their target,
+        // which is deterministic and, on a chain, the legacy hop.
+        let mut per_edge: Vec<Vec<Transit>> = vec![Vec::new(); self.topology.edge_count()];
+        for t in &snap.in_transit {
+            let (from, to) = t.edge();
+            let edge = self.topology.edge_id(from, to).or_else(|| {
+                self.topology
+                    .edges()
+                    .iter()
+                    .position(|&(_, e_to)| e_to as usize == to)
+            });
+            let Some(edge) = edge else {
+                return Err(HmcError::MalformedPacket(format!(
+                    "snapshot transit targets device {to}, which has no in-edge \
+                     in this topology"
+                )));
+            };
+            let (rehomed_from, _) = self.topology.edges()[edge];
+            let mut t = t.clone();
+            t.set_from_dev(rehomed_from as usize);
+            per_edge[edge].push(t);
+        }
+        self.transit_queues = per_edge
+            .into_iter()
+            .map(|v| crate::events::EventHeap::from_ordered(v, Transit::ready))
+            .collect();
         self.links = snap.links.clone();
         self.retry_pending = crate::events::EventHeap::from_ordered(
             snap.retry_pending.iter().cloned(),

@@ -1,0 +1,281 @@
+//! Multi-cube fabric topologies and deterministic routing tables.
+//!
+//! A [`Topology`] is built once at context construction from the
+//! configured [`LinkTopology`] and device count. It precomputes:
+//!
+//! * a dense **next-hop table** — `next_hop(from, target)` is a table
+//!   lookup, replacing the old hard-coded chain walk;
+//! * a fixed, lexicographically ordered **directed edge list** — the
+//!   engine keeps one transit queue per edge, and committing edges in
+//!   list order gives cross-device message delivery a total order
+//!   independent of execution mode (see DESIGN.md §19).
+//!
+//! Routing is shortest-path with deterministic tie-breaking: among
+//! equally short first hops the lowest-numbered neighbour wins. The
+//! tables are pure functions of `(kind, n)`, so every context built
+//! from the same configuration routes identically.
+
+use crate::config::LinkTopology;
+use hmc_types::{Cub, HmcError};
+
+/// An immutable routing fabric over `n` devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: LinkTopology,
+    n: usize,
+    /// `next_hop[from * n + target]` — the neighbour of `from` on a
+    /// shortest path to `target` (`from` itself when already there).
+    next_hop: Vec<u8>,
+    /// Directed edges `(from, to)` in lexicographic order. The index
+    /// of an edge in this list is its transit-queue id.
+    edges: Vec<(u8, u8)>,
+    /// `edge_index[from * n + to]` — the edge id, or `u16::MAX` when
+    /// the devices are not neighbours.
+    edge_index: Vec<u16>,
+}
+
+impl Topology {
+    /// Builds the routing tables, validating the topology's
+    /// preconditions (ring needs ≥ 3 cubes; a mesh's device count
+    /// must be a positive multiple of its column count; everything
+    /// is capped at [`Cub::MAX_CUBES`]).
+    pub fn new(kind: LinkTopology, n: usize) -> Result<Self, HmcError> {
+        if n == 0 || n > Cub::MAX_CUBES {
+            return Err(HmcError::InvalidCube(n.min(255) as u8));
+        }
+        match kind {
+            LinkTopology::HostOnly | LinkTopology::Chain => {}
+            LinkTopology::Ring => {
+                if n < 3 {
+                    return Err(HmcError::MalformedPacket(format!(
+                        "ring topology needs at least 3 cubes, got {n} (use a chain)"
+                    )));
+                }
+            }
+            LinkTopology::Mesh { cols } => {
+                if cols == 0 || !n.is_multiple_of(cols) {
+                    return Err(HmcError::MalformedPacket(format!(
+                        "mesh of {n} cubes is not a full grid of width {cols}"
+                    )));
+                }
+            }
+        }
+        let neighbours = |i: usize| -> Vec<usize> {
+            let mut out = match kind {
+                // Host-only devices are islands: no inter-cube wiring.
+                LinkTopology::HostOnly => vec![],
+                LinkTopology::Chain => {
+                    let mut v = vec![];
+                    if i > 0 {
+                        v.push(i - 1);
+                    }
+                    if i + 1 < n {
+                        v.push(i + 1);
+                    }
+                    v
+                }
+                LinkTopology::Ring => vec![(i + n - 1) % n, (i + 1) % n],
+                LinkTopology::Mesh { cols } => {
+                    let (r, c) = (i / cols, i % cols);
+                    let rows = n / cols;
+                    let mut v = vec![];
+                    if r > 0 {
+                        v.push(i - cols);
+                    }
+                    if c > 0 {
+                        v.push(i - 1);
+                    }
+                    if c + 1 < cols {
+                        v.push(i + 1);
+                    }
+                    if r + 1 < rows {
+                        v.push(i + cols);
+                    }
+                    v
+                }
+            };
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+
+        // Edge list: ascending (from, to).
+        let mut edges = Vec::new();
+        let mut edge_index = vec![u16::MAX; n * n];
+        for from in 0..n {
+            for to in neighbours(from) {
+                edge_index[from * n + to] = edges.len() as u16;
+                edges.push((from as u8, to as u8));
+            }
+        }
+
+        // Next-hop table: one BFS per target over the reversed graph
+        // (our graphs are symmetric, so the graph itself). dist[i] is
+        // the hop count from i to the target; the next hop from a
+        // device is its lowest-numbered neighbour that is one step
+        // closer.
+        let mut next_hop = vec![u8::MAX; n * n];
+        for target in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[target] = 0;
+            let mut queue = std::collections::VecDeque::from([target]);
+            while let Some(u) = queue.pop_front() {
+                for v in neighbours(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for from in 0..n {
+                next_hop[from * n + target] = if from == target {
+                    from as u8
+                } else if dist[from] == usize::MAX {
+                    u8::MAX // unreachable (host-only islands)
+                } else {
+                    neighbours(from)
+                        .into_iter()
+                        .find(|&v| dist[v] + 1 == dist[from])
+                        .expect("a finite-distance node has a closer neighbour")
+                        as u8
+                };
+            }
+        }
+
+        Ok(Topology { kind, n, next_hop, edges, edge_index })
+    }
+
+    /// The wiring this fabric was built from.
+    pub fn kind(&self) -> LinkTopology {
+        self.kind
+    }
+
+    /// Number of devices in the fabric.
+    pub fn device_count(&self) -> usize {
+        self.n
+    }
+
+    /// The neighbour of `from` on the (deterministic) shortest path
+    /// to `target`, or `None` when `target` is unreachable from
+    /// `from` (host-only islands) or either id is out of range.
+    pub fn next_hop(&self, from: usize, target: usize) -> Option<usize> {
+        if from >= self.n || target >= self.n {
+            return None;
+        }
+        match self.next_hop[from * self.n + target] {
+            u8::MAX => None,
+            hop => Some(hop as usize),
+        }
+    }
+
+    /// The directed edges of the fabric in commit order.
+    pub fn edges(&self) -> &[(u8, u8)] {
+        &self.edges
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The transit-queue id of the directed edge `from → to`, or
+    /// `None` when the devices are not neighbours.
+    pub fn edge_id(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= self.n || to >= self.n {
+            return None;
+        }
+        match self.edge_index[from * self.n + to] {
+            u16::MAX => None,
+            id => Some(id as usize),
+        }
+    }
+
+    /// Hop count of the routed path from `from` to `target` (0 when
+    /// equal, `None` when unreachable). Walks the next-hop table, so
+    /// it reflects exactly what the engine will do.
+    pub fn route_len(&self, from: usize, target: usize) -> Option<u64> {
+        let mut at = from;
+        let mut hops = 0u64;
+        while at != target {
+            at = self.next_hop(at, target)?;
+            hops += 1;
+            debug_assert!(hops as usize <= self.n, "routing loop");
+        }
+        Some(hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_matches_legacy_walk() {
+        let t = Topology::new(LinkTopology::Chain, 5).unwrap();
+        assert_eq!(t.next_hop(0, 4), Some(1));
+        assert_eq!(t.next_hop(4, 0), Some(3));
+        assert_eq!(t.next_hop(2, 2), Some(2));
+        assert_eq!(t.route_len(0, 4), Some(4));
+        // Edges: (i, i±1) both ways, lexicographic.
+        assert_eq!(t.edges()[0], (0, 1));
+        assert_eq!(t.edge_count(), 8);
+        assert_eq!(t.edge_id(1, 0), Some(1));
+        assert_eq!(t.edge_id(0, 2), None);
+    }
+
+    #[test]
+    fn ring_routes_the_short_way_round() {
+        let t = Topology::new(LinkTopology::Ring, 6).unwrap();
+        assert_eq!(t.next_hop(0, 5), Some(5), "one hop backwards beats four forwards");
+        assert_eq!(t.route_len(0, 5), Some(1));
+        assert_eq!(t.route_len(0, 2), Some(2));
+        // Antipodal target: both ways are 3 hops; the lowest-numbered
+        // neighbour of 0 (device 1) wins deterministically.
+        assert_eq!(t.next_hop(0, 3), Some(1));
+        assert_eq!(t.edge_count(), 12);
+    }
+
+    #[test]
+    fn mesh_routes_are_shortest_and_deterministic() {
+        // 4×4 mesh, row-major.
+        let t = Topology::new(LinkTopology::Mesh { cols: 4 }, 16).unwrap();
+        assert_eq!(t.route_len(0, 15), Some(6), "Manhattan distance corner to corner");
+        // From 5 (r1,c1) to 10 (r2,c2): north/west neighbours are not
+        // closer; the lowest-numbered closer neighbour of 5 is 6.
+        assert_eq!(t.next_hop(5, 10), Some(6));
+        // Interior node degree 4, corner degree 2: 2*2*4 + 4*3*2(edges
+        // per interior-ish)… just count: 2 * (rows*(cols-1) + cols*(rows-1)).
+        assert_eq!(t.edge_count(), 2 * (4 * 3 + 4 * 3));
+        for from in 0..16 {
+            for to in 0..16 {
+                let len = t.route_len(from, to).unwrap();
+                let manhattan = ((from / 4).abs_diff(to / 4) + (from % 4).abs_diff(to % 4)) as u64;
+                assert_eq!(len, manhattan, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_only_has_no_routes() {
+        let t = Topology::new(LinkTopology::HostOnly, 3).unwrap();
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.next_hop(0, 1), None);
+        assert_eq!(t.next_hop(1, 1), Some(1));
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(Topology::new(LinkTopology::Ring, 2).is_err());
+        assert!(Topology::new(LinkTopology::Mesh { cols: 3 }, 4).is_err());
+        assert!(Topology::new(LinkTopology::Mesh { cols: 0 }, 4).is_err());
+        assert!(Topology::new(LinkTopology::Chain, 0).is_err());
+        assert!(Topology::new(LinkTopology::Chain, 17).is_err());
+    }
+
+    #[test]
+    fn tables_are_pure_functions_of_config() {
+        let a = Topology::new(LinkTopology::Mesh { cols: 2 }, 8).unwrap();
+        let b = Topology::new(LinkTopology::Mesh { cols: 2 }, 8).unwrap();
+        assert_eq!(a, b);
+    }
+}

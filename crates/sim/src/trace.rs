@@ -215,13 +215,22 @@ pub enum TraceKind {
     SanitizerAudit,
     /// Sanitizer captured a periodic recovery checkpoint.
     Checkpoint,
+    /// Request forwarded one fabric hop toward its target cube
+    /// (`dev` = sender, `a` = next-hop device, `b` = arrival cycle).
+    HopRqst,
+    /// Response forwarded one fabric hop toward its entry cube
+    /// (`dev` = sender, `a` = next-hop device, `b` = arrival cycle).
+    HopRsp,
 }
 
 impl TraceKind {
     /// The level-mask class this kind traces under.
     pub const fn class(self) -> TraceLevel {
         match self {
-            TraceKind::HostSend | TraceKind::XbarToVault => TraceLevel::QUEUE,
+            TraceKind::HostSend
+            | TraceKind::XbarToVault
+            | TraceKind::HopRqst
+            | TraceKind::HopRsp => TraceLevel::QUEUE,
             TraceKind::Deliver => TraceLevel::LATENCY,
             TraceKind::LinkRetry
             | TraceKind::XbarRspFull
@@ -263,6 +272,7 @@ impl TraceKind {
             | TraceKind::Poison => "FAULT",
             TraceKind::XbarRspFull | TraceKind::VaultRqstFull | TraceKind::VaultRspFull => "STALL",
             TraceKind::XbarToVault => "QUEUE",
+            TraceKind::HopRqst | TraceKind::HopRsp => "HOP",
             TraceKind::Refresh | TraceKind::BankBusy => "BANK",
             TraceKind::Cmd | TraceKind::CmdReject => "RQST",
             TraceKind::CmcOp => "CMC",
@@ -283,7 +293,9 @@ impl TraceKind {
             | TraceKind::LinkCrc
             | TraceKind::IngressCrc
             | TraceKind::LinkDown
-            | TraceKind::LinkUp => FlightLane::Link,
+            | TraceKind::LinkUp
+            | TraceKind::HopRqst
+            | TraceKind::HopRsp => FlightLane::Link,
             TraceKind::XbarRspFull
             | TraceKind::Failover
             | TraceKind::XbarToVault
@@ -333,13 +345,15 @@ impl TraceKind {
             TraceKind::IdleSkip => "idle_skip",
             TraceKind::SanitizerAudit => "sanitizer_audit",
             TraceKind::Checkpoint => "checkpoint",
+            TraceKind::HopRqst => "hop_rqst",
+            TraceKind::HopRsp => "hop_rsp",
         }
     }
 
     /// Every kind, in stable wire order — the snapshot codec encodes
     /// a kind as its index here, so the order must never change
     /// (append new kinds at the end).
-    pub const ALL: [TraceKind; 26] = [
+    pub const ALL: [TraceKind; 28] = [
         TraceKind::HostSend,
         TraceKind::Deliver,
         TraceKind::Zombie,
@@ -366,6 +380,8 @@ impl TraceKind {
         TraceKind::IdleSkip,
         TraceKind::SanitizerAudit,
         TraceKind::Checkpoint,
+        TraceKind::HopRqst,
+        TraceKind::HopRsp,
     ];
 
     /// The stable wire code (index in [`TraceKind::ALL`]).
@@ -527,6 +543,14 @@ impl TraceRecord {
             TraceKind::IdleSkip => format!("idle skip: from={} len={}", r.a, r.b),
             TraceKind::SanitizerAudit => format!("sanitizer: violations={}", r.a),
             TraceKind::Checkpoint => format!("checkpoint: cycle={}", r.a),
+            TraceKind::HopRqst => format!(
+                "hop rqst: dev={} -> dev={} link={} tag={} arrives={}",
+                r.dev, r.a, r.link, r.tag, r.b
+            ),
+            TraceKind::HopRsp => format!(
+                "hop rsp: dev={} -> dev={} link={} tag={} arrives={}",
+                r.dev, r.a, r.link, r.tag, r.b
+            ),
         }
     }
 

@@ -14,8 +14,15 @@
 //! | 11:7    | LNG   | packet length in FLITs (1..=17) |
 //! | 22:12   | TAG   | 11-bit request tag              |
 //! | 57:24   | ADRS  | 34-bit byte address             |
-//! | 60:58   | —     | reserved                        |
-//! | 63:61   | CUB   | 3-bit cube (device) id          |
+//! | 59:58   | —     | reserved                        |
+//! | 60      | CUB[3]| cube id bit 3 (fabric extension)|
+//! | 63:61   | CUB   | cube (device) id bits 2:0       |
+//!
+//! The spec's CUB field is 3 bits ([63:61]); this simulator extends it
+//! with one formerly-reserved bit (60, in both the request and the
+//! response header) so fabrics of up to 16 cubes stay addressable.
+//! Packets addressing cubes 0..=7 are bit-identical to the spec
+//! layout.
 //!
 //! ## Request tail layout (64 bits)
 //!
@@ -31,7 +38,8 @@
 //! | 63:32   | CRC   | CRC-32K over the packet          |
 //!
 //! Response header: `CMD[7:0]` (8-bit — see paper §IV-C1),
-//! `LNG[12:8]`, `TAG[23:13]`, `AF[24]`, `SLID[34:32]`, `CUB[63:61]`.
+//! `LNG[12:8]`, `TAG[23:13]`, `AF[24]`, `SLID[34:32]`, `CUB[63:61]`
+//! with the same `CUB[3]` extension at bit 60.
 //! Response tail mirrors the request tail with `DINV[19]` and
 //! `ERRSTAT[26:20]` in place of Pb/SLID.
 
@@ -43,14 +51,22 @@ use crate::payload::PayloadBuf;
 use crate::rsp::HmcResponse;
 use crate::tag::Tag;
 
-/// A validated 3-bit cube (device) identifier.
+/// A validated cube (device) identifier.
+///
+/// The HMC spec's CUB field is 3 bits; the simulator's fabric
+/// extension widens it to 4 (see the header-layout note above), so
+/// valid cube ids are `0..=15`. Ids `0..=7` encode exactly as the
+/// spec lays them out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Cub(u8);
 
 impl Cub {
-    /// Creates a cube id, validating the 3-bit range.
+    /// Number of addressable cubes (4-bit extended CUB field).
+    pub const MAX_CUBES: usize = 16;
+
+    /// Creates a cube id, validating the 4-bit range.
     pub fn new(value: u8) -> Result<Self, HmcError> {
-        if value < 8 {
+        if (value as usize) < Self::MAX_CUBES {
             Ok(Cub(value))
         } else {
             Err(HmcError::InvalidCube(value))
@@ -130,13 +146,15 @@ impl ReqHead {
         ReqHead { cmd: HmcRqst::Cmc(code), lng, tag, addr, cub }
     }
 
-    /// Encodes the header to its 64-bit wire form.
+    /// Encodes the header to its 64-bit wire form. CUB bits 2:0 land
+    /// in the spec position [63:61]; CUB[3] in the reserved bit 60.
     pub fn encode(&self) -> u64 {
         place(self.cmd.code() as u64, 0, 7)
             | place(self.lng as u64, 7, 5)
             | place(self.tag.value() as u64, 12, 11)
             | place(self.addr & MAX_ADDR, 24, 34)
-            | place(self.cub.value() as u64, 61, 3)
+            | place((self.cub.value() >> 3) as u64, 60, 1)
+            | place((self.cub.value() & 0x7) as u64, 61, 3)
     }
 
     /// Decodes a 64-bit wire header.
@@ -151,7 +169,7 @@ impl ReqHead {
             lng,
             tag: Tag::new(field(raw, 12, 11) as u32)?,
             addr: field(raw, 24, 34),
-            cub: Cub::new(field(raw, 61, 3) as u8)?,
+            cub: Cub::new((field(raw, 61, 3) | (field(raw, 60, 1) << 3)) as u8)?,
         })
     }
 }
@@ -221,14 +239,16 @@ pub struct RspHead {
 }
 
 impl RspHead {
-    /// Encodes the header to its 64-bit wire form.
+    /// Encodes the header to its 64-bit wire form. CUB bits 2:0 land
+    /// in the spec position [63:61]; CUB[3] in the reserved bit 60.
     pub fn encode(&self) -> u64 {
         place(self.cmd.code() as u64, 0, 8)
             | place(self.lng as u64, 8, 5)
             | place(self.tag.value() as u64, 13, 11)
             | place(self.af as u64, 24, 1)
             | place(self.slid.value() as u64, 32, 3)
-            | place(self.cub.value() as u64, 61, 3)
+            | place((self.cub.value() >> 3) as u64, 60, 1)
+            | place((self.cub.value() & 0x7) as u64, 61, 3)
     }
 
     /// Decodes a 64-bit wire header.
@@ -243,7 +263,7 @@ impl RspHead {
             tag: Tag::new(field(raw, 13, 11) as u32)?,
             af: field(raw, 24, 1) != 0,
             slid: Slid::new(field(raw, 32, 3) as u8)?,
-            cub: Cub::new(field(raw, 61, 3) as u8)?,
+            cub: Cub::new((field(raw, 61, 3) | (field(raw, 60, 1) << 3)) as u8)?,
         })
     }
 }
@@ -598,6 +618,40 @@ mod tests {
         assert_eq!(head.lng, 5);
         let decoded = ReqHead::decode(head.encode()).unwrap();
         assert_eq!(decoded, head);
+    }
+
+    #[test]
+    fn wide_cub_round_trips_and_bounds_enforced() {
+        // Cubes 8..=15 use the formerly-reserved bit 60 in both
+        // headers; ids 0..=7 must keep the exact spec encoding.
+        for v in 0..16u8 {
+            let cub = Cub::new(v).unwrap();
+            let head = ReqHead::new(HmcRqst::Rd16, tag(9), 0x80, cub);
+            let decoded = ReqHead::decode(head.encode()).unwrap();
+            assert_eq!(decoded.cub.value(), v, "request CUB {v}");
+            if v < 8 {
+                assert_eq!(field(head.encode(), 60, 1), 0, "bit 60 clear for spec cubes");
+            }
+            let rsp = RspHead {
+                cmd: HmcResponse::RdRs,
+                lng: 1,
+                tag: tag(9),
+                af: false,
+                slid: Slid::new(0).unwrap(),
+                cub,
+            };
+            assert_eq!(RspHead::decode(rsp.encode()).unwrap().cub.value(), v, "response CUB {v}");
+        }
+        assert!(matches!(Cub::new(16), Err(HmcError::InvalidCube(16))));
+        assert!(matches!(Cub::new(255), Err(HmcError::InvalidCube(255))));
+    }
+
+    #[test]
+    fn wide_cub_survives_full_packet_round_trip() {
+        let req = Request::new(HmcRqst::Wr16, tag(40), 0x40, Cub::new(13).unwrap(), vec![1, 2])
+            .unwrap();
+        let back = Request::unpack(&req.pack()).unwrap();
+        assert_eq!(back.head.cub.value(), 13);
     }
 
     #[test]

@@ -11,10 +11,13 @@
 //! * [`barrier`] — centralized sense-reversing barrier over `CASEQ8`.
 //! * [`histogram`] — posted vs acked vs RMW increments.
 //! * [`pchase`] — dependent-load pointer chasing (latency probe).
+//! * [`fabric`] — multi-cube GUPS and sharded BFS spanning a
+//!   chain/ring/mesh fabric.
 
 pub mod barrier;
 pub mod bfs;
 pub mod counter;
+pub mod fabric;
 pub mod gups;
 pub mod histogram;
 pub mod mutex;

@@ -17,6 +17,10 @@ pub mod tracefile;
 
 pub use driver::{ResilienceConfig, RunMetrics, ThreadDriver, ThreadFaultStats};
 pub use kernels::barrier::{BarrierKernel, BarrierKernelConfig, BarrierKernelResult};
+pub use kernels::fabric::{
+    FabricBfsConfig, FabricBfsKernel, FabricBfsResult, FabricGupsConfig, FabricGupsKernel,
+    FabricGupsResult,
+};
 pub use kernels::mutex::{MutexKernel, MutexKernelConfig, MutexMechanism, SpinPolicy};
 pub use runtime::HostRuntime;
 pub use scenario::KernelDescriptor;

@@ -33,8 +33,8 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn corpus_is_present_and_replays_clean() {
     let corpus = load_corpus_dir(&corpus_dir()).expect("corpus must load");
     assert!(
-        corpus.len() >= 7,
-        "expected the seeded corpus (>= 7 scenarios), found {}",
+        corpus.len() >= 8,
+        "expected the seeded corpus (>= 8 scenarios), found {}",
         corpus.len()
     );
     let config = RunnerConfig { timeout: Duration::from_secs(120), canary: false };
@@ -130,6 +130,24 @@ fn generator_stream_is_reproducible_across_calls() {
     assert_eq!(take(0xFEED), take(0xFEED));
 }
 
+/// The fabric axis must stay anchored in the corpus: at least one
+/// checked-in seed replays a multi-cube ring under a live fault plan
+/// (scheduled link outage included) with idle-cycle skipping on — the
+/// corner where per-cube event horizons, fault delivery on idle cubes
+/// and the skip engine all interact.
+#[test]
+fn corpus_anchors_ring_fabric_under_faults_and_skip() {
+    let corpus = load_corpus_dir(&corpus_dir()).unwrap();
+    assert!(
+        corpus.iter().any(|(_, s)| matches!(
+            s.fabric,
+            hmc_fuzz::FabricTopology::Ring { .. }
+        ) && s.skip == SkipMode::On
+            && !s.device.fault.link_schedule.is_empty()),
+        "no corpus scenario pairs a ring fabric with link outages and skip mode"
+    );
+}
+
 /// Satellite 1 end-to-end: with the canary enabled, a scenario running
 /// under skip mode must diverge on the stats axis, and the shrinker
 /// must reduce it to a bounded-size reproducer.
@@ -149,6 +167,7 @@ fn canary_divergence_is_found_and_shrunk() {
         telemetry: true,
         trace: true,
         timing: hmc_sim::TimingSelect::RowBuffer,
+        fabric: hmc_fuzz::FabricTopology::Chain { cubes: 3 },
     };
     let config = RunnerConfig { canary: true, ..Default::default() };
     let outcome = run_scenario(&fat, &config);

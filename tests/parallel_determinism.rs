@@ -13,7 +13,7 @@
 //! reported directly.
 
 use hmcsim::prelude::*;
-use hmcsim::sim::FaultPlan;
+use hmcsim::sim::{FaultPlan, SimConfig};
 use proptest::prelude::*;
 
 /// One host action per simulated cycle.
@@ -469,4 +469,248 @@ fn mode_switch_mid_run_is_seamless() {
         }
     }
     assert_lockstep_equal("mode-switch", 4, &reference, &fingerprints);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cube fabric axis: the same lockstep contract, but across
+// chain / ring / mesh topologies, with traffic entering at every cube
+// and routed to remote cubes through the fabric.
+// ---------------------------------------------------------------------------
+
+/// The fabric topology matrix for the multi-cube anchors.
+fn fabric_configs() -> [(&'static str, SimConfig); 3] {
+    let d = DeviceConfig::gen2_4link_4gb;
+    [
+        ("chain4", SimConfig::chain(d(), 4)),
+        ("ring5", SimConfig::ring(d(), 5)),
+        ("mesh4x2", SimConfig::mesh(d(), 4, 2)),
+    ]
+}
+
+fn fabric_sim(config: &SimConfig, mode: ExecMode, skip: SkipMode) -> HmcSim {
+    let mut sim = HmcSim::with_config(config.clone()).unwrap();
+    sim.set_exec_mode(mode);
+    sim.set_skip_mode(skip);
+    sim
+}
+
+/// Like [`drive`], but fabric-aware: op `i` enters at cube `i % n` and
+/// targets cube `(i * 7 + 3) % n` via [`HmcSim::send_to_cube`], so the
+/// stream mixes local traffic with multi-hop routes in every
+/// direction. After each op an optional idle `gap` runs (to engage the
+/// per-cube event horizons), then responses are drained from every
+/// host-facing link of every cube.
+fn drive_fabric(sim: &mut HmcSim, ops: &[Op], gap: u64, drain_cycles: u64) -> Vec<u64> {
+    let n = sim.device_count();
+    let links = sim.device_config(0).unwrap().links;
+    let mut fingerprints = Vec::with_capacity(ops.len() + 1);
+    let drain = |sim: &mut HmcSim| {
+        for d in 0..n {
+            for l in 0..links {
+                while sim.recv(d, l).is_some() {}
+            }
+        }
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let entry = i % n;
+        let link = i % links;
+        let cub = Cub::new(((i * 7 + 3) % n) as u8).unwrap();
+        let sent = match *op {
+            Op::Read { slot } => {
+                sim.send_to_cube(entry, link, cub, HmcRqst::Rd16, slot_addr(slot), vec![])
+            }
+            Op::Write { slot, value } => sim.send_to_cube(
+                entry,
+                link,
+                cub,
+                HmcRqst::Wr16,
+                slot_addr(slot),
+                vec![value, !value],
+            ),
+            Op::PostedWrite { slot, value } => sim.send_to_cube(
+                entry,
+                link,
+                cub,
+                HmcRqst::PWr16,
+                slot_addr(slot),
+                vec![value, value],
+            ),
+            Op::Atomic { slot, value } => sim.send_to_cube(
+                entry,
+                link,
+                cub,
+                HmcRqst::Xor16,
+                slot_addr(slot),
+                vec![value, 0],
+            ),
+            Op::PostedAtomic { slot } => {
+                sim.send_to_cube(entry, link, cub, HmcRqst::P2Add8, slot_addr(slot), vec![1, 1])
+            }
+            Op::Idle => Ok(None),
+        };
+        // Back-pressure and scheduled link outages are deterministic
+        // and identical across the compared runs.
+        match sent {
+            Ok(_)
+            | Err(HmcError::Stall)
+            | Err(HmcError::TagsExhausted)
+            | Err(HmcError::LinkDown(_)) => {}
+            Err(e) => panic!("unexpected fabric send error: {e}"),
+        }
+        sim.clock();
+        if gap > 0 {
+            sim.clock_n(gap);
+        }
+        fingerprints.push(sim.state_fingerprint());
+        drain(sim);
+    }
+    sim.clock_n(drain_cycles);
+    fingerprints.push(sim.state_fingerprint());
+    drain(sim);
+    fingerprints
+}
+
+/// The headline fabric anchor demanded by the engine contract: for
+/// every topology in the matrix, state fingerprints are identical
+/// across Sequential/Parallel{1,2,8} × Skip Off/On, checked after
+/// every injection cycle.
+#[test]
+fn fabric_matrix_is_bit_identical_across_engines_and_skip() {
+    let ops: Vec<Op> = (0..180)
+        .map(|i| match i % 6 {
+            0 => Op::Write { slot: (i % 97) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 89) as u16 },
+            2 => Op::PostedWrite { slot: (i % 83) as u16, value: !(i as u64) },
+            3 => Op::Atomic { slot: (i % 79) as u16, value: i as u64 ^ 0xbeef },
+            4 => Op::PostedAtomic { slot: (i % 73) as u16 },
+            _ => Op::Idle,
+        })
+        .collect();
+    for (name, config) in fabric_configs() {
+        let reference =
+            drive_fabric(&mut fabric_sim(&config, ExecMode::Sequential, SkipMode::Off), &ops, 0, 300);
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel { threads: 1 },
+            ExecMode::Parallel { threads: 2 },
+            ExecMode::Parallel { threads: 8 },
+        ] {
+            for skip in [SkipMode::Off, SkipMode::On] {
+                let run = drive_fabric(&mut fabric_sim(&config, mode, skip), &ops, 0, 300);
+                assert_eq!(reference.len(), run.len());
+                for (cycle, (r, p)) in reference.iter().zip(&run).enumerate() {
+                    assert_eq!(
+                        r, p,
+                        "fabric fingerprint diverged: topology={name} mode={mode:?} \
+                         skip={skip:?} step={cycle}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Idle cubes under long gaps: traffic enters only at cube 0 and
+/// targets the far end of a chain, so the middle cubes spend most of
+/// the run idle. With a scheduled link outage landing mid-gap, the
+/// per-cube event horizons must still stop exactly at the fault-plan
+/// transitions, on both engines.
+#[test]
+fn fabric_skip_with_idle_cubes_and_link_outage_is_bit_identical() {
+    let ops: Vec<Op> = (0..24)
+        .map(|i| match i % 3 {
+            0 => Op::Write { slot: (i % 37) as u16, value: i as u64 },
+            1 => Op::Read { slot: (i % 31) as u16 },
+            _ => Op::Atomic { slot: (i % 29) as u16, value: i as u64 },
+        })
+        .collect();
+    let mut device = DeviceConfig::gen2_4link_4gb();
+    device.fault = FaultPlan::seeded(23)
+        .with_poison(30_000)
+        .with_link_event(1_700, 1, false)
+        .with_link_event(4_300, 1, true);
+    let config = SimConfig::chain(device, 4);
+    let far = Cub::new(3).unwrap();
+    let run = |mode: ExecMode, skip: SkipMode| {
+        let mut sim = fabric_sim(&config, mode, skip);
+        let links = sim.device_config(0).unwrap().links;
+        let mut fingerprints = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let link = i % links;
+            let sent = match *op {
+                Op::Write { slot, value } => sim.send_to_cube(
+                    0,
+                    link,
+                    far,
+                    HmcRqst::Wr16,
+                    slot_addr(slot),
+                    vec![value, !value],
+                ),
+                Op::Read { slot } => {
+                    sim.send_to_cube(0, link, far, HmcRqst::Rd16, slot_addr(slot), vec![])
+                }
+                Op::Atomic { slot, value } => sim.send_to_cube(
+                    0,
+                    link,
+                    far,
+                    HmcRqst::Xor16,
+                    slot_addr(slot),
+                    vec![value, 0],
+                ),
+                _ => unreachable!(),
+            };
+            match sent {
+                Ok(_)
+                | Err(HmcError::Stall)
+                | Err(HmcError::TagsExhausted)
+                | Err(HmcError::LinkDown(_)) => {}
+                Err(e) => panic!("unexpected fabric send error: {e}"),
+            }
+            sim.clock();
+            sim.clock_n(800);
+            fingerprints.push(sim.state_fingerprint());
+            for l in 0..links {
+                while sim.recv(0, l).is_some() {}
+            }
+        }
+        sim.clock_n(4_000);
+        fingerprints.push(sim.state_fingerprint());
+        (fingerprints, sim.stats(0).unwrap().clone())
+    };
+    let reference = run(ExecMode::Sequential, SkipMode::Off);
+    for mode in [ExecMode::Sequential, ExecMode::Parallel { threads: 2 }, ExecMode::Parallel { threads: 8 }] {
+        let skipped = run(mode, SkipMode::On);
+        assert_eq!(reference.0, skipped.0, "fabric fingerprints diverged: mode={mode:?}");
+        assert_eq!(reference.1, skipped.1, "fabric stats diverged: mode={mode:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random traffic over a ring fabric: parallel engines (with and
+    /// without idle-cycle skipping) stay bit-identical to the
+    /// sequential reference when every op crosses cube boundaries.
+    #[test]
+    fn fabric_random_traffic_is_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let config = SimConfig::ring(DeviceConfig::gen2_4link_4gb(), 4);
+        let reference =
+            drive_fabric(&mut fabric_sim(&config, ExecMode::Sequential, SkipMode::Off), &ops, 0, 200);
+        let par = drive_fabric(
+            &mut fabric_sim(&config, ExecMode::Parallel { threads: 2 }, SkipMode::Off),
+            &ops,
+            0,
+            200,
+        );
+        prop_assert_eq!(&reference, &par);
+        let par_skip = drive_fabric(
+            &mut fabric_sim(&config, ExecMode::Parallel { threads: 4 }, SkipMode::On),
+            &ops,
+            0,
+            200,
+        );
+        prop_assert_eq!(&reference, &par_skip);
+    }
 }
